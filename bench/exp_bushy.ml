@@ -1,0 +1,56 @@
+(* Extension experiment: linear vs bushy plan spaces — the paper's open
+   problem.  For each query we compare the best outer linear tree found by
+   IAI with the best bushy tree found by multi-start II over the bushy
+   space, both under the memory model.  Ratio > 1 means bushy plans beat
+   every linear plan found. *)
+
+open Ljqo_core
+open Ljqo_querygen
+
+let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
+  let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
+  let per_n = max 2 (scale.per_n / 2) in
+  let table =
+    Ljqo_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Linear vs bushy plans (%d queries per N; linear-best / bushy-best)"
+           per_n)
+      ~columns:[ "mean"; "median"; "max"; "bushy wins" ]
+  in
+  List.iter
+    (fun n_joins ->
+      let workload = Workload.make ~ns:[ n_joins ] ~per_n ~seed Benchmark.default in
+      let ratios = ref [] in
+      let wins = ref 0 in
+      Array.iter
+        (fun (entry : Workload.entry) ->
+          let ticks =
+            Budget.ticks_for_limit ?ticks_per_unit:kappa ~t_factor:9.0 ~n_joins ()
+          in
+          let linear =
+            Optimizer.optimize ~method_:Methods.IAI ~model ~ticks
+              ~seed:(seed + entry.seed) entry.query
+          in
+          let _, bushy_cost =
+            Bushy.optimize ~restarts:8 model entry.query ~seed:(seed + entry.seed + 1)
+          in
+          let ratio = linear.cost /. bushy_cost in
+          if ratio > 1.001 then incr wins;
+          ratios := ratio :: !ratios)
+        workload.Workload.entries;
+      let a = Array.of_list !ratios in
+      Ljqo_report.Table.add_row table
+        ~label:(Printf.sprintf "N=%d" n_joins)
+        ~cells:
+          [
+            Printf.sprintf "%.3f" (Ljqo_stats.Summary.mean a);
+            Printf.sprintf "%.3f" (Ljqo_stats.Summary.median a);
+            Printf.sprintf "%.3f" (snd (Ljqo_stats.Summary.min_max a));
+            Printf.sprintf "%d/%d" !wins (Array.length a);
+          ])
+    [ 10; 20; 30 ];
+  Ljqo_report.Table.print table;
+  Option.iter
+    (fun dir -> Ljqo_report.Table.save_csv table (Filename.concat dir "bushy.csv"))
+    csv_dir

@@ -1,0 +1,59 @@
+(* Extension experiment: true optimality gaps.  On small queries (where the
+   System-R-style exact search is feasible) we measure how far the paper's
+   methods actually are from the optimum — grounding the "scaled cost"
+   methodology, whose reference is only the best cost any method found. *)
+
+open Ljqo_core
+open Ljqo_querygen
+
+let methods = Methods.[ IAI; AGI; II; SA ]
+
+let tfactors = [ 1.5; 9.0 ]
+
+let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
+  let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
+  let ns = [ 6; 8; 10 ] in
+  let workload = Workload.make ~ns ~per_n:scale.per_n ~seed Benchmark.default in
+  let table =
+    Ljqo_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Optimality gap vs exact search (avg cost / optimum, %d queries, N=6..10)"
+           (Workload.size workload))
+      ~columns:
+        (List.concat_map
+           (fun t -> List.map (fun m -> Printf.sprintf "%s@%gN^2" (Methods.name m) t) methods)
+           tfactors)
+  in
+  let sums = Array.make (List.length tfactors * List.length methods) 0.0 in
+  let count = ref 0 in
+  Array.iter
+    (fun (entry : Workload.entry) ->
+      let exact = Exhaustive.optimize model entry.query in
+      incr count;
+      List.iteri
+        (fun ti t ->
+          List.iteri
+            (fun mi m ->
+              let ticks =
+                Budget.ticks_for_limit ?ticks_per_unit:kappa ~t_factor:t
+                  ~n_joins:entry.n_joins ()
+              in
+              let r =
+                Optimizer.optimize ~method_:m ~model ~ticks
+                  ~seed:(seed + (entry.seed * 13) + mi)
+                  entry.query
+              in
+              let idx = (ti * List.length methods) + mi in
+              sums.(idx) <-
+                sums.(idx)
+                +. Ljqo_stats.Scaled_cost.coerce (r.cost /. exact.cost))
+            methods)
+        tfactors)
+    workload.Workload.entries;
+  Ljqo_report.Table.add_float_row table ~label:"gap"
+    (Array.to_list (Array.map (fun s -> s /. float_of_int !count) sums));
+  Ljqo_report.Table.print table;
+  Option.iter
+    (fun dir -> Ljqo_report.Table.save_csv table (Filename.concat dir "optgap.csv"))
+    csv_dir

@@ -1,0 +1,80 @@
+(* Extension experiment: the predecessor study's comparison.  [SG88] found
+   iterative improvement the method of choice among general combinatorial
+   techniques, with simulated annealing next; this bench re-runs that
+   comparison with the general baselines (random sampling, perturbation
+   walk, steepest-descent II) alongside II and SA. *)
+
+open Ljqo_core
+open Ljqo_querygen
+
+let tfactors = [ 0.75; 3.0; 9.0 ]
+
+let contenders =
+  [
+    ("II", fun ev rng -> Methods.run Methods.II ev rng);
+    ("SA", fun ev rng -> Methods.run Methods.SA ev rng);
+    ("2PO", fun ev rng -> Two_phase.run ev rng);
+    ("SDII", Baselines.run Baselines.Steepest_descent);
+    ("WALK", Baselines.run Baselines.Perturbation_walk);
+    ("RAND", Baselines.run Baselines.Random_sampling);
+  ]
+
+let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
+  let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
+  let workload = Workload.make ~per_n:scale.per_n ~seed Benchmark.default in
+  let n_factors = List.length tfactors in
+  let sums = Array.make_matrix (List.length contenders) n_factors [] in
+  Array.iter
+    (fun (entry : Workload.entry) ->
+      let n_joins = entry.n_joins in
+      let checkpoints =
+        List.map
+          (fun t ->
+            Budget.ticks_for_limit ?ticks_per_unit:kappa ~t_factor:t ~n_joins ())
+          tfactors
+      in
+      let ticks =
+        Budget.ticks_for_limit ?ticks_per_unit:kappa ~t_factor:9.0 ~n_joins ()
+      in
+      let results =
+        List.mapi
+          (fun ci (_, driver) ->
+            let ev =
+              Evaluator.create ~checkpoints ~query:entry.query ~model ~ticks ()
+            in
+            driver ev (Ljqo_stats.Rng.create (seed + entry.seed + (ci * 7717)));
+            Evaluator.checkpoint_costs ev)
+          contenders
+      in
+      let best9 =
+        List.fold_left
+          (fun acc cps -> Float.min acc (snd (List.nth cps (n_factors - 1))))
+          infinity results
+      in
+      List.iteri
+        (fun ci cps ->
+          List.iteri
+            (fun ti (_, c) -> sums.(ci).(ti) <- (c /. best9) :: sums.(ci).(ti))
+            cps)
+        results)
+    workload.Workload.entries;
+  let table =
+    Ljqo_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "SG88 baselines: general techniques (avg scaled cost, %d queries)"
+           (Workload.size workload))
+      ~columns:(List.map (Printf.sprintf "%gN^2") tfactors)
+  in
+  List.iteri
+    (fun ci (label, _) ->
+      Ljqo_report.Table.add_float_row table ~label
+        (List.mapi
+           (fun ti _ ->
+             Ljqo_stats.Scaled_cost.average (Array.of_list sums.(ci).(ti)))
+           tfactors))
+    contenders;
+  Ljqo_report.Table.print table;
+  Option.iter
+    (fun dir -> Ljqo_report.Table.save_csv table (Filename.concat dir "sg88.csv"))
+    csv_dir

@@ -1,0 +1,72 @@
+(* Extension experiment: the distribution of solution costs in the valid
+   plan space — the investigation the paper's summary announces.  Reports,
+   per N: the size of the valid space (up to a cap), the spread between a
+   median random plan and the best plan known, and the spread among II local
+   minima (the "deep minima" structure of Section 6.4). *)
+
+open Ljqo_core
+open Ljqo_querygen
+
+let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
+  ignore kappa;
+  let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
+  let ns = [ 10; 20; 30; 40; 50 ] in
+  let per_n = max 2 (scale.per_n / 2) in
+  let table =
+    Ljqo_report.Table.create
+      ~title:
+        (Printf.sprintf
+           "Plan-space cost distributions (%d queries per N, medians across queries)"
+           per_n)
+      ~columns:
+        [ "valid plans"; "random med/best"; "random p90/best"; "minima p90/min" ]
+  in
+  List.iter
+    (fun n_joins ->
+      let workload = Workload.make ~ns:[ n_joins ] ~per_n ~seed Benchmark.default in
+      let space_sizes = ref [] in
+      let rnd_med = ref [] in
+      let rnd_p90 = ref [] in
+      let minima_spread = ref [] in
+      Array.iter
+        (fun (entry : Workload.entry) ->
+          if n_joins <= 10 then
+            space_sizes :=
+              float_of_int (Exhaustive.count_valid_plans ~limit:5_000_000 entry.query)
+              :: !space_sizes;
+          let stats =
+            Space_stats.sample ~n_samples:120 ~n_descents:12 ~seed:(seed + entry.seed)
+              model entry.query
+          in
+          let s = Space_stats.summarize stats.random_costs in
+          (* scale by the best II minimum found *)
+          let best =
+            match stats.minima_costs with
+            | [||] -> s.minimum
+            | m -> m.(0)
+          in
+          rnd_med := (s.median /. best) :: !rnd_med;
+          rnd_p90 := (s.p90 /. best) :: !rnd_p90;
+          Option.iter
+            (fun sp -> minima_spread := sp :: !minima_spread)
+            (Space_stats.local_minima_spread stats))
+        workload.Workload.entries;
+      let med l =
+        match l with
+        | [] -> nan
+        | l -> Ljqo_stats.Summary.median (Array.of_list l)
+      in
+      Ljqo_report.Table.add_row table
+        ~label:(Printf.sprintf "N=%d" n_joins)
+        ~cells:
+          [
+            (if n_joins <= 10 then Printf.sprintf "%.3g" (med !space_sizes) else ">10^7");
+            Printf.sprintf "%.3g" (med !rnd_med);
+            Printf.sprintf "%.3g" (med !rnd_p90);
+            Printf.sprintf "%.3g" (med !minima_spread);
+          ])
+    ns;
+  Ljqo_report.Table.print table;
+  Option.iter
+    (fun dir -> Ljqo_report.Table.save_csv table (Filename.concat dir "space.csv"))
+    csv_dir

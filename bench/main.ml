@@ -1,0 +1,112 @@
+(* Benchmark harness entry point: regenerates every table and figure of the
+   paper's evaluation section.
+
+     dune exec bench/main.exe                    # all experiments, default scale
+     dune exec bench/main.exe -- table1 fig4     # a subset
+     dune exec bench/main.exe -- --full          # the paper's query counts
+     dune exec bench/main.exe -- --csv results/  # also write CSVs
+     dune exec bench/main.exe -- micro           # bechamel micro-benchmarks *)
+
+let all_experiments =
+  [ "table1"; "table2"; "table3"; "fig4"; "fig5"; "fig6"; "fig7" ]
+
+(* Extension experiments beyond the paper's artifacts (see DESIGN.md). *)
+let extension_experiments =
+  [ "optgap"; "space"; "bushy"; "ablation"; "sg88"; "dp" ]
+
+let usage () =
+  prerr_endline
+    "usage: main.exe [EXPERIMENT...] [--full] [--per-n K] [--replicates R]\n\
+    \                [--seed S] [--kappa K] [--csv DIR] [--jobs J]\n\
+     paper experiments:     table1 table2 table3 fig4 fig5 fig6 fig7 (or: all)\n\
+     extension experiments: optgap space bushy ablation sg88 dp (or: extensions)\n\
+     micro-benchmarks:      micro";
+  exit 2
+
+type options = {
+  mutable experiments : string list;
+  mutable scale : Ljqo_harness.Driver.scale;
+  mutable seed : int;
+  mutable kappa : int option;
+  mutable csv_dir : string option;
+}
+
+let parse_args () =
+  let o =
+    {
+      experiments = [];
+      scale = Ljqo_harness.Driver.default_scale;
+      seed = 42;
+      kappa = None;
+      csv_dir = None;
+    }
+  in
+  let rec go = function
+    | [] -> ()
+    | "--full" :: rest ->
+      o.scale <- Ljqo_harness.Driver.paper_scale;
+      go rest
+    | "--per-n" :: v :: rest ->
+      o.scale <- { o.scale with per_n = int_of_string v };
+      go rest
+    | "--replicates" :: v :: rest ->
+      o.scale <- { o.scale with replicates = int_of_string v };
+      go rest
+    | "--seed" :: v :: rest ->
+      o.seed <- int_of_string v;
+      go rest
+    | "--kappa" :: v :: rest ->
+      o.kappa <- Some (int_of_string v);
+      go rest
+    | "--csv" :: v :: rest ->
+      o.csv_dir <- Some v;
+      go rest
+    | ("-j" | "--jobs") :: v :: rest ->
+      Ljqo_harness.Parallel.set_jobs (int_of_string v);
+      go rest
+    | "all" :: rest ->
+      o.experiments <- o.experiments @ all_experiments;
+      go rest
+    | "extensions" :: rest ->
+      o.experiments <- o.experiments @ extension_experiments;
+      go rest
+    | exp :: rest
+      when List.mem exp (("micro" :: all_experiments) @ extension_experiments) ->
+      o.experiments <- o.experiments @ [ exp ];
+      go rest
+    | arg :: _ ->
+      prerr_endline ("unknown argument: " ^ arg);
+      usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  if o.experiments = [] then o.experiments <- all_experiments;
+  o
+
+let () =
+  let o = parse_args () in
+  Option.iter
+    (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
+    o.csv_dir;
+  let scale = o.scale and seed = o.seed and csv_dir = o.csv_dir in
+  let kappa = o.kappa in
+  List.iter
+    (fun exp ->
+      let t0 = Sys.time () in
+      (match exp with
+      | "table1" -> Exp_table1.run ?kappa ~scale ~seed ~csv_dir ()
+      | "table2" -> Exp_table2.run ?kappa ~scale ~seed ~csv_dir ()
+      | "table3" -> Exp_table3.run ?kappa ~scale ~seed ~csv_dir ()
+      | "fig4" -> Exp_fig4.run ?kappa ~scale ~seed ~csv_dir ()
+      | "fig5" -> Exp_fig5.run ?kappa ~scale ~seed ~csv_dir ()
+      | "fig6" -> Exp_fig6.run ?kappa ~scale ~seed ~csv_dir ()
+      | "fig7" -> Exp_fig7.run ?kappa ~scale ~seed ~csv_dir ()
+      | "optgap" -> Exp_optgap.run ?kappa ~scale ~seed ~csv_dir ()
+      | "space" -> Exp_space.run ?kappa ~scale ~seed ~csv_dir ()
+      | "bushy" -> Exp_bushy.run ?kappa ~scale ~seed ~csv_dir ()
+      | "ablation" -> Exp_ablation.run ?kappa ~scale ~seed ~csv_dir ()
+      | "sg88" -> Exp_sg88.run ?kappa ~scale ~seed ~csv_dir ()
+      | "dp" -> Exp_dp.run ?kappa ~scale ~seed ~csv_dir ()
+      | "micro" -> Micro.run ()
+      | _ -> assert false);
+      Printf.printf "[%s done in %.1fs]\n\n%!" exp (Sys.time () -. t0))
+    o.experiments

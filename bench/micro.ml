@@ -1,0 +1,92 @@
+(* Bechamel micro-benchmarks of the optimizer's hot paths: one Test.make per
+   reproduced table/figure's dominant kernel, so regressions in the pieces
+   that determine experiment wall-time are visible in isolation. *)
+
+open Bechamel
+open Toolkit
+open Ljqo_core
+
+module Qgen = Ljqo_querygen.Benchmark
+
+let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S)
+
+let disk_model = (module Ljqo_cost.Disk_model : Ljqo_cost.Cost_model.S)
+
+let query_of_size n_joins =
+  let rng = Ljqo_stats.Rng.create 97 in
+  Qgen.generate_query Qgen.default ~n_joins ~rng
+
+let query = query_of_size 50
+
+let plan =
+  let rng = Ljqo_stats.Rng.create 3 in
+  Random_plan.generate rng query
+
+(* Table 1 kernel: one augmentation state. *)
+let test_augmentation =
+  Test.make ~name:"table1:augmentation-state"
+    (Staged.stage (fun () ->
+         ignore (Augmentation.generate query Augmentation.default_criterion ~start:0)))
+
+(* Table 2 kernel: one KBZ rooted ordering (tree prebuilt). *)
+let kbz_tree = Kbz.spanning_tree query Kbz.default_weighting
+
+let test_kbz =
+  Test.make ~name:"table2:kbz-rooted-ordering"
+    (Staged.stage (fun () ->
+         ignore (Kbz.optimal_for_root query ~tree:kbz_tree ~root:0)))
+
+(* Figures 4-6 kernel: full plan costing under the memory model. *)
+let test_eval_memory =
+  Test.make ~name:"fig4-6:plan-cost-memory"
+    (Staged.stage (fun () -> ignore (Ljqo_cost.Plan_cost.total model query plan)))
+
+(* Figure 7 kernel: full plan costing under the disk model. *)
+let test_eval_disk =
+  Test.make ~name:"fig7:plan-cost-disk"
+    (Staged.stage (fun () -> ignore (Ljqo_cost.Plan_cost.total disk_model query plan)))
+
+(* Table 3 kernel: a complete small-budget IAI run (the per-query unit of the
+   benchmark sweep). *)
+let test_iai_run =
+  let q = query_of_size 20 in
+  Test.make ~name:"table3:iai-run-small"
+    (Staged.stage (fun () ->
+         ignore
+           (Optimizer.optimize ~method_:Methods.IAI ~model
+              ~ticks:(Budget.ticks_for_limit ~t_factor:1.5 ~n_joins:20 ())
+              ~seed:5 q)))
+
+(* Workload generation shared by every experiment. *)
+let test_generate =
+  Test.make ~name:"all:query-generation"
+    (Staged.stage (fun () ->
+         let rng = Ljqo_stats.Rng.create 11 in
+         ignore (Qgen.generate_query Qgen.default ~n_joins:50 ~rng)))
+
+let tests =
+  Test.make_grouped ~name:"ljqo"
+    [
+      test_augmentation;
+      test_kbz;
+      test_eval_memory;
+      test_eval_disk;
+      test_iai_run;
+      test_generate;
+    ]
+
+let run () =
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+  let raw = Benchmark.all cfg instances tests in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  print_endline "Micro-benchmarks (monotonic clock, ns/run):";
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Printf.printf "  %-32s %12.1f ns\n" name est
+      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
+    results

@@ -1,0 +1,534 @@
+(* The ljqo command-line tool.
+
+     ljqo generate --n-joins 30 --benchmark graph-star -o q.qdl
+     ljqo optimize q.qdl --method IAI --t-factor 9
+     ljqo explain q.qdl --plan "2 0 1 3"
+     ljqo compare q.qdl                      # all nine methods at once
+     ljqo run q.qdl --method AGI             # execute on synthetic data
+     ljqo sql q.sql --catalog stats --execute
+     ljqo exact q.qdl / ljqo dp q.qdl        # exact baselines
+     ljqo space q.qdl / ljqo bushy q.qdl     # plan-space studies
+     ljqo inspect q.qdl / ljqo workload -o dir/
+     ljqo methods / ljqo benchmarks *)
+
+open Cmdliner
+open Ljqo_core
+module Qgen = Ljqo_querygen.Benchmark
+
+let model_of_string = function
+  | "memory" -> Ok (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S)
+  | "disk" -> Ok (module Ljqo_cost.Disk_model : Ljqo_cost.Cost_model.S)
+  | s -> Error (`Msg ("unknown cost model " ^ s ^ " (memory|disk)"))
+
+let model_conv =
+  Arg.conv
+    ( (fun s -> model_of_string s),
+      fun ppf m ->
+        let module M = (val m : Ljqo_cost.Cost_model.S) in
+        Format.pp_print_string ppf M.name )
+
+let method_conv =
+  Arg.conv
+    ( (fun s ->
+        match Methods.of_name s with
+        | Some m -> Ok m
+        | None -> Error (`Msg ("unknown method " ^ s))),
+      fun ppf m -> Format.pp_print_string ppf (Methods.name m) )
+
+let benchmark_conv =
+  let all = Qgen.default :: Qgen.variations in
+  Arg.conv
+    ( (fun s ->
+        match List.find_opt (fun (b : Qgen.spec) -> b.name = s) all with
+        | Some b -> Ok b
+        | None ->
+          Error
+            (`Msg
+               ("unknown benchmark " ^ s ^ "; available: "
+               ^ String.concat ", " (List.map (fun (b : Qgen.spec) -> b.name) all)))),
+      fun ppf (b : Qgen.spec) -> Format.pp_print_string ppf b.name )
+
+let seed_arg =
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc:"Random seed.")
+
+let model_arg =
+  Arg.(
+    value
+    & opt model_conv (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S)
+    & info [ "model" ] ~docv:"MODEL" ~doc:"Cost model: memory or disk.")
+
+let method_arg =
+  Arg.(
+    value & opt method_conv Methods.IAI
+    & info [ "method"; "m" ] ~docv:"METHOD"
+        ~doc:"Optimization method (II, SA, SAA, SAK, IAI, IKI, IAL, AGI, KBI).")
+
+let t_factor_arg =
+  Arg.(
+    value & opt float 9.0
+    & info [ "t-factor"; "t" ] ~docv:"T"
+        ~doc:"Time limit as a multiple of N^2 (the paper's budgets).")
+
+let kappa_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "kappa" ] ~docv:"K" ~doc:"Ticks per time unit (calibration knob).")
+
+let query_file_arg =
+  Arg.(
+    required & pos 0 (some file) None & info [] ~docv:"QUERY.qdl" ~doc:"Query file.")
+
+let load_query path =
+  try Ljqo_qdl.Parser.parse_file path with
+  | Ljqo_qdl.Parser.Error { line; message } ->
+    Printf.eprintf "%s:%d: %s\n" path line message;
+    exit 1
+
+(* --- generate ---------------------------------------------------------- *)
+
+let generate benchmark n_joins seed output =
+  let rng = Ljqo_stats.Rng.create seed in
+  let query = Qgen.generate_query benchmark ~n_joins ~rng in
+  let text = Ljqo_qdl.Printer.to_string query in
+  match output with
+  | None -> print_string text
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc text);
+    Printf.printf "wrote %s (%d relations, %d joins)\n" path
+      (Ljqo_catalog.Query.n_relations query)
+      (Ljqo_catalog.Query.n_joins query)
+
+let generate_cmd =
+  let n_joins =
+    Arg.(
+      value & opt int 30
+      & info [ "n-joins"; "n" ] ~docv:"N" ~doc:"Number of joins (spanning edges).")
+  in
+  let benchmark =
+    Arg.(
+      value & opt benchmark_conv Qgen.default
+      & info [ "benchmark"; "b" ] ~docv:"NAME"
+          ~doc:"Benchmark distribution to draw the query from.")
+  in
+  let output =
+    Arg.(
+      value & opt (some string) None
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+  in
+  Cmd.v
+    (Cmd.info "generate" ~doc:"Generate a synthetic query in QDL form")
+    Term.(const generate $ benchmark $ n_joins $ seed_arg $ output)
+
+(* --- optimize ---------------------------------------------------------- *)
+
+let ticks_for query t_factor kappa =
+  let n_joins = max 1 (Ljqo_catalog.Query.n_relations query - 1) in
+  Budget.ticks_for_limit ?ticks_per_unit:kappa ~t_factor ~n_joins ()
+
+let print_plan query plan =
+  let names =
+    Array.to_list
+      (Array.map
+         (fun i -> (Ljqo_catalog.Query.relation query i).Ljqo_catalog.Relation.name)
+         plan)
+  in
+  Printf.printf "plan: %s\n" (String.concat " |><| " names)
+
+let optimize file method_ model t_factor kappa seed =
+  let query = load_query file in
+  let ticks = ticks_for query t_factor kappa in
+  let r = Optimizer.optimize ~method_ ~model ~ticks ~seed query in
+  let module M = (val model : Ljqo_cost.Cost_model.S) in
+  Printf.printf "method %s, cost model %s, budget %d ticks (%.3gN^2)\n"
+    (Methods.name method_) M.name ticks t_factor;
+  print_plan query r.plan;
+  Printf.printf "permutation: %s\n" (Plan.to_string r.plan);
+  Printf.printf "estimated cost: %.6g (lower bound %.6g)%s\n" r.cost r.lower_bound
+    (if r.converged then ", converged" else "");
+  Printf.printf "ticks used: %d\n" r.ticks_used
+
+let optimize_cmd =
+  Cmd.v
+    (Cmd.info "optimize" ~doc:"Choose a join order for a query")
+    Term.(
+      const optimize $ query_file_arg $ method_arg $ model_arg $ t_factor_arg
+      $ kappa_arg $ seed_arg)
+
+(* --- explain ----------------------------------------------------------- *)
+
+let parse_plan query s =
+  let parts = String.split_on_char ' ' (String.trim s) in
+  let parts = List.filter (fun p -> p <> "") parts in
+  let n = Ljqo_catalog.Query.n_relations query in
+  let resolve p =
+    match int_of_string_opt p with
+    | Some i when i >= 0 && i < n -> i
+    | _ -> (
+      (* allow relation names *)
+      let rec find i =
+        if i >= n then (
+          Printf.eprintf "unknown relation %S in plan\n" p;
+          exit 1)
+        else if
+          (Ljqo_catalog.Query.relation query i).Ljqo_catalog.Relation.name = p
+        then i
+        else find (i + 1)
+      in
+      find 0)
+  in
+  Array.of_list (List.map resolve parts)
+
+let explain file plan_str model =
+  let query = load_query file in
+  let plan =
+    match plan_str with
+    | Some s -> parse_plan query s
+    | None ->
+      let ticks = ticks_for query 9.0 None in
+      (Optimizer.optimize ~method_:Methods.IAI ~model ~ticks ~seed:42 query).plan
+  in
+  if not (Plan.is_valid query plan) then
+    prerr_endline "warning: plan contains cross products or is incomplete";
+  let e = Ljqo_cost.Plan_cost.eval model query plan in
+  print_plan query plan;
+  print_string (Plan_render.render_plan ~model query plan);
+  Printf.printf "%-4s %-16s %14s %14s\n" "step" "inner" "est. card" "est. cost";
+  Array.iteri
+    (fun i r ->
+      Printf.printf "%-4d %-16s %14.4g %14.4g\n" i
+        (Ljqo_catalog.Query.relation query r).Ljqo_catalog.Relation.name
+        e.cards.(i)
+        e.step_costs.(i))
+    plan;
+  Printf.printf "total estimated cost: %.6g\n" e.total
+
+let explain_cmd =
+  let plan_arg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "plan"; "p" ] ~docv:"PLAN"
+          ~doc:"Space-separated relation ids or names; optimized when omitted.")
+  in
+  Cmd.v
+    (Cmd.info "explain" ~doc:"Show per-step size and cost estimates of a plan")
+    Term.(const explain $ query_file_arg $ plan_arg $ model_arg)
+
+(* --- run --------------------------------------------------------------- *)
+
+let run_query file method_ model t_factor kappa seed max_rows =
+  let query = load_query file in
+  let ticks = ticks_for query t_factor kappa in
+  let r = Optimizer.optimize ~method_ ~model ~ticks ~seed query in
+  print_plan query r.plan;
+  Printf.printf "estimated cost: %.6g\n" r.cost;
+  let rng = Ljqo_stats.Rng.create (seed + 1) in
+  let data = Ljqo_exec.Relation_data.generate_all query ~rng in
+  (try
+     let result = Ljqo_exec.Executor.run ~max_rows query ~data r.plan in
+     let est = (Ljqo_cost.Plan_cost.eval model query r.plan).cards in
+     Printf.printf "%-4s %14s %14s\n" "step" "est. card" "actual card";
+     List.iteri
+       (fun i actual -> Printf.printf "%-4d %14.4g %14d\n" i est.(i) actual)
+       (Ljqo_exec.Executor.cardinalities result);
+     Printf.printf "final result: %d rows\n" (Array.length result.rows)
+   with Ljqo_exec.Executor.Result_too_large n ->
+     Printf.printf
+       "execution aborted: intermediate result exceeded %d rows (cap %d)\n" n max_rows)
+
+let run_cmd =
+  let max_rows =
+    Arg.(
+      value & opt int 1_000_000
+      & info [ "max-rows" ] ~docv:"ROWS" ~doc:"Abort execution beyond this size.")
+  in
+  Cmd.v
+    (Cmd.info "run" ~doc:"Optimize a query, then execute it on synthetic data")
+    Term.(
+      const run_query $ query_file_arg $ method_arg $ model_arg $ t_factor_arg
+      $ kappa_arg $ seed_arg $ max_rows)
+
+(* --- exact ------------------------------------------------------------- *)
+
+let exact file model =
+  let query = load_query file in
+  match Exhaustive.optimize model query with
+  | r ->
+    print_plan query r.plan;
+    Printf.printf "optimal cost: %.6g (%d nodes expanded, %d branches pruned)\n"
+      r.cost r.nodes_expanded r.pruned;
+    Printf.printf "valid plans in the space: %d\n"
+      (Exhaustive.count_valid_plans ~limit:5_000_000 query)
+  | exception Exhaustive.Too_large n ->
+    Printf.eprintf
+      "query has %d relations; exact search is capped at 16 (the paper's point!)\n" n;
+    exit 1
+
+let exact_cmd =
+  Cmd.v
+    (Cmd.info "exact" ~doc:"Exact optimum by branch-and-bound (small queries)")
+    Term.(const exact $ query_file_arg $ model_arg)
+
+(* --- dp ---------------------------------------------------------------- *)
+
+let dp file model =
+  let query = load_query file in
+  match Dp.optimize model query with
+  | r ->
+    print_plan query r.plan;
+    Printf.printf
+      "System-R DP: product-estimator cost %.6g, clamped-estimator cost %.6g\n"
+      r.product_cost r.clamped_cost;
+    Printf.printf "connected subsets explored: %d\n" r.subsets_explored
+  | exception Dp.Too_large n ->
+    Printf.eprintf "query has %d relations; DP is capped at 22 (the paper's point!)\n" n;
+    exit 1
+
+let dp_cmd =
+  Cmd.v
+    (Cmd.info "dp" ~doc:"System-R dynamic programming baseline (small queries)")
+    Term.(const dp $ query_file_arg $ model_arg)
+
+(* --- space ------------------------------------------------------------- *)
+
+let space file model seed samples =
+  let query = load_query file in
+  let stats = Space_stats.sample ~n_samples:samples ~seed model query in
+  Format.printf "%a@." Space_stats.pp stats
+
+let space_cmd =
+  let samples =
+    Arg.(
+      value & opt int 200
+      & info [ "samples" ] ~docv:"K" ~doc:"Number of random valid plans to cost.")
+  in
+  Cmd.v
+    (Cmd.info "space" ~doc:"Sample the valid-plan cost distribution of a query")
+    Term.(const space $ query_file_arg $ model_arg $ seed_arg $ samples)
+
+(* --- bushy ------------------------------------------------------------- *)
+
+let bushy file model t_factor kappa seed =
+  let query = load_query file in
+  let ticks = ticks_for query t_factor kappa in
+  let linear = Optimizer.optimize ~method_:Methods.IAI ~model ~ticks ~seed query in
+  let tree, bushy_cost = Bushy.optimize model query ~seed:(seed + 1) in
+  Printf.printf "best linear (IAI):  cost %.6g  %s\n" linear.cost
+    (Plan.to_string linear.plan);
+  Printf.printf "best bushy (II):    cost %.6g  %s\n" bushy_cost
+    (Bushy.to_string query tree);
+  Printf.printf "linear/bushy ratio: %.3f%s\n" (linear.cost /. bushy_cost)
+    (if linear.cost > bushy_cost *. 1.001 then "  (bushy wins)"
+     else "  (linear space suffices)")
+
+let bushy_cmd =
+  Cmd.v
+    (Cmd.info "bushy" ~doc:"Compare the linear and bushy plan spaces on a query")
+    Term.(const bushy $ query_file_arg $ model_arg $ t_factor_arg $ kappa_arg $ seed_arg)
+
+(* --- compare ----------------------------------------------------------- *)
+
+let compare_methods file model t_factor kappa seed =
+  let query = load_query file in
+  let ticks = ticks_for query t_factor kappa in
+  let results =
+    List.map
+      (fun m ->
+        let r = Optimizer.optimize ~method_:m ~model ~ticks ~seed query in
+        (m, r))
+      Methods.all
+  in
+  let best =
+    List.fold_left
+      (fun acc (_, (r : Optimizer.result)) -> Float.min acc r.cost)
+      infinity results
+  in
+  Printf.printf "%-5s %14s %10s %12s\n" "" "est. cost" "vs best" "ticks used";
+  List.iter
+    (fun (m, (r : Optimizer.result)) ->
+      Printf.printf "%-5s %14.6g %9.2fx %12d%s\n" (Methods.name m) r.cost
+        (r.cost /. best) r.ticks_used
+        (if r.cost <= best *. 1.0000001 then "  <- best" else ""))
+    results
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Run all nine methods on one query")
+    Term.(
+      const compare_methods $ query_file_arg $ model_arg $ t_factor_arg $ kappa_arg
+      $ seed_arg)
+
+(* --- sql --------------------------------------------------------------- *)
+
+let sql file catalog_file method_ model t_factor kappa seed execute =
+  let catalog =
+    try Ljqo_sql.Stats_catalog.parse_file catalog_file with
+    | Ljqo_sql.Stats_catalog.Parse_error { line; message } ->
+      Printf.eprintf "%s:%d: %s\n" catalog_file line message;
+      exit 1
+  in
+  let ast =
+    try Ljqo_sql.Sql_parser.parse_file file with
+    | Ljqo_sql.Sql_parser.Error { line; message } ->
+      Printf.eprintf "%s:%d: %s\n" file line message;
+      exit 1
+  in
+  let t =
+    try Ljqo_sql.Translate.translate catalog ast with
+    | Ljqo_sql.Translate.Error m ->
+      Printf.eprintf "%s: %s\n" file m;
+      exit 1
+  in
+  let query = t.Ljqo_sql.Translate.query in
+  Printf.printf "%d relations, %d join predicates\n"
+    (Ljqo_catalog.Query.n_relations query)
+    (Ljqo_catalog.Query.n_joins query);
+  List.iter
+    (fun (binder, text, s) ->
+      Printf.printf "  selection on %s: %s  (selectivity %.4g)\n" binder text s)
+    t.Ljqo_sql.Translate.selection_details;
+  let ticks = ticks_for query t_factor kappa in
+  let r = Optimizer.optimize ~method_ ~model ~ticks ~seed query in
+  Printf.printf "\n%s" (Plan_render.render_plan ~model query r.plan);
+  Printf.printf "estimated cost: %.6g (lower bound %.6g)\n" r.cost r.lower_bound;
+  if execute then begin
+    let data =
+      Ljqo_exec.Pipeline.prepare query ~rng:(Ljqo_stats.Rng.create (seed + 1))
+    in
+    try
+      let result = Ljqo_exec.Executor.run query ~data r.plan in
+      Printf.printf "executed: %d result rows (per-step sizes: %s)\n"
+        (Array.length result.rows)
+        (String.concat ", "
+           (List.map string_of_int (Ljqo_exec.Executor.cardinalities result)))
+    with Ljqo_exec.Executor.Result_too_large n ->
+      Printf.printf "execution aborted: intermediate result exceeded %d rows\n" n
+  end
+
+let sql_cmd =
+  let catalog_arg =
+    Arg.(
+      required
+      & opt (some file) None
+      & info [ "catalog"; "c" ] ~docv:"STATS" ~doc:"Statistics catalog file.")
+  in
+  let execute_arg =
+    Arg.(
+      value & flag
+      & info [ "execute"; "e" ]
+          ~doc:"After optimizing, run the plan on synthetic data.")
+  in
+  Cmd.v
+    (Cmd.info "sql" ~doc:"Optimize a SQL select-project-join block")
+    Term.(
+      const sql $ query_file_arg $ catalog_arg $ method_arg $ model_arg
+      $ t_factor_arg $ kappa_arg $ seed_arg $ execute_arg)
+
+(* --- inspect ----------------------------------------------------------- *)
+
+let inspect file =
+  let query = load_query file in
+  Format.printf "%d relations, %d join predicates@."
+    (Ljqo_catalog.Query.n_relations query)
+    (Ljqo_catalog.Query.n_joins query);
+  for i = 0 to Ljqo_catalog.Query.n_relations query - 1 do
+    Format.printf "  %a@." Ljqo_catalog.Relation.pp (Ljqo_catalog.Query.relation query i)
+  done;
+  Format.printf "join graph:@.  %a@."
+    Ljqo_catalog.Graph_metrics.pp
+    (Ljqo_catalog.Graph_metrics.compute (Ljqo_catalog.Query.graph query));
+  let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
+  Format.printf "cost lower bound (memory model): %.6g@."
+    (Ljqo_cost.Plan_cost.lower_bound model query);
+  if Ljqo_catalog.Query.n_relations query <= 12 then
+    Format.printf "valid plans: %d@."
+      (Exhaustive.count_valid_plans ~limit:5_000_000 query)
+
+let inspect_cmd =
+  Cmd.v
+    (Cmd.info "inspect" ~doc:"Show a query's statistics and join-graph shape")
+    Term.(const inspect $ query_file_arg)
+
+(* --- workload ---------------------------------------------------------- *)
+
+let workload benchmark per_n large seed out =
+  let ns =
+    if large then Ljqo_querygen.Workload.large_ns
+    else Ljqo_querygen.Workload.standard_ns
+  in
+  let w = Ljqo_querygen.Workload.make ~ns ~per_n ~seed benchmark in
+  Ljqo_querygen.Workload_io.save w ~dir:out;
+  Printf.printf "wrote %d queries to %s (benchmark %s)\n"
+    (Ljqo_querygen.Workload.size w)
+    out benchmark.Qgen.name
+
+let workload_cmd =
+  let per_n =
+    Arg.(
+      value & opt int 10
+      & info [ "per-n" ] ~docv:"K" ~doc:"Queries per value of N.")
+  in
+  let large =
+    Arg.(
+      value & flag
+      & info [ "large" ] ~doc:"Use N = 10..100 instead of 10..50.")
+  in
+  let benchmark =
+    Arg.(
+      value & opt benchmark_conv Qgen.default
+      & info [ "benchmark"; "b" ] ~docv:"NAME" ~doc:"Benchmark distributions.")
+  in
+  let out =
+    Arg.(
+      required & opt (some string) None
+      & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "workload" ~doc:"Generate and save a whole benchmark workload")
+    Term.(const workload $ benchmark $ per_n $ large $ seed_arg $ out)
+
+(* --- listings ---------------------------------------------------------- *)
+
+let methods_cmd =
+  Cmd.v
+    (Cmd.info "methods" ~doc:"List the optimization methods")
+    Term.(
+      const (fun () ->
+          List.iter (fun m -> Printf.printf "%s\n" (Methods.name m)) Methods.all)
+      $ const ())
+
+let benchmarks_cmd =
+  Cmd.v
+    (Cmd.info "benchmarks" ~doc:"List the synthetic benchmark specs")
+    Term.(
+      const (fun () ->
+          List.iteri
+            (fun i (b : Qgen.spec) ->
+              Printf.printf "%d  %-18s %s\n" i b.name b.description)
+            (Qgen.default :: Qgen.variations))
+      $ const ())
+
+let () =
+  let info =
+    Cmd.info "ljqo" ~version:"1.0.0"
+      ~doc:"Large join query optimization (Swami, SIGMOD 1989)"
+  in
+  exit
+    (Cmd.eval
+       (Cmd.group info
+          [
+            generate_cmd;
+            optimize_cmd;
+            explain_cmd;
+            run_cmd;
+            compare_cmd;
+            sql_cmd;
+            exact_cmd;
+            dp_cmd;
+            space_cmd;
+            bushy_cmd;
+            inspect_cmd;
+            workload_cmd;
+            methods_cmd;
+            benchmarks_cmd;
+          ]))

@@ -1,0 +1,67 @@
+(* Anytime behaviour: the paper compares methods by the quality they reach
+   within a time limit, and an optimizer in production wants exactly that
+   curve — "how good is the incumbent if I stop now?".
+
+   This example runs three methods on one hard query with checkpoints at a
+   ladder of budgets and renders their quality-vs-time curves.
+
+   Run with:  dune exec examples/anytime_profile.exe *)
+
+open Ljqo_core
+module Qgen = Ljqo_querygen.Benchmark
+
+let () =
+  let rng = Ljqo_stats.Rng.create 123 in
+  let query = Qgen.generate_query Qgen.default ~n_joins:45 ~rng in
+  let n_joins = Ljqo_catalog.Query.n_relations query - 1 in
+  let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
+
+  let tfactors = [ 0.3; 0.6; 1.2; 2.4; 4.8; 9.0 ] in
+  let checkpoints =
+    List.map (fun t -> Budget.ticks_for_limit ~t_factor:t ~n_joins ()) tfactors
+  in
+  let ticks = Budget.ticks_for_limit ~t_factor:9.0 ~n_joins () in
+
+  let methods = Methods.[ IAI; AGI; II ] in
+  let curves =
+    List.map
+      (fun m ->
+        let r = Optimizer.optimize ~method_:m ~model ~ticks ~checkpoints ~seed:99 query in
+        (m, r))
+      methods
+  in
+  let best =
+    List.fold_left
+      (fun acc (_, (r : Optimizer.result)) -> Float.min acc r.cost)
+      infinity curves
+  in
+
+  Format.printf "Query with %d joins; incumbent scaled cost over time:@.@." n_joins;
+  Format.printf "%8s" "t/N^2";
+  List.iter (fun (m, _) -> Format.printf "%10s" (Methods.name m)) curves;
+  Format.printf "@.";
+  List.iteri
+    (fun ti t ->
+      Format.printf "%8.2g" t;
+      List.iter
+        (fun (_, (r : Optimizer.result)) ->
+          let _, c = List.nth r.checkpoints ti in
+          Format.printf "%10.2f" (c /. best))
+        curves;
+      Format.printf "@.")
+    tfactors;
+
+  let series =
+    List.map
+      (fun (m, (r : Optimizer.result)) ->
+        {
+          Ljqo_report.Chart.name = Methods.name m;
+          points =
+            List.map2 (fun t (_, c) -> (t, Float.min 10.0 (c /. best))) tfactors
+              r.checkpoints;
+        })
+      curves
+  in
+  Format.printf "@.%s@."
+    (Ljqo_report.Chart.render ~title:"incumbent quality vs time budget"
+       ~x_label:"time limit (multiples of N^2)" ~y_label:"scaled cost" series)

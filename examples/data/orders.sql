@@ -1,0 +1,9 @@
+-- find large-quantity line items of big parts for adult customers
+SELECT *
+FROM customer c, orders o, lineitem l, part p
+WHERE c.custkey = o.custkey
+  AND o.orderkey = l.orderkey
+  AND l.partkey = p.partkey
+  AND c.age >= 30
+  AND p.size > 40
+  AND l.qty >= 25;

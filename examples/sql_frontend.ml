@@ -1,0 +1,72 @@
+(* The SQL front end: statistics catalog + SQL text -> optimizer query,
+   with selectivities derived from distinct counts, ranges and histograms
+   (System R's magic 1/3 as the fallback — the 0.34 of the paper's
+   selectivity list).
+
+   Run with:  dune exec examples/sql_frontend.exe *)
+
+open Ljqo_core
+open Ljqo_sql
+
+let catalog_text =
+  {|
+  table customer rows 15000;
+  table orders   rows 150000;
+  table lineitem rows 600000;
+  table part     rows 20000;
+  column customer.custkey distinct 15000;
+  column customer.age     distinct 70 range 18 95;
+  column orders.custkey   distinct 10000;
+  column orders.orderkey  distinct 150000;
+  column lineitem.orderkey distinct 150000;
+  column lineitem.partkey  distinct 20000;
+  column lineitem.qty      distinct 50 range 1 51;
+  column part.partkey      distinct 20000;
+  column part.size         distinct 50 range 1 51;
+  histogram part.size 1 51 counts 400 3600 8000 6000 2000;
+  |}
+
+let sql_text =
+  {|
+  -- large-quantity line items of big parts, bought by adult customers
+  SELECT *
+  FROM customer c, orders o, lineitem l, part p
+  WHERE c.custkey = o.custkey
+    AND o.orderkey = l.orderkey
+    AND l.partkey = p.partkey
+    AND c.age >= 30
+    AND p.size > 40
+    AND l.qty >= 25;
+  |}
+
+let () =
+  let catalog = Stats_catalog.parse catalog_text in
+  let ast = Sql_parser.parse sql_text in
+  let t = Translate.translate catalog ast in
+  let query = t.Translate.query in
+
+  Format.printf "Derived selectivities:@.";
+  List.iter
+    (fun (binder, text, s) ->
+      Format.printf "  %-3s %-16s -> %.4f@." binder text s)
+    t.Translate.selection_details;
+
+  let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
+  let ticks =
+    Budget.ticks_for_limit ~t_factor:9.0
+      ~n_joins:(Ljqo_catalog.Query.n_relations query - 1)
+      ()
+  in
+  let r = Optimizer.optimize ~method_:Methods.IAI ~model ~ticks ~seed:2 query in
+  Format.printf "@.Optimized join order:@.%s@."
+    (Plan_render.render_plan ~model query r.plan);
+  Format.printf "estimated cost %.6g (lower bound %.6g)@." r.cost r.lower_bound;
+
+  (* join methods the adaptive model would pick per step *)
+  Format.printf "@.Adaptive join-method choices:@.";
+  List.iter
+    (fun (i, m, c) ->
+      Format.printf "  step %d: %-12s (cost %.4g)@." i
+        (Ljqo_cost.Join_method.name m)
+        c)
+    (Ljqo_cost.Join_method.annotate query r.plan)

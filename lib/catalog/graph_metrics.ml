@@ -1,0 +1,89 @@
+type t = {
+  n_vertices : int;
+  n_edges : int;
+  n_components : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  degree_histogram : (int * int) list;
+  diameter : int;
+  cyclomatic : int;
+  star_score : float;
+  chain_score : float;
+}
+
+(* BFS distances from [start]; -1 for unreachable. *)
+let bfs graph start =
+  let n = Join_graph.n graph in
+  let dist = Array.make n (-1) in
+  let queue = Queue.create () in
+  dist.(start) <- 0;
+  Queue.push start queue;
+  while not (Queue.is_empty queue) do
+    let v = Queue.pop queue in
+    List.iter
+      (fun (w, _) ->
+        if dist.(w) < 0 then begin
+          dist.(w) <- dist.(v) + 1;
+          Queue.push w queue
+        end)
+      (Join_graph.neighbors graph v)
+  done;
+  dist
+
+let compute graph =
+  let n = Join_graph.n graph in
+  if n = 0 then invalid_arg "Graph_metrics.compute: empty graph";
+  let degrees = Array.init n (Join_graph.degree graph) in
+  let components = List.length (Join_graph.components graph) in
+  let histogram =
+    let table = Hashtbl.create 16 in
+    Array.iter
+      (fun d ->
+        Hashtbl.replace table d (1 + Option.value ~default:0 (Hashtbl.find_opt table d)))
+      degrees;
+    List.sort compare (Hashtbl.fold (fun d c acc -> (d, c) :: acc) table [])
+  in
+  let diameter =
+    if components > 1 then -1
+    else begin
+      let d = ref 0 in
+      for v = 0 to n - 1 do
+        Array.iter (fun x -> if x > !d then d := x) (bfs graph v)
+      done;
+      !d
+    end
+  in
+  let max_degree = Array.fold_left max 0 degrees in
+  let chainish =
+    Array.fold_left (fun acc d -> if d <= 2 then acc + 1 else acc) 0 degrees
+  in
+  {
+    n_vertices = n;
+    n_edges = Join_graph.n_edges graph;
+    n_components = components;
+    min_degree = Array.fold_left min max_int degrees;
+    max_degree;
+    mean_degree =
+      2.0 *. float_of_int (Join_graph.n_edges graph) /. float_of_int n;
+    degree_histogram = histogram;
+    diameter;
+    cyclomatic = Join_graph.n_edges graph - n + components;
+    star_score = (if n <= 1 then 0.0 else float_of_int max_degree /. float_of_int (n - 1));
+    chain_score = float_of_int chainish /. float_of_int n;
+  }
+
+let pp ppf m =
+  Format.fprintf ppf
+    "@[<v>vertices %d, edges %d, components %d@,\
+     degree: min %d, max %d, mean %.2f@,\
+     diameter %s, cyclomatic %d@,\
+     star score %.2f, chain score %.2f@,\
+     degree histogram: %a@]"
+    m.n_vertices m.n_edges m.n_components m.min_degree m.max_degree m.mean_degree
+    (if m.diameter < 0 then "n/a" else string_of_int m.diameter)
+    m.cyclomatic m.star_score m.chain_score
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf ", ")
+       (fun ppf (d, c) -> Format.fprintf ppf "%d:%d" d c))
+    m.degree_histogram

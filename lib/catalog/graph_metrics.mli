@@ -1,0 +1,30 @@
+(** Structural metrics of join graphs.
+
+    The paper's benchmark variations deliberately reshape the join graph
+    (denser, star-like, chain-like); these metrics quantify the shapes so
+    that generators can be validated and workloads characterized.  Used by
+    the test suite and the [ljqo inspect] command. *)
+
+type t = {
+  n_vertices : int;
+  n_edges : int;
+  n_components : int;
+  min_degree : int;
+  max_degree : int;
+  mean_degree : float;
+  degree_histogram : (int * int) list;
+      (** [(degree, count)] pairs, ascending by degree *)
+  diameter : int;
+      (** longest shortest path over the graph; [-1] when disconnected *)
+  cyclomatic : int;
+      (** independent cycles: [edges - vertices + components]; 0 for trees *)
+  star_score : float;
+      (** [max_degree / (n - 1)]: 1 for a perfect star, ~0 for a long chain *)
+  chain_score : float;
+      (** fraction of vertices with degree <= 2: 1 for a chain or cycle *)
+}
+
+val compute : Join_graph.t -> t
+(** Raises [Invalid_argument] on the empty graph. *)
+
+val pp : Format.formatter -> t -> unit

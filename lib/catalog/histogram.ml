@@ -1,0 +1,80 @@
+type t = {
+  lo : float;
+  hi : float;  (* exclusive upper edge; lo < hi *)
+  counts : int array;
+  total : int;
+}
+
+let of_counts ~lo ~hi ~counts =
+  if lo >= hi then invalid_arg "Histogram.of_counts: lo >= hi";
+  if Array.length counts = 0 then invalid_arg "Histogram.of_counts: no buckets";
+  Array.iter
+    (fun c -> if c < 0 then invalid_arg "Histogram.of_counts: negative count")
+    counts;
+  { lo; hi; counts; total = Array.fold_left ( + ) 0 counts }
+
+let of_samples ?(bins = 32) samples =
+  let n = Array.length samples in
+  if n = 0 then invalid_arg "Histogram.of_samples: empty sample";
+  if bins < 1 then invalid_arg "Histogram.of_samples: bins < 1";
+  let lo = Array.fold_left Float.min samples.(0) samples in
+  let hi = Array.fold_left Float.max samples.(0) samples in
+  if lo = hi then { lo; hi = lo +. 1.0; counts = [| n |]; total = n }
+  else begin
+    let counts = Array.make bins 0 in
+    let width = (hi -. lo) /. float_of_int bins in
+    Array.iter
+      (fun v ->
+        let b = int_of_float ((v -. lo) /. width) in
+        let b = if b >= bins then bins - 1 else b in
+        counts.(b) <- counts.(b) + 1)
+      samples;
+    { lo; hi; counts; total = n }
+  end
+
+let total t = t.total
+
+let bins t = Array.length t.counts
+
+let range t = (t.lo, t.hi)
+
+let selectivity_lt t c =
+  if t.total = 0 then 0.0
+  else if c <= t.lo then 0.0
+  else if c >= t.hi then 1.0
+  else begin
+    let nbins = Array.length t.counts in
+    let width = (t.hi -. t.lo) /. float_of_int nbins in
+    let pos = (c -. t.lo) /. width in
+    let b = min (nbins - 1) (int_of_float pos) in
+    let below = ref 0 in
+    for i = 0 to b - 1 do
+      below := !below + t.counts.(i)
+    done;
+    let frac_in_bucket = pos -. float_of_int b in
+    (float_of_int !below +. (frac_in_bucket *. float_of_int t.counts.(b)))
+    /. float_of_int t.total
+  end
+
+let selectivity_ge t c = 1.0 -. selectivity_lt t c
+
+let selectivity_between t lo_c hi_c =
+  if hi_c <= lo_c then 0.0
+  else Float.max 0.0 (selectivity_lt t hi_c -. selectivity_lt t lo_c)
+
+let selectivity_eq t ~distinct c =
+  if t.total = 0 || c < t.lo || c >= t.hi then 0.0
+  else begin
+    let nbins = Array.length t.counts in
+    let width = (t.hi -. t.lo) /. float_of_int nbins in
+    let b = min (nbins - 1) (int_of_float ((c -. t.lo) /. width)) in
+    let bucket_mass = float_of_int t.counts.(b) /. float_of_int t.total in
+    let distinct_per_bucket =
+      Float.max 1.0 (float_of_int distinct /. float_of_int nbins)
+    in
+    bucket_mass /. distinct_per_bucket
+  end
+
+let pp ppf t =
+  Format.fprintf ppf "histogram [%g, %g) n=%d:" t.lo t.hi t.total;
+  Array.iter (fun c -> Format.fprintf ppf " %d" c) t.counts

@@ -1,0 +1,185 @@
+type edge = { u : int; v : int; selectivity : float }
+
+type t = {
+  n : int;
+  adj : (int * float) list array;  (* sorted by neighbor id *)
+  edge_count : int;
+}
+
+let normalize_edge e =
+  if e.u < e.v then e else { u = e.v; v = e.u; selectivity = e.selectivity }
+
+let make ~n edge_list =
+  if n < 0 then invalid_arg "Join_graph.make: negative n";
+  let table = Hashtbl.create (List.length edge_list) in
+  List.iter
+    (fun e ->
+      if e.u = e.v then invalid_arg "Join_graph.make: self loop";
+      if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then
+        invalid_arg "Join_graph.make: endpoint out of range";
+      if e.selectivity <= 0.0 || e.selectivity > 1.0 then
+        invalid_arg "Join_graph.make: selectivity outside (0,1]";
+      let e = normalize_edge e in
+      let key = (e.u, e.v) in
+      match Hashtbl.find_opt table key with
+      | None -> Hashtbl.add table key e.selectivity
+      | Some s -> Hashtbl.replace table key (s *. e.selectivity))
+    edge_list;
+  let adj = Array.make n [] in
+  Hashtbl.iter
+    (fun (u, v) s ->
+      adj.(u) <- (v, s) :: adj.(u);
+      adj.(v) <- (u, s) :: adj.(v))
+    table;
+  Array.iteri
+    (fun i l -> adj.(i) <- List.sort (fun (a, _) (b, _) -> compare a b) l)
+    adj;
+  { n; adj; edge_count = Hashtbl.length table }
+
+let n g = g.n
+
+let n_edges g = g.edge_count
+
+let neighbors g v =
+  if v < 0 || v >= g.n then invalid_arg "Join_graph.neighbors: out of range";
+  g.adj.(v)
+
+let degree g v = List.length (neighbors g v)
+
+let edges g =
+  let acc = ref [] in
+  for u = g.n - 1 downto 0 do
+    List.iter
+      (fun (v, s) -> if u < v then acc := { u; v; selectivity = s } :: !acc)
+      g.adj.(u)
+  done;
+  !acc
+
+let fold_edges f g init = List.fold_left (fun acc e -> f e acc) init (edges g)
+
+let selectivity g u v =
+  if u < 0 || u >= g.n || v < 0 || v >= g.n then
+    invalid_arg "Join_graph.selectivity: out of range";
+  List.assoc_opt v g.adj.(u)
+
+let selectivity_exn g u v =
+  match selectivity g u v with
+  | Some s -> s
+  | None -> invalid_arg "Join_graph.selectivity_exn: no such edge"
+
+let are_joined g u v = selectivity g u v <> None
+
+let components g =
+  let seen = Array.make g.n false in
+  let comps = ref [] in
+  for start = 0 to g.n - 1 do
+    if not seen.(start) then begin
+      (* Depth-first collection of the component containing [start]. *)
+      let comp = ref [] in
+      let stack = ref [ start ] in
+      seen.(start) <- true;
+      let rec drain () =
+        match !stack with
+        | [] -> ()
+        | v :: rest ->
+          stack := rest;
+          comp := v :: !comp;
+          List.iter
+            (fun (w, _) ->
+              if not seen.(w) then begin
+                seen.(w) <- true;
+                stack := w :: !stack
+              end)
+            g.adj.(v);
+          drain ()
+      in
+      drain ();
+      comps := List.sort compare !comp :: !comps
+    end
+  done;
+  List.sort compare (List.rev !comps)
+
+let is_connected g =
+  match components g with [ _ ] -> true | _ -> false
+
+let is_tree g = is_connected g && g.edge_count = g.n - 1
+
+let induced_connected g vs =
+  match vs with
+  | [] -> false
+  | [ v ] -> v >= 0 && v < g.n
+  | start :: _ ->
+    let in_set = Array.make g.n false in
+    let size = ref 0 in
+    List.iter
+      (fun v ->
+        if v < 0 || v >= g.n then
+          invalid_arg "Join_graph.induced_connected: out of range";
+        if not in_set.(v) then begin
+          in_set.(v) <- true;
+          incr size
+        end)
+      vs;
+    let seen = Array.make g.n false in
+    let reached = ref 0 in
+    let stack = ref [ start ] in
+    seen.(start) <- true;
+    let rec drain () =
+      match !stack with
+      | [] -> ()
+      | v :: rest ->
+        stack := rest;
+        incr reached;
+        List.iter
+          (fun (w, _) ->
+            if in_set.(w) && not seen.(w) then begin
+              seen.(w) <- true;
+              stack := w :: !stack
+            end)
+          g.adj.(v);
+        drain ()
+    in
+    drain ();
+    !reached = !size
+
+let spanning_tree g ~weight =
+  (* Prim's algorithm run from every unvisited vertex, so that a disconnected
+     graph yields a spanning forest. *)
+  let in_tree = Array.make g.n false in
+  let chosen = ref [] in
+  let weight_of u v s = weight { u; v; selectivity = s } in
+  for start = 0 to g.n - 1 do
+    if not in_tree.(start) then begin
+      in_tree.(start) <- true;
+      (* frontier: best known edge into each outside vertex *)
+      let rec grow () =
+        let best = ref None in
+        for u = 0 to g.n - 1 do
+          if in_tree.(u) then
+            List.iter
+              (fun (v, s) ->
+                if not in_tree.(v) then
+                  let w = weight_of u v s in
+                  match !best with
+                  | Some (_, _, _, bw) when bw <= w -> ()
+                  | _ -> best := Some (u, v, s, w))
+              g.adj.(u)
+        done;
+        match !best with
+        | None -> ()
+        | Some (u, v, s, _) ->
+          in_tree.(v) <- true;
+          chosen := { u; v; selectivity = s } :: !chosen;
+          grow ()
+      in
+      grow ()
+    end
+  done;
+  make ~n:g.n !chosen
+
+let pp ppf g =
+  Format.fprintf ppf "graph(n=%d) {" g.n;
+  List.iter
+    (fun e -> Format.fprintf ppf " %d-%d:%.2g" e.u e.v e.selectivity)
+    (edges g);
+  Format.fprintf ppf " }"

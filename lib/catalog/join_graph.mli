@@ -1,0 +1,62 @@
+(** Join graphs.
+
+    Vertices are relation ids [0 .. n-1]; an undirected edge [(u, v)] carries
+    the join selectivity [J_uv] of the join predicate linking the two
+    relations.  At most one edge per pair (multiple predicates between the
+    same pair are folded into one edge by multiplying selectivities).
+
+    The graph is immutable after [make]; adjacency is precomputed so that the
+    optimizer's hot loops ([neighbors], [are_joined], [selectivity]) are
+    cheap. *)
+
+type edge = { u : int; v : int; selectivity : float }
+
+type t
+
+val make : n:int -> edge list -> t
+(** [make ~n edges] builds a graph on [n] vertices.  Edge endpoints must be
+    distinct and in range; selectivities in (0, 1].  Duplicate pairs are
+    merged by multiplying their selectivities. *)
+
+val n : t -> int
+(** Number of vertices (relations). *)
+
+val n_edges : t -> int
+
+val edges : t -> edge list
+(** Each undirected edge reported once, with [u < v], in ascending order. *)
+
+val neighbors : t -> int -> (int * float) list
+(** [(other, selectivity)] pairs, ascending by vertex. *)
+
+val degree : t -> int -> int
+
+val are_joined : t -> int -> int -> bool
+
+val selectivity : t -> int -> int -> float option
+(** Selectivity of the edge between two vertices, if present. *)
+
+val selectivity_exn : t -> int -> int -> float
+
+val components : t -> int list list
+(** Connected components, each sorted ascending; components ordered by their
+    smallest vertex. *)
+
+val is_connected : t -> bool
+(** True also for the 1-vertex graph; false for [n = 0]. *)
+
+val is_tree : t -> bool
+(** Connected with exactly [n - 1] edges. *)
+
+val induced_connected : t -> int list -> bool
+(** [induced_connected g vs] tells whether the subgraph induced by [vs] is
+    connected (true for singleton, false for empty). *)
+
+val spanning_tree : t -> weight:(edge -> float) -> t
+(** Minimum spanning tree (forest on a disconnected graph) by Prim's
+    algorithm under the given edge weight.  Keeps the original
+    selectivities. *)
+
+val fold_edges : (edge -> 'a -> 'a) -> t -> 'a -> 'a
+
+val pp : Format.formatter -> t -> unit

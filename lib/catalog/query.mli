@@ -1,0 +1,53 @@
+(** A join query: relations plus the join graph over them.
+
+    This is the unit of work the optimizer receives.  Derived statistics used
+    by heuristics and cost models ([N_k], [D_k], degree, pairwise selectivity
+    products) are exposed here; the arrays backing them are precomputed so
+    that optimizer inner loops do not re-derive them. *)
+
+type t
+
+val make : relations:Relation.t array -> graph:Join_graph.t -> t
+(** Relations must be indexed [0 .. n-1] in array order ([relations.(i).id =
+    i]) and the graph must have the same vertex count. *)
+
+val n_relations : t -> int
+
+val n_joins : t -> int
+(** Number of join-graph edges; the paper's [N] is [n_relations - 1] for the
+    connected spanning core, but reported per-query as edge count where
+    needed.  For the time-limit formulas we use [n_relations - 1]. *)
+
+val relation : t -> int -> Relation.t
+
+val graph : t -> Join_graph.t
+
+val cardinality : t -> int -> float
+(** [N_k], after selections. *)
+
+val distinct_values : t -> int -> float
+(** [D_k]. *)
+
+val degree : t -> int -> int
+(** Degree in the join graph. *)
+
+val selectivity_product : t -> prefix:int list -> int -> float
+(** [selectivity_product q ~prefix j] is the product of the selectivities of
+    all edges between [j] and the relations of [prefix]; [1.0] when none.
+    This is the effective join selectivity when relation [j] joins the
+    intermediate result over [prefix]. *)
+
+val joins_with_any : t -> prefix:int list -> int -> bool
+
+val is_connected : t -> bool
+
+val total_base_tuples : t -> float
+(** Sum of effective cardinalities; used by lower bounds. *)
+
+val induced : t -> int list -> t * int array
+(** [induced q rels] is the sub-query over the given relation ids (statistics
+    preserved, relations renumbered [0 .. k-1] in the order given) together
+    with the map from new ids back to the original ids.  Used to optimize the
+    components of a disconnected query separately. *)
+
+val pp : Format.formatter -> t -> unit

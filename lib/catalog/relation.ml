@@ -1,0 +1,45 @@
+type t = {
+  id : int;
+  name : string;
+  base_cardinality : int;
+  selection_selectivities : float list;
+  distinct_fraction : float;
+}
+
+let make ~id ?name ~base_cardinality ?(selections = []) ~distinct_fraction () =
+  if id < 0 then invalid_arg "Relation.make: negative id";
+  if base_cardinality < 1 then invalid_arg "Relation.make: cardinality < 1";
+  if distinct_fraction <= 0.0 || distinct_fraction > 1.0 then
+    invalid_arg "Relation.make: distinct_fraction outside (0,1]";
+  List.iter
+    (fun s ->
+      if s <= 0.0 || s > 1.0 then
+        invalid_arg "Relation.make: selection selectivity outside (0,1]")
+    selections;
+  let name = match name with Some n -> n | None -> "R" ^ string_of_int id in
+  { id; name; base_cardinality; selection_selectivities = selections; distinct_fraction }
+
+let cardinality r =
+  let eff =
+    List.fold_left ( *. )
+      (float_of_int r.base_cardinality)
+      r.selection_selectivities
+  in
+  Float.max 1.0 eff
+
+let distinct_values r =
+  (* The paper specifies distinct values as a fraction of the relation
+     cardinality, with cardinality defined post-selection ([N_k]); scaling
+     [D_k] with the effective cardinality also reflects that selections
+     remove join-column values. *)
+  let d = r.distinct_fraction *. cardinality r in
+  Float.max 1.0 (Float.min d (cardinality r))
+
+let pp ppf r =
+  Format.fprintf ppf "%s(|R|=%d, sel=[%a], d=%.3f -> N=%.1f D=%.1f)" r.name
+    r.base_cardinality
+    (Format.pp_print_list
+       ~pp_sep:(fun ppf () -> Format.pp_print_string ppf "; ")
+       (fun ppf s -> Format.fprintf ppf "%.3f" s))
+    r.selection_selectivities r.distinct_fraction (cardinality r)
+    (distinct_values r)

@@ -1,0 +1,38 @@
+(** Base-relation statistics.
+
+    Following the paper's problem formulation: each relation has a base
+    cardinality, zero or more selection predicates (whose selectivities are
+    applied before joining, per the "push selections down" heuristic), and a
+    number of distinct values in its join column, specified as a fraction of
+    the cardinality.  [cardinality] and [distinct_values] are the quantities
+    the paper calls [N_k] and [D_k]. *)
+
+type t = private {
+  id : int;  (** index of the relation within its query, 0-based *)
+  name : string;
+  base_cardinality : int;  (** tuples before selections; >= 1 *)
+  selection_selectivities : float list;  (** each in (0, 1] *)
+  distinct_fraction : float;  (** in (0, 1]; D_k as a fraction of N_k *)
+}
+
+val make :
+  id:int ->
+  ?name:string ->
+  base_cardinality:int ->
+  ?selections:float list ->
+  distinct_fraction:float ->
+  unit ->
+  t
+(** Raises [Invalid_argument] on out-of-range statistics.  [name] defaults to
+    ["R<id>"]. *)
+
+val cardinality : t -> float
+(** [N_k]: effective cardinality after applying all selections (at least 1
+    tuple, so that downstream logarithms and ratios stay defined). *)
+
+val distinct_values : t -> float
+(** [D_k]: distinct join-column values after selections.  Computed as
+    [distinct_fraction * base_cardinality] capped by the effective
+    cardinality and floored at 1. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,154 @@
+open Ljqo_catalog
+open Ljqo_cost
+
+type criterion =
+  | Min_cardinality
+  | Max_degree
+  | Min_selectivity
+  | Min_intermediate_size
+  | Min_rank
+
+let all_criteria =
+  [ Min_cardinality; Max_degree; Min_selectivity; Min_intermediate_size; Min_rank ]
+
+let criterion_index = function
+  | Min_cardinality -> 1
+  | Max_degree -> 2
+  | Min_selectivity -> 3
+  | Min_intermediate_size -> 4
+  | Min_rank -> 5
+
+let criterion_of_index = function
+  | 1 -> Min_cardinality
+  | 2 -> Max_degree
+  | 3 -> Min_selectivity
+  | 4 -> Min_intermediate_size
+  | 5 -> Min_rank
+  | i -> invalid_arg ("Augmentation.criterion_of_index: " ^ string_of_int i)
+
+let criterion_name = function
+  | Min_cardinality -> "min-cardinality"
+  | Max_degree -> "max-degree"
+  | Min_selectivity -> "min-selectivity"
+  | Min_intermediate_size -> "min-intermediate-size"
+  | Min_rank -> "min-rank"
+
+let default_criterion = Min_selectivity
+
+let starts query =
+  let n = Query.n_relations query in
+  let ids = List.init n (fun i -> i) in
+  List.sort
+    (fun a b ->
+      match compare (Query.cardinality query a) (Query.cardinality query b) with
+      | 0 -> compare a b
+      | c -> c)
+    ids
+
+let generate ?(charge = ignore) query criterion ~start =
+  let n = Query.n_relations query in
+  let graph = Query.graph query in
+  if start < 0 || start >= n then invalid_arg "Augmentation.generate: bad start";
+  let perm = Array.make n (-1) in
+  let placed = Array.make n false in
+  let candidates = Array.make n 0 in
+  let cand_index = Array.make n (-1) in
+  let cand_count = ref 0 in
+  let inter_card = ref 0.0 in
+  let add_candidate r =
+    if (not placed.(r)) && cand_index.(r) < 0 then begin
+      candidates.(!cand_count) <- r;
+      cand_index.(r) <- !cand_count;
+      incr cand_count
+    end
+  in
+  let remove_candidate r =
+    let i = cand_index.(r) in
+    if i >= 0 then begin
+      let last = candidates.(!cand_count - 1) in
+      candidates.(i) <- last;
+      cand_index.(last) <- i;
+      cand_index.(r) <- -1;
+      decr cand_count
+    end
+  in
+  (* The heuristic consults the same selectivity estimator the cost model
+     uses (including the distinct-value clamp at the current intermediate
+     size), as a real optimizer's heuristics would. *)
+  let effective_product j =
+    List.fold_left
+      (fun acc (i, s) ->
+        if placed.(i) then
+          acc *. Plan_cost.edge_selectivity query ~outer_card:!inter_card ~k:i ~r:j s
+        else acc)
+      1.0
+      (Join_graph.neighbors graph j)
+  in
+  let min_effective_edge j =
+    List.fold_left
+      (fun acc (i, s) ->
+        if placed.(i) then
+          Float.min acc
+            (Plan_cost.edge_selectivity query ~outer_card:!inter_card ~k:i ~r:j s)
+        else acc)
+      1.0
+      (Join_graph.neighbors graph j)
+  in
+  let place i r =
+    inter_card :=
+      (if i = 0 then Query.cardinality query r
+       else
+         Float.max 1.0
+           (!inter_card *. Query.cardinality query r *. effective_product r));
+    perm.(i) <- r;
+    placed.(r) <- true;
+    remove_candidate r;
+    List.iter
+      (fun (other, _) -> if not placed.(other) then add_candidate other)
+      (Join_graph.neighbors graph r)
+  in
+  let key j =
+    let nj = Query.cardinality query j in
+    match criterion with
+    | Min_cardinality -> nj
+    | Max_degree -> -.float_of_int (Join_graph.degree graph j)
+    | Min_selectivity -> min_effective_edge j
+    | Min_intermediate_size -> !inter_card *. nj *. effective_product j
+    | Min_rank ->
+      let dj = Query.distinct_values query j in
+      let numer = (!inter_card *. nj *. effective_product j) -. 1.0 in
+      let denom = 0.5 *. !inter_card *. (nj /. dj) in
+      numer /. denom
+  in
+  (* Ties break towards the candidate with more distinct values (the
+     paper's stated goal of keeping intermediate distinct counts high),
+     then the smaller id for determinism. *)
+  let score j = (key j, -.Query.distinct_values query j, j) in
+  place 0 start;
+  for i = 1 to n - 1 do
+    if !cand_count = 0 then
+      invalid_arg "Augmentation.generate: join graph is disconnected";
+    charge !cand_count;
+    let best = ref candidates.(0) in
+    let best_score = ref (score candidates.(0)) in
+    for c = 1 to !cand_count - 1 do
+      let j = candidates.(c) in
+      let s = score j in
+      if s < !best_score then begin
+        best := j;
+        best_score := s
+      end
+    done;
+    place i !best
+  done;
+  perm
+
+let make_source ?(criterion = default_criterion) ev =
+  let query = Evaluator.query ev in
+  let remaining = ref (starts query) in
+  fun () ->
+    match !remaining with
+    | [] -> None
+    | start :: rest ->
+      remaining := rest;
+      Some (generate ~charge:(Evaluator.charge ev) query criterion ~start)

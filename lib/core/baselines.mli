@@ -1,0 +1,49 @@
+(** General combinatorial baselines from the predecessor study [SG88].
+
+    The 1989 paper builds on Swami & Gupta's SIGMOD 1988 comparison of
+    *general* combinatorial optimization techniques, of which iterative
+    improvement and simulated annealing "performed best".  This module
+    implements the techniques those two beat, so the repository covers the
+    cited study's scope and the claim is checkable ([bench: sg88]):
+
+    - {b random sampling}: cost independent random valid states, keep the
+      best — the quality floor any search must clear;
+    - {b perturbation walk}: a random walk through the move graph that
+      accepts every valid move and remembers the best state visited —
+      measures how much II's accept-only-improvements rule actually buys;
+    - {b steepest-descent II}: like II but each step samples a batch of
+      neighbours and takes the best improving one — a classic variant that
+      trades more evaluations per step for better steps. *)
+
+val random_sampling : Evaluator.t -> Ljqo_stats.Rng.t -> unit
+(** Evaluate fresh random valid states until the budget is exhausted or the
+    evaluator converges. *)
+
+val perturbation_walk :
+  ?mix:Move.mix -> Evaluator.t -> Ljqo_stats.Rng.t -> unit
+(** Random walk from a random start; every valid move is taken; the
+    evaluator's incumbent tracks the best state visited.  Restarts from a
+    fresh random state every [8 * n^2] steps to avoid drifting forever in a
+    bad region. *)
+
+type steepest_params = {
+  batch : int;  (** neighbours sampled per step; default 8 *)
+  patience_batches : int;  (** consecutive improving-free batches before a
+                               local minimum is declared; default [n] *)
+  mix : Move.mix;
+}
+
+val default_steepest_params : steepest_params
+
+val steepest_descent :
+  ?params:steepest_params -> Evaluator.t -> Ljqo_stats.Rng.t -> unit
+(** Multi-start steepest-descent II from random states. *)
+
+type t = Random_sampling | Perturbation_walk | Steepest_descent
+
+val all : t list
+
+val name : t -> string
+
+val run : t -> Evaluator.t -> Ljqo_stats.Rng.t -> unit
+(** Uniform driver, like {!Methods.run}: swallows the stop exceptions. *)

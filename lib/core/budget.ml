@@ -1,0 +1,57 @@
+exception Exhausted
+
+type t = {
+  limit : int;  (* 0 means unlimited *)
+  mutable used : int;
+  mutable pending_checkpoints : int list;  (* ascending *)
+  mutable callback : int -> unit;
+  mutable dead : bool;
+}
+
+let create ?(checkpoints = []) ~ticks () =
+  let limit = if ticks <= 0 then 0 else ticks in
+  let pending =
+    List.sort_uniq compare
+      (List.filter (fun c -> c > 0 && (limit = 0 || c <= limit)) checkpoints)
+  in
+  { limit; used = 0; pending_checkpoints = pending; callback = ignore; dead = false }
+
+let unlimited () = create ~ticks:0 ()
+
+let set_checkpoint_callback t f = t.callback <- f
+
+let fire_crossed t =
+  let rec loop () =
+    match t.pending_checkpoints with
+    | c :: rest when t.used >= c ->
+      t.pending_checkpoints <- rest;
+      t.callback c;
+      loop ()
+    | _ -> ()
+  in
+  loop ()
+
+let charge t k =
+  if t.dead then raise Exhausted;
+  t.used <- t.used + k;
+  fire_crossed t;
+  if t.limit > 0 && t.used >= t.limit then begin
+    t.dead <- true;
+    raise Exhausted
+  end
+
+let used t = t.used
+
+let limit t = if t.limit = 0 then None else Some t.limit
+
+let remaining t =
+  match limit t with None -> None | Some l -> Some (max 0 (l - t.used))
+
+let exhausted t = t.dead
+
+let default_ticks_per_unit = 60
+
+let ticks_for_limit ?(ticks_per_unit = default_ticks_per_unit) ~t_factor ~n_joins () =
+  let n = float_of_int n_joins in
+  let ticks = t_factor *. n *. n *. float_of_int ticks_per_unit in
+  max 1 (int_of_float ticks)

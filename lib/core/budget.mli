@@ -1,0 +1,52 @@
+(** Deterministic optimization-time budgets.
+
+    The paper limits each optimization run to CPU time proportional to [N^2]
+    (e.g. [9 N^2] seconds on a 4-MIPS workstation).  For reproducibility we
+    measure "time" in *ticks*: one tick is one elementary cost-estimation
+    step (one join-step size/cost computation, or one heuristic candidate
+    scored).  All nine methods spend essentially all their time in such
+    steps, so tick budgets preserve the paper's relative time accounting
+    while being hardware-independent and deterministic.
+
+    A time limit of [t * N^2] paper-seconds maps to
+    [t * N^2 * ticks_per_unit] ticks; [default_ticks_per_unit] is calibrated
+    so that the paper's qualitative behaviours (convergence flattening near
+    [9 N^2], the AGI/IAI crossover) appear at the same [t] values.
+
+    Budgets support *checkpoints*: tick counts at which a callback fires, used
+    to snapshot the incumbent best cost so a single run yields the whole
+    quality-vs-time curve. *)
+
+exception Exhausted
+(** Raised by [charge] when the budget is used up. *)
+
+type t
+
+val create : ?checkpoints:int list -> ticks:int -> unit -> t
+(** [ticks <= 0] means unlimited. Checkpoints beyond [ticks] are ignored. *)
+
+val unlimited : unit -> t
+
+val set_checkpoint_callback : t -> (int -> unit) -> unit
+(** The callback receives the checkpoint tick value; it fires the first time
+    the used-tick count reaches it (multiple crossed checkpoints fire in
+    order). *)
+
+val charge : t -> int -> unit
+(** Add ticks to the used count; fires crossed checkpoints, then raises
+    [Exhausted] if the limit is now exceeded.  Once exhausted, every further
+    [charge] raises. *)
+
+val used : t -> int
+
+val limit : t -> int option
+
+val remaining : t -> int option
+(** [None] when unlimited; otherwise [max 0 (limit - used)]. *)
+
+val exhausted : t -> bool
+
+val default_ticks_per_unit : int
+
+val ticks_for_limit : ?ticks_per_unit:int -> t_factor:float -> n_joins:int -> unit -> int
+(** Ticks corresponding to the paper's time limit [t_factor * N^2]. *)

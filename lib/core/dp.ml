@@ -1,0 +1,93 @@
+open Ljqo_catalog
+open Ljqo_cost
+
+exception Too_large of int
+
+type result = {
+  plan : Plan.t;
+  product_cost : float;
+  clamped_cost : float;
+  subsets_explored : int;
+}
+
+type entry = {
+  cost : float;
+  card : float;
+  last : int;  (* relation added last *)
+  prev : int;  (* predecessor mask *)
+}
+
+let optimize ?(max_relations = 22) model query =
+  let n = Query.n_relations query in
+  if n = 0 then invalid_arg "Dp.optimize: empty query";
+  if not (Query.is_connected query) then
+    invalid_arg "Dp.optimize: join graph is disconnected";
+  if n > max_relations then raise (Too_large n);
+  let graph = Query.graph query in
+  let neighbor_mask =
+    Array.init n (fun r ->
+        List.fold_left
+          (fun acc (other, _) -> acc lor (1 lsl other))
+          0
+          (Join_graph.neighbors graph r))
+  in
+  let table : (int, entry) Hashtbl.t = Hashtbl.create 1024 in
+  (* frontier per subset size, seeded with singletons *)
+  let current = ref [] in
+  for r = 0 to n - 1 do
+    let mask = 1 lsl r in
+    Hashtbl.replace table mask
+      { cost = 0.0; card = Query.cardinality query r; last = r; prev = 0 };
+    current := mask :: !current
+  done;
+  let explored = ref n in
+  let members_of mask =
+    let rec go r acc =
+      if r = n then acc
+      else go (r + 1) (if mask land (1 lsl r) <> 0 then r :: acc else acc)
+    in
+    go 0 []
+  in
+  for _size = 2 to n do
+    let next = Hashtbl.create 256 in
+    List.iter
+      (fun mask ->
+        let e = Hashtbl.find table mask in
+        let members = members_of mask in
+        for r = 0 to n - 1 do
+          if mask land (1 lsl r) = 0 && neighbor_mask.(r) land mask <> 0 then begin
+            let step, out =
+              Product_cost.step_cost model query ~outer_card:e.card ~members r
+            in
+            let mask' = mask lor (1 lsl r) in
+            let cost' = e.cost +. step in
+            match Hashtbl.find_opt table mask' with
+            | Some existing when existing.cost <= cost' -> ()
+            | existing ->
+              if existing = None then Hashtbl.replace next mask' ();
+              Hashtbl.replace table mask'
+                { cost = cost'; card = out; last = r; prev = mask }
+          end
+        done)
+      !current;
+    current := Hashtbl.fold (fun m () acc -> m :: acc) next [];
+    explored := !explored + Hashtbl.length next
+  done;
+  let full = (1 lsl n) - 1 in
+  match Hashtbl.find_opt table full with
+  | None -> assert false (* connected queries always admit a full plan *)
+  | Some best ->
+    (* reconstruct the permutation from the parent pointers *)
+    let plan = Array.make n 0 in
+    let rec walk mask i =
+      let entry = Hashtbl.find table mask in
+      plan.(i) <- entry.last;
+      if entry.prev <> 0 then walk entry.prev (i - 1)
+    in
+    walk full (n - 1);
+    {
+      plan;
+      product_cost = best.cost;
+      clamped_cost = Plan_cost.total model query plan;
+      subsets_explored = !explored;
+    }

@@ -1,0 +1,32 @@
+(** System-R-style dynamic programming over left-deep plans.
+
+    The exact algorithm the paper's introduction rules out for large
+    queries: enumerate connected relation subsets in increasing size,
+    keeping for each subset the cheapest left-deep plan that produces it
+    (no cross products).  Worst-case time and space are [O(2^N)] — running
+    the [dp] bench shows the blowup empirically, which is the paper's
+    motivating observation.
+
+    Optimal substructure requires set-determined intermediate sizes, so the
+    DP prices plans with the *product* estimator ({!Ljqo_cost.Product_cost}).
+    Under the library's default clamped estimator the returned plan is a
+    (high-quality) heuristic; [optimize]'s result carries both costs so
+    callers can see the difference. *)
+
+exception Too_large of int
+
+type result = {
+  plan : Plan.t;
+  product_cost : float;  (** the cost DP minimized (product estimator) *)
+  clamped_cost : float;  (** the same plan under {!Ljqo_cost.Plan_cost} *)
+  subsets_explored : int;
+}
+
+val optimize :
+  ?max_relations:int ->
+  Ljqo_cost.Cost_model.t ->
+  Ljqo_catalog.Query.t ->
+  result
+(** Connected queries only; [max_relations] defaults to 22 (beyond that the
+    table no longer fits in reasonable memory — which is the point).
+    Raises [Too_large] or [Invalid_argument]. *)

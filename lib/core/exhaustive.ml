@@ -1,0 +1,108 @@
+open Ljqo_catalog
+open Ljqo_cost
+
+exception Too_large of int
+
+type result = {
+  plan : Plan.t;
+  cost : float;
+  nodes_expanded : int;
+  pruned : int;
+}
+
+let optimize ?(max_relations = 16) ?seed_plan model query =
+  let n = Query.n_relations query in
+  if n = 0 then invalid_arg "Exhaustive.optimize: empty query";
+  if not (Query.is_connected query) then
+    invalid_arg "Exhaustive.optimize: join graph is disconnected";
+  if n > max_relations then raise (Too_large n);
+  let graph = Query.graph query in
+  let best_cost = ref infinity in
+  let best_plan = ref None in
+  (match seed_plan with
+  | Some p when Plan.is_valid query p ->
+    best_cost := Plan_cost.total model query p;
+    best_plan := Some (Array.copy p)
+  | Some _ -> invalid_arg "Exhaustive.optimize: invalid seed plan"
+  | None -> ());
+  let perm = Array.make n (-1) in
+  (* [max_int] marks unplaced relations: [Plan_cost] treats [pos.(r) < i]
+     as "placed before position i". *)
+  let pos = Array.make n max_int in
+  let placed = Array.make n false in
+  let nodes = ref 0 in
+  let pruned = ref 0 in
+  (* Depth-first over valid extensions; [outer_card] and [partial] are the
+     running intermediate size and cost of perm[0..depth-1]. *)
+  let rec extend depth outer_card partial =
+    if depth = n then begin
+      if partial < !best_cost then begin
+        best_cost := partial;
+        best_plan := Some (Array.copy perm)
+      end
+    end
+    else
+      for r = 0 to n - 1 do
+        if (not placed.(r))
+           && List.exists (fun (o, _) -> placed.(o)) (Join_graph.neighbors graph r)
+        then begin
+          incr nodes;
+          perm.(depth) <- r;
+          pos.(r) <- depth;
+          placed.(r) <- true;
+          let step, out =
+            Plan_cost.step_cost model query ~perm ~pos ~i:depth ~outer_card
+          in
+          let partial' = partial +. step in
+          if partial' < !best_cost then extend (depth + 1) out partial'
+          else incr pruned;
+          placed.(r) <- false;
+          pos.(r) <- max_int;
+          perm.(depth) <- -1
+        end
+      done
+  in
+  for first = 0 to n - 1 do
+    incr nodes;
+    perm.(0) <- first;
+    pos.(first) <- 0;
+    placed.(first) <- true;
+    extend 1 (Query.cardinality query first) 0.0;
+    placed.(first) <- false;
+    pos.(first) <- max_int;
+    perm.(0) <- -1
+  done;
+  match !best_plan with
+  | Some plan -> { plan; cost = !best_cost; nodes_expanded = !nodes; pruned = !pruned }
+  | None -> assert false
+
+let count_valid_plans ?(limit = 10_000_000) query =
+  let n = Query.n_relations query in
+  let graph = Query.graph query in
+  let placed = Array.make n false in
+  let count = ref 0 in
+  let exception Done in
+  let rec extend depth =
+    if depth = n then begin
+      incr count;
+      if !count >= limit then raise Done
+    end
+    else
+      for r = 0 to n - 1 do
+        if (not placed.(r))
+           && List.exists (fun (o, _) -> placed.(o)) (Join_graph.neighbors graph r)
+        then begin
+          placed.(r) <- true;
+          extend (depth + 1);
+          placed.(r) <- false
+        end
+      done
+  in
+  (try
+     for first = 0 to n - 1 do
+       placed.(first) <- true;
+       extend 1;
+       placed.(first) <- false
+     done
+   with Done -> ());
+  !count

@@ -1,0 +1,36 @@
+type params = { patience_factor : int; mix : Move.mix }
+
+let default_params = { patience_factor = 4; mix = Move.default_mix }
+
+let descend ?(params = default_params) state rng =
+  let n = Search_state.n state in
+  if n >= 2 then begin
+    let patience = max 1 (params.patience_factor * n) in
+    let failures = ref 0 in
+    while !failures < patience do
+      let move = Move.random ~mix:params.mix rng ~n in
+      let before = Search_state.cost state in
+      match Search_state.try_move state move with
+      | None -> incr failures
+      | Some (after, snap) ->
+        if after < before then begin
+          Search_state.commit state;
+          failures := 0
+        end
+        else begin
+          Search_state.rollback state snap;
+          incr failures
+        end
+    done
+  end
+
+let run ?(params = default_params) ev rng ~starts =
+  let rec loop () =
+    match starts () with
+    | None -> ()
+    | Some start ->
+      let state = Search_state.init ev start in
+      descend ~params state rng;
+      loop ()
+  in
+  loop ()

@@ -1,0 +1,34 @@
+(** Iterative improvement (Figure 1 of the paper).
+
+    One *run* starts from a given valid state and repeatedly samples a random
+    adjacent state, moving there whenever it is strictly cheaper, until a
+    local minimum is declared.  Since the neighbourhood is sampled rather
+    than enumerated, a local minimum is declared after [patience_factor * n]
+    consecutive non-improving samples (the criterion used in [SG88]-style
+    implementations; exhaustive adjacency checks would be quadratically more
+    expensive than the moves themselves).
+
+    The multi-run driver [run] consumes start states until the budget is
+    exhausted, the evaluator converges, or the start-state source dries up;
+    the best local minimum lives in the evaluator. *)
+
+type params = {
+  patience_factor : int;  (** non-improving samples before declaring a local
+                              minimum, as a multiple of [n]; default 4 *)
+  mix : Move.mix;
+}
+
+val default_params : params
+
+val descend : ?params:params -> Search_state.t -> Ljqo_stats.Rng.t -> unit
+(** Run one greedy descent in place; commits every accepted state. *)
+
+val run :
+  ?params:params ->
+  Evaluator.t ->
+  Ljqo_stats.Rng.t ->
+  starts:(unit -> Plan.t option) ->
+  unit
+(** Repeatedly: take a start state, descend.  Stops when [starts] returns
+    [None]; [Budget.Exhausted]/[Evaluator.Converged] pass through to the
+    caller (the method driver). *)

@@ -1,0 +1,32 @@
+(** The local improvement heuristic (Section 4.3).
+
+    Given a permutation, slide a window (*cluster*) of [c] consecutive
+    positions along it with overlap [o] (successive windows start [c - o]
+    apart) and replace each window's contents by the best valid arrangement
+    found by exhaustive search within the window.  The whole-plan cost can
+    only decrease.  With overlap, passes repeat until a pass changes
+    nothing.
+
+    Cluster search is factorial in [c]; the paper found [(5,4)], [(4,3)],
+    [(3,2)], [(2,1)], [(2,0)] the useful strategies, picked in that order by
+    available time ([strategy_ladder], [auto]). *)
+
+val strategy_ladder : (int * int) list
+(** [(c, o)] pairs, best first: [(5,4); (4,3); (3,2); (2,1); (2,0)]. *)
+
+val pass_ticks_estimate : n:int -> c:int -> o:int -> int
+(** Upper estimate of the ticks one pass consumes (cluster count times
+    [c! * c] recosted steps). *)
+
+val one_pass : Search_state.t -> c:int -> o:int -> bool
+(** Returns whether any cluster improved.  Raises [Invalid_argument] unless
+    [2 <= c] and [0 <= o < c]. *)
+
+val improve : Search_state.t -> c:int -> o:int -> unit
+(** Passes until a pass makes no change (just one pass when [o = 0],
+    mirroring the paper's observation that non-overlapping clusters converge
+    in a single pass). *)
+
+val auto : Search_state.t -> unit
+(** Repeatedly run the best strategy the remaining budget can afford, until
+    no improvement or nothing affordable. *)

@@ -1,0 +1,111 @@
+type t = II | SA | SAA | SAK | IAI | IKI | IAL | AGI | KBI
+
+let all = [ II; SA; SAA; SAK; IAI; IKI; IAL; AGI; KBI ]
+
+let top_five = [ IAI; IAL; AGI; KBI; II ]
+
+let name = function
+  | II -> "II"
+  | SA -> "SA"
+  | SAA -> "SAA"
+  | SAK -> "SAK"
+  | IAI -> "IAI"
+  | IKI -> "IKI"
+  | IAL -> "IAL"
+  | AGI -> "AGI"
+  | KBI -> "KBI"
+
+let of_name s =
+  match String.uppercase_ascii s with
+  | "II" -> Some II
+  | "SA" -> Some SA
+  | "SAA" -> Some SAA
+  | "SAK" -> Some SAK
+  | "IAI" -> Some IAI
+  | "IKI" -> Some IKI
+  | "IAL" -> Some IAL
+  | "AGI" -> Some AGI
+  | "KBI" -> Some KBI
+  | _ -> None
+
+type config = {
+  ii_params : Iterative_improvement.params;
+  sa_params : Simulated_annealing.params;
+  augmentation_criterion : Augmentation.criterion;
+  kbz_weighting : Kbz.weighting;
+}
+
+let default_config =
+  {
+    ii_params = Iterative_improvement.default_params;
+    sa_params = Simulated_annealing.default_params;
+    augmentation_criterion = Augmentation.default_criterion;
+    kbz_weighting = Kbz.default_weighting;
+  }
+
+(* An endless random-start source. *)
+let random_starts ev rng () = Some (Random_plan.generate_charged ev rng)
+
+(* A source that drains [first] then falls back to [second]. *)
+let chain_sources first second () =
+  match first () with Some s -> Some s | None -> second ()
+
+(* Evaluate every state a source yields (used by AGI / KBI, where heuristic
+   states compete directly with the local minima). *)
+let drain_and_eval ev source =
+  let rec go () =
+    match source () with
+    | None -> ()
+    | Some perm ->
+      ignore (Evaluator.eval ev perm);
+      go ()
+  in
+  go ()
+
+let run_inner config method_ ev rng =
+  let ii starts = Iterative_improvement.run ~params:config.ii_params ev rng ~starts in
+  let sa start =
+    Simulated_annealing.run ~params:config.sa_params ev rng ~start
+      ~restarts:(random_starts ev rng)
+  in
+  let augmentation_source () =
+    Augmentation.make_source ~criterion:config.augmentation_criterion ev
+  in
+  let kbz_source () = Kbz.make_source ~weighting:config.kbz_weighting ev in
+  match method_ with
+  | II -> ii (random_starts ev rng)
+  | SA -> sa (Random_plan.generate_charged ev rng)
+  | SAA -> begin
+    match augmentation_source () () with
+    | Some start -> sa start
+    | None -> ()
+  end
+  | SAK -> begin
+    match kbz_source () () with
+    | Some start -> sa start
+    | None -> ()
+  end
+  | IAI -> ii (chain_sources (augmentation_source ()) (random_starts ev rng))
+  | IKI -> ii (chain_sources (kbz_source ()) (random_starts ev rng))
+  | IAL ->
+    (* II over the augmentation states only, then local improvement on the
+       incumbent, then random-start II soaks up any remaining time. *)
+    ii (augmentation_source ());
+    (match Evaluator.best ev with
+    | Some (_, best_perm) ->
+      let state = Search_state.init ev best_perm in
+      Local_improvement.auto state
+    | None -> ());
+    ii (random_starts ev rng)
+  | AGI ->
+    drain_and_eval ev (augmentation_source ());
+    ii (random_starts ev rng)
+  | KBI ->
+    drain_and_eval ev (kbz_source ());
+    ii (random_starts ev rng)
+
+let run ?(config = default_config) method_ ev rng =
+  try run_inner config method_ ev rng with
+  | Budget.Exhausted | Evaluator.Converged -> ()
+
+let pp ppf m = Format.pp_print_string ppf (name m)

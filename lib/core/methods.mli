@@ -1,0 +1,43 @@
+(** The nine optimization methods compared in the paper (Section 4.4).
+
+    - [II]: iterative improvement from random start states, repeated until
+      time runs out; best local minimum wins.
+    - [SA]: simulated annealing from a random start state.
+    - [SAA] / [SAK]: SA seeded with a single augmentation / KBZ state.
+    - [IAI] / [IKI]: II whose first start states come from the augmentation /
+      KBZ heuristic (falling back to random starts when those run out).
+    - [IAL]: like IAI, but after the augmentation states are used local
+      improvement is applied to the incumbent (then random-start II fills any
+      remaining time).
+    - [AGI] / [KBI]: first generate (and cost) every augmentation / KBZ
+      state, then run random-start II; best of everything wins.
+
+    [run] drives a method against an evaluator until its budget is exhausted,
+    it converges, or the method has no way to spend more time; the result is
+    the evaluator's incumbent. *)
+
+type t = II | SA | SAA | SAK | IAI | IKI | IAL | AGI | KBI
+
+val all : t list
+(** In the paper's presentation order. *)
+
+val top_five : t list
+(** [IAI; IAL; AGI; KBI; II] — the methods kept after Figure 4. *)
+
+val name : t -> string
+val of_name : string -> t option
+
+type config = {
+  ii_params : Iterative_improvement.params;
+  sa_params : Simulated_annealing.params;
+  augmentation_criterion : Augmentation.criterion;
+  kbz_weighting : Kbz.weighting;
+}
+
+val default_config : config
+
+val run : ?config:config -> t -> Evaluator.t -> Ljqo_stats.Rng.t -> unit
+(** Never raises [Budget.Exhausted] or [Evaluator.Converged]; consult the
+    evaluator for the incumbent and checkpoint curve. *)
+
+val pp : Format.formatter -> t -> unit

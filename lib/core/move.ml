@@ -1,0 +1,34 @@
+type t = Swap of int * int | Insert of int * int
+
+type mix = { p_swap : float; p_adjacent_swap : float; p_insert : float }
+
+let default_mix = { p_swap = 0.1; p_adjacent_swap = 0.8; p_insert = 0.1 }
+
+let random ?(mix = default_mix) rng ~n =
+  if n < 2 then invalid_arg "Move.random: need at least 2 positions";
+  let total = mix.p_swap +. mix.p_adjacent_swap +. mix.p_insert in
+  let x = Ljqo_stats.Rng.float rng total in
+  if x < mix.p_swap then begin
+    let i = Ljqo_stats.Rng.int rng n in
+    let j = Ljqo_stats.Rng.int rng (n - 1) in
+    let j = if j >= i then j + 1 else j in
+    Swap (min i j, max i j)
+  end
+  else if x < mix.p_swap +. mix.p_adjacent_swap then begin
+    let i = Ljqo_stats.Rng.int rng (n - 1) in
+    Swap (i, i + 1)
+  end
+  else begin
+    let src = Ljqo_stats.Rng.int rng n in
+    let dst = Ljqo_stats.Rng.int rng (n - 1) in
+    let dst = if dst >= src then dst + 1 else dst in
+    Insert (src, dst)
+  end
+
+let affected_range = function
+  | Swap (i, j) -> (min i j, max i j + 1)
+  | Insert (src, dst) -> (min src dst, max src dst + 1)
+
+let pp ppf = function
+  | Swap (i, j) -> Format.fprintf ppf "swap(%d,%d)" i j
+  | Insert (src, dst) -> Format.fprintf ppf "insert(%d->%d)" src dst

@@ -1,0 +1,38 @@
+(** The move set (after [SG88]).
+
+    A move perturbs a permutation into an adjacent state.  Three kinds are
+    used: [Swap] exchanges the relations at two positions; [Adjacent_swap] is
+    the special case of neighbouring positions; [Insert] removes the relation
+    at one position and reinserts it at another, shifting the block in
+    between.  Moves that would introduce a cross product are invalid and are
+    rejected by the search state.
+
+    The mix of kinds is drawn from a configurable distribution.  The default
+    is adjacent-swap-heavy (0.8 adjacent, 0.1 full swap, 0.1 insert): a
+    mostly-local neighbourhood keeps the descent dynamics of the paper's
+    study — local minima whose quality depends on the start state — while
+    the occasional long-range move preserves reachability of the whole valid
+    space. *)
+
+type t =
+  | Swap of int * int  (** positions, [i < j] *)
+  | Insert of int * int  (** take position [src], reinsert at [dst] *)
+
+type mix = {
+  p_swap : float;
+  p_adjacent_swap : float;
+  p_insert : float;
+}
+
+val default_mix : mix
+
+val random : ?mix:mix -> Ljqo_stats.Rng.t -> n:int -> t
+(** A random move over a permutation of [n >= 2] elements.  The two positions
+    are always distinct. *)
+
+val affected_range : t -> int * int
+(** [(lo, hi)] such that only join steps at positions [max lo 1 .. hi - 1]
+    change cost, and intermediate cardinalities outside [lo .. hi - 2] are
+    unchanged. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,39 @@
+(** Top-level optimizer facade.
+
+    Wraps a method, a cost model, a tick budget and a seed into a single
+    call.  Connected queries are optimized directly; a disconnected join
+    graph is decomposed into components which are optimized separately (each
+    with a share of the budget proportional to its squared size, matching the
+    [t * N^2] time-limit shape) and then concatenated in increasing order of
+    component result cardinality, i.e. cross products are postponed to the
+    end and the cheapest results are crossed first — the paper's
+    cross-product heuristic. *)
+
+type result = {
+  plan : Plan.t;
+  cost : float;  (** cost of [plan] under the model *)
+  lower_bound : float;
+  ticks_used : int;
+  checkpoints : (int * float) list;
+      (** incumbent cost when each requested checkpoint tick was crossed
+          (connected queries only; empty for disconnected queries) *)
+  converged : bool;  (** stopped at the lower-bound stopping condition *)
+}
+
+val optimize :
+  ?config:Methods.config ->
+  ?checkpoints:int list ->
+  ?epsilon:float ->
+  method_:Methods.t ->
+  model:Ljqo_cost.Cost_model.t ->
+  ticks:int ->
+  seed:int ->
+  Ljqo_catalog.Query.t ->
+  result
+(** [ticks] must be positive: the iterative methods are defined relative to a
+    time limit.  Raises [Invalid_argument] otherwise or on an empty query. *)
+
+val time_limit_ticks :
+  ?ticks_per_unit:int -> t_factor:float -> query:Ljqo_catalog.Query.t -> unit -> int
+(** Ticks for the paper's [t_factor * N^2] limit, with [N] the query's join
+    count ([n_relations - 1]). *)

@@ -1,0 +1,52 @@
+open Ljqo_catalog
+
+type t = int array
+
+let is_permutation perm =
+  let n = Array.length perm in
+  let seen = Array.make n false in
+  try
+    Array.iter
+      (fun r ->
+        if r < 0 || r >= n || seen.(r) then raise Exit;
+        seen.(r) <- true)
+      perm;
+    true
+  with Exit -> false
+
+let is_valid query perm =
+  Array.length perm = Query.n_relations query
+  && is_permutation perm
+  &&
+  let graph = Query.graph query in
+  let placed = Array.make (Array.length perm) false in
+  let ok = ref true in
+  Array.iteri
+    (fun i r ->
+      if i > 0 then begin
+        let joined =
+          List.exists (fun (other, _) -> placed.(other)) (Join_graph.neighbors graph r)
+        in
+        if not joined then ok := false
+      end;
+      placed.(r) <- true)
+    perm;
+  !ok
+
+let inverse perm =
+  let pos = Array.make (Array.length perm) 0 in
+  Array.iteri (fun i r -> pos.(r) <- i) perm;
+  pos
+
+let identity n = Array.init n (fun i -> i)
+
+let concat perms = Array.concat perms
+
+let equal a b = a = b
+
+let to_string perm =
+  "("
+  ^ String.concat " " (Array.to_list (Array.map string_of_int perm))
+  ^ ")"
+
+let pp ppf perm = Format.pp_print_string ppf (to_string perm)

@@ -1,0 +1,150 @@
+open Ljqo_cost
+
+type t = {
+  ev : Evaluator.t;
+  perm : int array;
+  pos : int array;
+  cards : float array;
+  step_costs : float array;
+  mutable total : float;
+}
+
+type snapshot = {
+  lo : int;
+  hi : int;
+  saved_perm : int array;  (* slice [lo, hi) before the mutation *)
+  saved_cards : float array;
+  saved_step_costs : float array;
+  saved_total : float;
+}
+
+let init ev start =
+  let query = Evaluator.query ev and model = Evaluator.model ev in
+  assert (Plan.is_valid query start);
+  let perm = Array.copy start in
+  let e = Plan_cost.eval model query perm in
+  Evaluator.record ev perm e.total;
+  Evaluator.charge ev e.est_steps;
+  {
+    ev;
+    perm;
+    pos = Plan.inverse perm;
+    cards = e.cards;
+    step_costs = e.step_costs;
+    total = e.total;
+  }
+
+let evaluator t = t.ev
+let n t = Array.length t.perm
+let cost t = t.total
+let perm t = Array.copy t.perm
+
+let take_snapshot t ~lo ~hi =
+  {
+    lo;
+    hi;
+    saved_perm = Array.sub t.perm lo (hi - lo);
+    saved_cards = Array.sub t.cards lo (hi - lo);
+    saved_step_costs = Array.sub t.step_costs lo (hi - lo);
+    saved_total = t.total;
+  }
+
+let rollback t snap =
+  for k = 0 to snap.hi - snap.lo - 1 do
+    let i = snap.lo + k in
+    t.perm.(i) <- snap.saved_perm.(k);
+    t.pos.(snap.saved_perm.(k)) <- i;
+    t.cards.(i) <- snap.saved_cards.(k);
+    t.step_costs.(i) <- snap.saved_step_costs.(k)
+  done;
+  t.total <- snap.saved_total
+
+(* Recost join steps in [max lo 1, hi); returns false (leaving arrays partly
+   updated — caller rolls back) if a step became a cross product.  Because
+   selectivities are clamped by the running intermediate size, [hi] is
+   always the plan length: every step after a change can change cost. *)
+let recost t ~lo ~hi =
+  let query = Evaluator.query t.ev and model = Evaluator.model t.ev in
+  let first = max lo 1 in
+  Evaluator.charge t.ev (hi - first);
+  if lo = 0 then
+    t.cards.(0) <- Ljqo_catalog.Query.cardinality query t.perm.(0);
+  let ok = ref true in
+  let i = ref first in
+  while !ok && !i < hi do
+    let idx = !i in
+    if not (Plan_cost.joins_before query ~perm:t.perm ~pos:t.pos idx) then ok := false
+    else begin
+      let cost, out =
+        Plan_cost.step_cost model query ~perm:t.perm ~pos:t.pos ~i:idx
+          ~outer_card:t.cards.(idx - 1)
+      in
+      t.cards.(idx) <- out;
+      t.step_costs.(idx) <- cost
+    end;
+    incr i
+  done;
+  (* Recompute the total from scratch: incremental [-. old +. new] updates
+     drift catastrophically when step costs span many orders of magnitude
+     (1e20-scale uphill excursions would leave garbage residue in a 1e3
+     total). *)
+  if !ok then begin
+    let sum = ref 0.0 in
+    for k = 1 to Array.length t.step_costs - 1 do
+      sum := !sum +. t.step_costs.(k)
+    done;
+    t.total <- !sum
+  end;
+  !ok
+
+let apply_perm_mutation t = function
+  | Move.Swap (i, j) ->
+    let a = t.perm.(i) and b = t.perm.(j) in
+    t.perm.(i) <- b;
+    t.perm.(j) <- a;
+    t.pos.(b) <- i;
+    t.pos.(a) <- j
+  | Move.Insert (src, dst) ->
+    let moved = t.perm.(src) in
+    if src < dst then
+      for i = src to dst - 1 do
+        t.perm.(i) <- t.perm.(i + 1);
+        t.pos.(t.perm.(i)) <- i
+      done
+    else
+      for i = src downto dst + 1 do
+        t.perm.(i) <- t.perm.(i - 1);
+        t.pos.(t.perm.(i)) <- i
+      done;
+    t.perm.(dst) <- moved;
+    t.pos.(moved) <- dst
+
+let finish_attempt t snap ok =
+  if ok then Some (t.total, snap)
+  else begin
+    rollback t snap;
+    None
+  end
+
+let try_move t move =
+  let lo, _ = Move.affected_range move in
+  let hi = Array.length t.perm in
+  let snap = take_snapshot t ~lo ~hi in
+  apply_perm_mutation t move;
+  let ok = recost t ~lo ~hi in
+  finish_attempt t snap ok
+
+let try_rewrite t ~lo ~rels =
+  let len = Array.length rels in
+  assert (lo + len <= Array.length t.perm);
+  let hi = Array.length t.perm in
+  let snap = take_snapshot t ~lo ~hi in
+  Array.iteri
+    (fun k r ->
+      t.perm.(lo + k) <- r;
+      t.pos.(r) <- lo + k)
+    rels;
+  let ok = recost t ~lo ~hi in
+  finish_attempt t snap ok
+
+let commit t = Evaluator.record t.ev t.perm t.total

@@ -1,0 +1,43 @@
+(** Mutable search state: a valid permutation plus the incremental costing
+    arrays that make move evaluation cheap.
+
+    A proposed move is applied *in place* and recosted over only the affected
+    window of join steps; the caller then decides to [commit] (keep the new
+    state and offer it to the evaluator as an incumbent) or [rollback]
+    (restore the previous state exactly).  Moves that would create a cross
+    product are rejected and leave the state untouched.
+
+    Tick accounting: each recosted join step costs one tick, charged to the
+    evaluator's budget.  [Budget.Exhausted] can therefore escape from
+    [try_move]/[try_rewrite]; when it does the state may be mid-mutation, but
+    by then the incumbent best lives safely in the evaluator. *)
+
+type t
+
+type snapshot
+
+val init : Evaluator.t -> Plan.t -> t
+(** Full evaluation of the start permutation (which must be valid); charges
+    [n] ticks and records it as an incumbent candidate. *)
+
+val evaluator : t -> Evaluator.t
+val n : t -> int
+val cost : t -> float
+val perm : t -> Plan.t
+(** A copy of the current permutation. *)
+
+val try_move : t -> Move.t -> (float * snapshot) option
+(** Apply the move and recost.  [Some (new_total, snap)]: the state now holds
+    the moved permutation; pass [snap] to [rollback] to restore, or call
+    [commit].  [None]: the move was invalid; the state is unchanged. *)
+
+val try_rewrite : t -> lo:int -> rels:int array -> (float * snapshot) option
+(** Replace the relations at positions [lo .. lo + length rels - 1] with
+    [rels] (which must be a rearrangement of the relations currently in that
+    window) and recost; same protocol as [try_move]. *)
+
+val rollback : t -> snapshot -> unit
+
+val commit : t -> unit
+(** Record the current state with the evaluator (incumbent tracking /
+    convergence test). *)

@@ -1,0 +1,42 @@
+(** Simulated annealing (Figure 2 of the paper), following the
+    Johnson-Aragon-McGeoch-Schevon (JAMS87) parameterization used in [SG88].
+
+    - The initial temperature is set from a short probing phase so that the
+      initial uphill-acceptance probability is roughly [initial_acceptance].
+    - Each temperature runs a Markov chain of [size_factor * n] moves.
+    - Cooling is geometric: [T <- cooling * T].
+    - The system is *frozen* when [frozen_chains] consecutive chains both
+      accept fewer than [frozen_acceptance] of their moves and fail to
+      improve the best cost seen.
+
+    A frozen run cannot use further time, so when the budget allows, [run]
+    starts another annealing run from a fresh random state (keeping the
+    incumbent across runs) — the budget-filling analogue of II's restarts,
+    needed because the paper compares methods at fixed time limits. *)
+
+type params = {
+  size_factor : int;  (** chain length multiplier; default 16 *)
+  initial_acceptance : float;  (** target uphill acceptance at T0; 0.4 *)
+  cooling : float;  (** geometric cooling factor; 0.95 *)
+  frozen_acceptance : float;  (** acceptance ratio below which a chain is
+                                  cold; 0.02 *)
+  frozen_chains : int;  (** consecutive cold, non-improving chains before
+                            freezing; 5 *)
+  mix : Move.mix;
+}
+
+val default_params : params
+
+val anneal_once :
+  ?params:params -> Evaluator.t -> Ljqo_stats.Rng.t -> start:Plan.t -> unit
+(** A single annealing run from [start] until frozen. *)
+
+val run :
+  ?params:params ->
+  Evaluator.t ->
+  Ljqo_stats.Rng.t ->
+  start:Plan.t ->
+  restarts:(unit -> Plan.t option) ->
+  unit
+(** [anneal_once] from [start], then from successive [restarts ()] states
+    while the budget lasts. *)

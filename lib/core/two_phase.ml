@@ -1,0 +1,77 @@
+open Ljqo_stats
+
+type params = {
+  phase_one_starts : int;
+  temperature_scale : float;
+  ii_params : Iterative_improvement.params;
+  sa_params : Simulated_annealing.params;
+}
+
+let default_params =
+  {
+    phase_one_starts = 10;
+    temperature_scale = 0.05;
+    ii_params = Iterative_improvement.default_params;
+    sa_params = Simulated_annealing.default_params;
+  }
+
+(* A low-temperature annealing run from [start]: like
+   [Simulated_annealing.anneal_once] but with the initial temperature given
+   directly instead of probed. *)
+let anneal_low ~params ev rng ~start ~temperature =
+  let sa = params.sa_params in
+  let state = Search_state.init ev start in
+  let n = Search_state.n state in
+  if n >= 2 then begin
+    let temp = ref (Float.max 1e-9 temperature) in
+    let chain_length = max 4 (sa.Simulated_annealing.size_factor * n) in
+    let cold = ref 0 in
+    let best_seen = ref (Search_state.cost state) in
+    while !cold < sa.Simulated_annealing.frozen_chains do
+      let accepted = ref 0 in
+      let improved = ref false in
+      for _ = 1 to chain_length do
+        let before = Search_state.cost state in
+        let move = Move.random ~mix:sa.Simulated_annealing.mix rng ~n in
+        match Search_state.try_move state move with
+        | None -> ()
+        | Some (after, snap) ->
+          let delta = after -. before in
+          if delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temp) then begin
+            incr accepted;
+            Search_state.commit state;
+            if after < !best_seen then begin
+              best_seen := after;
+              improved := true
+            end
+          end
+          else Search_state.rollback state snap
+      done;
+      let ratio = float_of_int !accepted /. float_of_int chain_length in
+      if ratio < sa.Simulated_annealing.frozen_acceptance && not !improved then
+        incr cold
+      else cold := 0;
+      temp := sa.Simulated_annealing.cooling *. !temp
+    done
+  end
+
+let run ?(params = default_params) ev rng =
+  try
+    (* Phase one: a bounded burst of II descents from random starts. *)
+    let remaining = ref params.phase_one_starts in
+    Iterative_improvement.run ~params:params.ii_params ev rng ~starts:(fun () ->
+        if !remaining = 0 then None
+        else begin
+          decr remaining;
+          Some (Random_plan.generate_charged ev rng)
+        end);
+    (* Phase two: low-temperature annealing around the incumbent. *)
+    (match Evaluator.best ev with
+    | Some (cost, plan) ->
+      anneal_low ~params ev rng ~start:plan
+        ~temperature:(params.temperature_scale *. cost)
+    | None -> ());
+    (* Any remaining budget: more II, as the incumbent can only improve. *)
+    Iterative_improvement.run ~params:params.ii_params ev rng ~starts:(fun () ->
+        Some (Random_plan.generate_charged ev rng))
+  with Budget.Exhausted | Evaluator.Converged -> ()

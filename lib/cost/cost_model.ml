@@ -1,0 +1,17 @@
+type join_input = {
+  outer_card : float;
+  inner_card : float;
+  inner_distinct : float;
+  output_card : float;
+  is_first : bool;
+  is_cross : bool;
+}
+
+module type S = sig
+  val name : string
+  val join_cost : join_input -> float
+  val scan_cost : card:float -> float
+  val output_cost : card:float -> float
+end
+
+type t = (module S)

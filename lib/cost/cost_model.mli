@@ -1,0 +1,37 @@
+(** Cost-model interface.
+
+    A cost model prices one join step of an outer linear join tree: the outer
+    operand is the running intermediate result, the inner operand is always a
+    base relation (the paper's plan-space restriction).  The paper validates
+    its findings under two models — a main-memory model [Swa89a] and a
+    disk-based model [Bra84] — and this interface is what both implement, so
+    every optimizer component is parametric in the model. *)
+
+type join_input = {
+  outer_card : float;  (** cardinality of the outer (intermediate) operand *)
+  inner_card : float;  (** cardinality of the inner base relation, [N_j] *)
+  inner_distinct : float;  (** distinct join values in the inner, [D_j] *)
+  output_card : float;  (** estimated cardinality of the join result *)
+  is_first : bool;
+      (** true when the outer operand is itself a base relation (the first
+          join of the plan), letting disk models charge its first read *)
+  is_cross : bool;  (** true when no join predicate applies (cross product) *)
+}
+
+module type S = sig
+  val name : string
+
+  val join_cost : join_input -> float
+  (** Cost of performing this single join.  Must be nonnegative and monotone
+      in each cardinality field. *)
+
+  val scan_cost : card:float -> float
+  (** Unavoidable cost of touching a base relation of this size at least
+      once; used by admissible lower bounds. *)
+
+  val output_cost : card:float -> float
+  (** Unavoidable cost of producing a final result of this size; used by
+      admissible lower bounds. *)
+end
+
+type t = (module S)

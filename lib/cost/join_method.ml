@@ -1,0 +1,104 @@
+type t = Hash_join | Sort_merge_join | Nested_loop_join
+
+let all = [ Hash_join; Sort_merge_join; Nested_loop_join ]
+
+let name = function
+  | Hash_join -> "hash"
+  | Sort_merge_join -> "sort-merge"
+  | Nested_loop_join -> "nested-loop"
+
+type params = {
+  hash : Memory_model.params;
+  c_sort : float;
+  c_merge : float;
+  c_loop_compare : float;
+  c_output : float;
+}
+
+let default_params =
+  {
+    hash = Memory_model.default_params;
+    c_sort = 0.25;
+    c_merge = 1.0;
+    c_loop_compare = 0.25;
+    c_output = 1.0;
+  }
+
+let applicable m (j : Cost_model.join_input) =
+  match m with
+  | Nested_loop_join -> true
+  | Hash_join | Sort_merge_join -> not j.is_cross
+
+let log2 x = if x <= 2.0 then 1.0 else log x /. log 2.0
+
+let cost ?(params = default_params) m (j : Cost_model.join_input) =
+  if not (applicable m j) then infinity
+  else
+    match m with
+    | Hash_join ->
+      let p = params.hash in
+      let chain = j.inner_card /. Float.max 1.0 j.inner_distinct in
+      (p.Memory_model.c_build *. j.inner_card)
+      +. (j.outer_card *. (p.Memory_model.c_probe +. (p.Memory_model.c_compare *. chain)))
+      +. (p.Memory_model.c_output *. j.output_card)
+    | Sort_merge_join ->
+      let sort n = params.c_sort *. n *. log2 n in
+      sort j.outer_card +. sort j.inner_card
+      +. (params.c_merge *. (j.outer_card +. j.inner_card))
+      +. (params.c_output *. j.output_card)
+    | Nested_loop_join ->
+      (params.c_loop_compare *. j.outer_card *. j.inner_card)
+      +. (params.c_output *. j.output_card)
+
+let cheapest ?(params = default_params) j =
+  List.fold_left
+    (fun (bm, bc) m ->
+      let c = cost ~params m j in
+      if c < bc then (m, c) else (bm, bc))
+    (Nested_loop_join, cost ~params Nested_loop_join j)
+    [ Hash_join; Sort_merge_join ]
+
+module Make_adaptive (P : sig
+  val params : params
+end) : Cost_model.S = struct
+  let name = "adaptive-memory"
+
+  let join_cost j = snd (cheapest ~params:P.params j)
+
+  let scan_cost ~card = P.params.hash.Memory_model.c_build *. card
+
+  let output_cost ~card = P.params.c_output *. card
+end
+
+module Adaptive_memory = Make_adaptive (struct
+  let params = default_params
+end)
+
+let make_adaptive params : Cost_model.t =
+  (module Make_adaptive (struct
+    let params = params
+  end))
+
+let annotate ?(params = default_params) query plan =
+  let model = make_adaptive params in
+  let e = Plan_cost.eval model query plan in
+  let pos = Array.make (Array.length plan) 0 in
+  Array.iteri (fun i r -> pos.(r) <- i) plan;
+  List.init
+    (Array.length plan - 1)
+    (fun k ->
+      let i = k + 1 in
+      let r = plan.(i) in
+      let is_cross = not (Plan_cost.joins_before query ~perm:plan ~pos i) in
+      let input : Cost_model.join_input =
+        {
+          outer_card = e.cards.(i - 1);
+          inner_card = Ljqo_catalog.Query.cardinality query r;
+          inner_distinct = Ljqo_catalog.Query.distinct_values query r;
+          output_card = e.cards.(i);
+          is_first = i = 1;
+          is_cross;
+        }
+      in
+      let m, c = cheapest ~params input in
+      (i, m, c))

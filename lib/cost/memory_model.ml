@@ -1,0 +1,39 @@
+type params = {
+  c_build : float;
+  c_probe : float;
+  c_compare : float;
+  c_output : float;
+}
+
+let default_params = { c_build = 1.0; c_probe = 1.0; c_compare = 0.5; c_output = 1.0 }
+
+module Make (P : sig
+  val params : params
+end) : Cost_model.S = struct
+  let p = P.params
+
+  let name = "memory"
+
+  let join_cost (j : Cost_model.join_input) =
+    if j.is_cross then
+      (* Nested loops: no hash table helps when there is no predicate. *)
+      (p.c_probe *. j.outer_card *. j.inner_card) +. (p.c_output *. j.output_card)
+    else
+      let chain = j.inner_card /. Float.max 1.0 j.inner_distinct in
+      (p.c_build *. j.inner_card)
+      +. (j.outer_card *. (p.c_probe +. (p.c_compare *. chain)))
+      +. (p.c_output *. j.output_card)
+
+  let scan_cost ~card = p.c_build *. card
+
+  let output_cost ~card = p.c_output *. card
+end
+
+let make params : Cost_model.t =
+  (module Make (struct
+    let params = params
+  end))
+
+include Make (struct
+  let params = default_params
+end)

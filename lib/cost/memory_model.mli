@@ -1,0 +1,27 @@
+(** Main-memory hash-join cost model, after [Swa89a].
+
+    The join builds an in-memory hash table on the inner base relation and
+    probes it with the outer operand.  CPU cost decomposes into hashing the
+    inner ([c_build] per tuple), hashing and probing with the outer ([c_probe]
+    per tuple plus comparisons along the expected bucket chain, which is
+    [inner_card / inner_distinct] long for a join-column hash), and
+    materializing the result ([c_output] per tuple).  This is the same
+    functional shape as the validated model of [Swa89a]; the paper's results
+    are insensitive to the exact constants (Section 6.2).
+
+    A cross product degenerates to nested loops: every outer tuple meets every
+    inner tuple. *)
+
+type params = {
+  c_build : float;  (** per inner tuple inserted into the hash table *)
+  c_probe : float;  (** per outer tuple hashed into the table *)
+  c_compare : float;  (** per tuple comparison while chasing a bucket chain *)
+  c_output : float;  (** per result tuple materialized *)
+}
+
+val default_params : params
+
+val make : params -> Cost_model.t
+
+include Cost_model.S
+(** The model with [default_params]. *)

@@ -1,0 +1,105 @@
+open Ljqo_catalog
+
+type eval = {
+  cards : float array;
+  step_costs : float array;
+  total : float;
+  est_steps : int;
+}
+
+(* Effective selectivity of the edge (k, r) when the intermediate result
+   holding k currently has [outer_card] tuples: the stored selectivity
+   [1 / max (D_k, D_r)] is rescaled by clamping [D_k] to the tuples actually
+   present, [min (D_k, outer_card)] — a small intermediate cannot carry more
+   join values than tuples.  This makes selectivity (and hence cost)
+   order-dependent, as in real systems. *)
+let edge_selectivity query ~outer_card ~k ~r s_base =
+  let dk = Query.distinct_values query k in
+  let dr = Query.distinct_values query r in
+  let clamped = Float.max (Float.min dk outer_card) 1.0 in
+  let s = s_base *. Float.max dk dr /. Float.max clamped dr in
+  Float.min 1.0 s
+
+let selectivity_before query ~perm ~pos ~outer_card i =
+  let r = perm.(i) in
+  List.fold_left
+    (fun acc (k, s) ->
+      if pos.(k) < i then acc *. edge_selectivity query ~outer_card ~k ~r s
+      else acc)
+    1.0
+    (Join_graph.neighbors (Query.graph query) r)
+
+let joins_before query ~perm ~pos i =
+  let r = perm.(i) in
+  List.exists
+    (fun (other, _) -> pos.(other) < i)
+    (Join_graph.neighbors (Query.graph query) r)
+
+(* Ceiling on estimated cardinalities.  Terrible plans produce sizes beyond
+   any float's useful range; capping keeps every cost finite so that
+   incremental cost deltas never become [inf -. inf] (NaN), while leaving
+   such plans astronomically expensive (they are coerced to the outlier
+   threshold by the experiment methodology anyway). *)
+let card_ceiling = 1e120
+
+let step_cost (model : Cost_model.t) query ~perm ~pos ~i ~outer_card =
+  let module M = (val model : Cost_model.S) in
+  let r = perm.(i) in
+  let inner_card = Query.cardinality query r in
+  let sel = selectivity_before query ~perm ~pos ~outer_card i in
+  let is_cross = not (joins_before query ~perm ~pos i) in
+  let output_card =
+    Float.min card_ceiling (Float.max 1.0 (outer_card *. inner_card *. sel))
+  in
+  let input : Cost_model.join_input =
+    {
+      outer_card;
+      inner_card;
+      inner_distinct = Query.distinct_values query r;
+      output_card;
+      is_first = i = 1;
+      is_cross;
+    }
+  in
+  (M.join_cost input, output_card)
+
+let eval model query perm =
+  let n = Array.length perm in
+  if n = 0 then invalid_arg "Plan_cost.eval: empty permutation";
+  let pos = Array.make n 0 in
+  Array.iteri (fun i r -> pos.(r) <- i) perm;
+  let cards = Array.make n 0.0 in
+  let step_costs = Array.make n 0.0 in
+  cards.(0) <- Query.cardinality query perm.(0);
+  let total = ref 0.0 in
+  for i = 1 to n - 1 do
+    let cost, out = step_cost model query ~perm ~pos ~i ~outer_card:cards.(i - 1) in
+    cards.(i) <- out;
+    step_costs.(i) <- cost;
+    total := !total +. cost
+  done;
+  { cards; step_costs; total = !total; est_steps = n }
+
+let total model query perm = (eval model query perm).total
+
+let reference_final_cardinality query =
+  let n = Query.n_relations query in
+  let card = ref 1.0 in
+  for i = 0 to n - 1 do
+    card := !card *. Query.cardinality query i
+  done;
+  let sel =
+    Join_graph.fold_edges
+      (fun e acc -> acc *. e.selectivity)
+      (Query.graph query) 1.0
+  in
+  Float.max 1.0 (!card *. sel)
+
+let lower_bound (model : Cost_model.t) query =
+  let module M = (val model : Cost_model.S) in
+  let n = Query.n_relations query in
+  let scans = ref 0.0 in
+  for i = 0 to n - 1 do
+    scans := !scans +. M.scan_cost ~card:(Query.cardinality query i)
+  done;
+  !scans

@@ -1,0 +1,70 @@
+(** Costing of outer linear join trees (permutations) under a cost model.
+
+    A permutation [perm] of the relation ids denotes the left-deep plan
+    [((perm0 |><| perm1) |><| perm2) ...].  Intermediate sizes follow the
+    standard product-of-selectivities estimate with *distinct-value
+    clamping*: when the running intermediate result has fewer tuples than a
+    join column's distinct count, the column cannot carry more values than
+    tuples, so the edge's effective selectivity is rescaled accordingly
+    ([edge_selectivity]).  Clamping makes sizes — and costs — depend on join
+    *order*, not merely on prefix sets, which is both how real estimators
+    behave and what gives the plan space its rugged, order-sensitive
+    character.
+
+    Consequently an incremental recosting after a local change to positions
+    [>= lo] must recompute all steps from [lo] to the end (earlier steps are
+    untouched).
+
+    Functions taking a [pos] array expect the inverse permutation
+    ([pos.(perm.(i)) = i]). *)
+
+type eval = {
+  cards : float array;
+      (** [cards.(i)]: intermediate cardinality after position [i];
+          [cards.(0)] is the first relation's cardinality *)
+  step_costs : float array;  (** [step_costs.(0) = 0.] *)
+  total : float;
+  est_steps : int;  (** elementary estimation steps performed (for budgets) *)
+}
+
+val edge_selectivity :
+  Ljqo_catalog.Query.t -> outer_card:float -> k:int -> r:int -> float -> float
+(** [edge_selectivity q ~outer_card ~k ~r s] rescales the catalog selectivity
+    [s] of edge [(k, r)] for an intermediate of [outer_card] tuples holding
+    [k]; capped at 1. *)
+
+val selectivity_before :
+  Ljqo_catalog.Query.t ->
+  perm:int array ->
+  pos:int array ->
+  outer_card:float ->
+  int ->
+  float
+(** Product of the effective selectivities of edges between [perm.(i)] and
+    relations at earlier positions; [1.0] if none (cross product). *)
+
+val joins_before : Ljqo_catalog.Query.t -> perm:int array -> pos:int array -> int -> bool
+(** Whether [perm.(i)] is joined to at least one earlier relation. *)
+
+val step_cost :
+  Cost_model.t ->
+  Ljqo_catalog.Query.t ->
+  perm:int array ->
+  pos:int array ->
+  i:int ->
+  outer_card:float ->
+  float * float
+(** [(cost, output_card)] of the join at position [i >= 1]. *)
+
+val eval : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> eval
+
+val total : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> float
+
+val reference_final_cardinality : Ljqo_catalog.Query.t -> float
+(** The unclamped full-join size (product of all cardinalities and all edge
+    selectivities) — an order-independent reference used to compare
+    component result sizes; actual plan-dependent finals may be smaller. *)
+
+val lower_bound : Cost_model.t -> Ljqo_catalog.Query.t -> float
+(** Admissible lower bound on any valid plan's cost: every base relation is
+    scanned at least once. *)

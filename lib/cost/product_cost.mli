@@ -1,0 +1,44 @@
+(** The classical order-independent size estimator.
+
+    Intermediate cardinality of a relation set = product of the relations'
+    cardinalities times the product of the selectivities of all join edges
+    inside the set — no distinct-value clamping.  Under this estimator the
+    size (and hence the per-set best cost) depends only on the *set*, which
+    is exactly the optimal-substructure property System R's dynamic
+    programming needs ({!Ljqo_core.Dp} builds on this module).
+
+    The clamped estimator ({!Plan_cost}) is the library's default; this one
+    exists as the DP substrate and as the comparison point for measuring
+    what clamping changes. *)
+
+val set_cardinality : Ljqo_catalog.Query.t -> int list -> float
+(** Estimated size of the join of a set of relations (1 at minimum, capped
+    like {!Plan_cost}). *)
+
+val extend_cardinality :
+  Ljqo_catalog.Query.t -> card:float -> members:int list -> int -> float
+(** [extend_cardinality q ~card ~members r]: the size after joining
+    relation [r] into an intermediate of (raw) size [card] over set
+    [members] (only edges between [r] and [members] apply).
+
+    Sizes are propagated as *raw* products, without the one-tuple floor the
+    clamped estimator applies per step: flooring mid-plan would make the
+    running value depend on where the product dips below one, destroying
+    the set-determinism DP needs.  Floors apply only where a size feeds a
+    cost formula or is displayed. *)
+
+val step_cost :
+  Cost_model.t ->
+  Ljqo_catalog.Query.t ->
+  outer_card:float ->
+  members:int list ->
+  int ->
+  float * float
+(** [(cost, raw_output_card)] of joining relation [r] next, under the given
+    cost model; [outer_card] is the raw running product. *)
+
+val eval : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> Plan_cost.eval
+(** Permutation costing under the product estimator (same result shape as
+    {!Plan_cost.eval}). *)
+
+val total : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> float

@@ -1,0 +1,156 @@
+open Ljqo_core
+open Ljqo_catalog
+
+exception Result_too_large of int
+
+type step_stat = {
+  inner_relation : int;
+  output_rows : int;
+  probe_comparisons : int;
+}
+
+type result = { rows : int array array; steps : step_stat list; first_card : int }
+
+(* Placed neighbours of relation [r]: the predicates that apply when [r]
+   joins the current prefix. *)
+let applicable_edges query ~placed r =
+  List.filter_map
+    (fun (other, _) -> if placed.(other) then Some other else None)
+    (Join_graph.neighbors (Query.graph query) r)
+
+(* Does row [row] (tuple indices) match inner tuple [t] of relation [r] on
+   every predicate in [edges]? *)
+let matches query ~data ~row ~r ~t edges =
+  ignore query;
+  List.for_all
+    (fun k ->
+      let outer_col = Relation_data.column data.(k) ~other:r in
+      let inner_col = Relation_data.column data.(r) ~other:k in
+      outer_col.(row.(k)) = inner_col.(t))
+    edges
+
+let check_inputs query ~data plan =
+  let n = Query.n_relations query in
+  if not (Plan.is_permutation plan) || Array.length plan <> n then
+    invalid_arg "Executor: plan is not a permutation of the query";
+  if Array.length data <> n then invalid_arg "Executor: data size mismatch";
+  Array.iteri
+    (fun r d ->
+      if Relation_data.relation d <> r then
+        invalid_arg "Executor: data must be indexed by relation id")
+    data
+
+let run ?(max_rows = 1_000_000) query ~data plan =
+  check_inputs query ~data plan;
+  let n = Query.n_relations query in
+  let placed = Array.make n false in
+  let first = plan.(0) in
+  let rows =
+    ref
+      (Array.init (Relation_data.cardinality data.(first)) (fun t ->
+           let row = Array.make n (-1) in
+           row.(first) <- t;
+           row))
+  in
+  placed.(first) <- true;
+  let steps = ref [] in
+  for i = 1 to n - 1 do
+    let r = plan.(i) in
+    let inner_card = Relation_data.cardinality data.(r) in
+    let edges = applicable_edges query ~placed r in
+    let comparisons = ref 0 in
+    let out = ref [] in
+    let out_count = ref 0 in
+    let emit row t =
+      let row' = Array.copy row in
+      row'.(r) <- t;
+      out := row' :: !out;
+      incr out_count;
+      if !out_count > max_rows then raise (Result_too_large !out_count)
+    in
+    (match edges with
+    | [] ->
+      (* Cross product. *)
+      Array.iter
+        (fun row ->
+          for t = 0 to inner_card - 1 do
+            emit row t
+          done)
+        !rows
+    | anchor :: others ->
+      (* Hash the inner on the anchor predicate's column, probe with the
+         outer's anchor value, then verify the remaining predicates. *)
+      let inner_anchor = Relation_data.column data.(r) ~other:anchor in
+      let outer_anchor = Relation_data.column data.(anchor) ~other:r in
+      let table = Hashtbl.create inner_card in
+      Array.iteri
+        (fun t v ->
+          let existing = try Hashtbl.find table v with Not_found -> [] in
+          Hashtbl.replace table v (t :: existing))
+        inner_anchor;
+      Array.iter
+        (fun row ->
+          let v = outer_anchor.(row.(anchor)) in
+          match Hashtbl.find_opt table v with
+          | None -> ()
+          | Some candidates ->
+            List.iter
+              (fun t ->
+                incr comparisons;
+                if matches query ~data ~row ~r ~t others then emit row t)
+              candidates)
+        !rows);
+    placed.(r) <- true;
+    rows := Array.of_list (List.rev !out);
+    steps :=
+      {
+        inner_relation = r;
+        output_rows = Array.length !rows;
+        probe_comparisons = !comparisons;
+      }
+      :: !steps
+  done;
+  {
+    rows = !rows;
+    steps = List.rev !steps;
+    first_card = Relation_data.cardinality data.(first);
+  }
+
+let cardinalities result =
+  result.first_card :: List.map (fun s -> s.output_rows) result.steps
+
+let nested_loop_oracle ?(max_rows = 1_000_000) query ~data plan =
+  check_inputs query ~data plan;
+  let n = Query.n_relations query in
+  let placed = Array.make n false in
+  let first = plan.(0) in
+  placed.(first) <- true;
+  let rows =
+    ref
+      (List.init (Relation_data.cardinality data.(first)) (fun t ->
+           let row = Array.make n (-1) in
+           row.(first) <- t;
+           row))
+  in
+  for i = 1 to n - 1 do
+    let r = plan.(i) in
+    let inner_card = Relation_data.cardinality data.(r) in
+    let edges = applicable_edges query ~placed r in
+    let out = ref [] in
+    let count = ref 0 in
+    List.iter
+      (fun row ->
+        for t = 0 to inner_card - 1 do
+          if matches query ~data ~row ~r ~t edges then begin
+            let row' = Array.copy row in
+            row'.(r) <- t;
+            out := row' :: !out;
+            incr count;
+            if !count > max_rows then raise (Result_too_large !count)
+          end
+        done)
+      !rows;
+    placed.(r) <- true;
+    rows := !out
+  done;
+  List.length !rows

@@ -1,0 +1,51 @@
+(** Left-deep plan execution over synthetic data.
+
+    Executes a valid permutation as the paper's outer linear join tree: the
+    running intermediate result is a set of *binding vectors* (the tuple
+    index of each already-joined relation), and each step hash-joins it with
+    the next base relation on all applicable join predicates.  A step with
+    no applicable predicate is a cross product.
+
+    This substrate lets tests check the size estimator against ground truth
+    and lets the examples run optimized plans for real.  Result sizes are
+    capped ([Result_too_large]) because bad plans can be astronomically
+    large — that is the point of the paper. *)
+
+exception Result_too_large of int
+(** Carries the row count that exceeded the cap. *)
+
+type step_stat = {
+  inner_relation : int;
+  output_rows : int;
+  probe_comparisons : int;  (** tuple pairs inspected while probing *)
+}
+
+type result = {
+  rows : int array array;
+      (** binding vectors: [rows.(k).(r)] is relation [r]'s tuple index in
+          output row [k], or [-1] if [r] is not in the plan prefix *)
+  steps : step_stat list;  (** in plan order *)
+  first_card : int;  (** cardinality of the first (leftmost) relation *)
+}
+
+val run :
+  ?max_rows:int ->
+  Ljqo_catalog.Query.t ->
+  data:Relation_data.t array ->
+  Ljqo_core.Plan.t ->
+  result
+(** [max_rows] defaults to 1_000_000.  The plan must be a valid permutation
+    of the query's relations and [data] must be indexed by relation id. *)
+
+val cardinalities : result -> int list
+(** Intermediate result sizes after each step (starting with the first
+    relation's cardinality). *)
+
+val nested_loop_oracle :
+  ?max_rows:int ->
+  Ljqo_catalog.Query.t ->
+  data:Relation_data.t array ->
+  Ljqo_core.Plan.t ->
+  int
+(** Final result cardinality computed by naive nested loops — an independent
+    oracle for testing the hash-join executor. *)

@@ -1,0 +1,37 @@
+(** The full "push selections down" pipeline, executed for real.
+
+    {!Relation_data.generate} bakes selections into the tuple count
+    analytically.  This module instead synthesizes each relation at its
+    *base* cardinality — join columns per edge plus one attribute column
+    per selection predicate — then executes the selection predicates
+    tuple-by-tuple, producing the filtered {!Relation_data.t} the executor
+    joins.  The paper's first heuristic ("push selections down as much as
+    possible") thus has a runtime realization, and tests can verify that
+    executed selectivities match the catalog's analytical model.
+
+    A selection predicate with selectivity [s] is modeled as
+    [attr < s] over an attribute uniform on [0, 1). *)
+
+type base_table = {
+  relation : int;
+  base_rows : int;
+  join_columns : (int * int array) list;  (** keyed by edge partner *)
+  selection_attrs : float array array;  (** one row-indexed array per
+                                            selection predicate *)
+}
+
+val generate_base : Ljqo_catalog.Query.t -> rel:int -> rng:Ljqo_stats.Rng.t -> base_table
+(** Base-cardinality synthesis; join values uniform on the relation's
+    distinct domain. *)
+
+val select : Ljqo_catalog.Query.t -> base_table -> Relation_data.t
+(** Execute every selection predicate; surviving tuples keep their join
+    columns.  A relation losing all tuples keeps one survivor (mirroring
+    the analytical floor of one tuple). *)
+
+val selectivity_observed : Ljqo_catalog.Query.t -> base_table -> float
+(** Fraction of base tuples surviving all selections. *)
+
+val prepare : Ljqo_catalog.Query.t -> rng:Ljqo_stats.Rng.t -> Relation_data.t array
+(** [generate_base] + [select] for every relation: a drop-in alternative to
+    {!Relation_data.generate_all} that actually runs the selections. *)

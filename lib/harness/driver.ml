@@ -1,0 +1,181 @@
+open Ljqo_core
+open Ljqo_querygen
+
+type scale = { per_n : int; replicates : int }
+
+let default_scale = { per_n = 10; replicates = 2 }
+
+let paper_scale = { per_n = 50; replicates = 2 }
+
+type outcome = {
+  methods : Methods.t list;
+  tfactors : float list;
+  averages : float array array;
+  outlier_fractions : float array array;
+  n_queries : int;
+}
+
+let checkpoints_for ?kappa ~tfactors ~n_joins () =
+  List.map
+    (fun t -> Budget.ticks_for_limit ?ticks_per_unit:kappa ~t_factor:t ~n_joins ())
+    tfactors
+
+let max_budget ?kappa ~n_joins () =
+  Budget.ticks_for_limit ?ticks_per_unit:kappa ~t_factor:9.0 ~n_joins ()
+
+let run_seed ~seed ~query_seed ~replicate ~method_index =
+  (* Mix the coordinates into a reproducible, well-spread seed. *)
+  seed + (query_seed * 1009) + (replicate * 9176867) + (method_index * 277)
+
+let run_experiment ?kappa ?config ?(seed = 1) ~workload ~methods ~model ~tfactors
+    ~replicates () =
+  let tfactors = List.sort_uniq compare tfactors in
+  let n_methods = List.length methods in
+  let n_factors = List.length tfactors in
+  let entries = workload.Workload.entries in
+  (* Per query (independent, hence parallelizable): the averaged-replicate
+     scaled cost of each method at each checkpoint. *)
+  let per_entry (entry : Workload.entry) =
+    let n_joins = entry.n_joins in
+    let checkpoints = checkpoints_for ?kappa ~tfactors ~n_joins () in
+    let ticks = max_budget ?kappa ~n_joins () in
+    (* curves.(mi).(rep).(ti) = cost at checkpoint; final9.(mi).(rep) *)
+    let curves =
+      List.mapi
+        (fun mi m ->
+          List.init replicates (fun rep ->
+              let r =
+                Optimizer.optimize ?config ~checkpoints ~method_:m ~model ~ticks
+                  ~seed:(run_seed ~seed ~query_seed:entry.seed ~replicate:rep ~method_index:mi)
+                  entry.query
+              in
+              (List.map snd r.checkpoints, r.cost)))
+        methods
+    in
+    let best9 =
+      List.fold_left
+        (fun acc per_method ->
+          List.fold_left (fun acc (_, final) -> Float.min acc final) acc per_method)
+        infinity curves
+    in
+    let out = Array.make_matrix n_methods n_factors 0.0 in
+    List.iteri
+      (fun mi per_method ->
+        let sums = Array.make n_factors 0.0 in
+        List.iter
+          (fun (costs, _) ->
+            List.iteri (fun ti c -> sums.(ti) <- sums.(ti) +. (c /. best9)) costs)
+          per_method;
+        Array.iteri
+          (fun ti s -> out.(mi).(ti) <- s /. float_of_int replicates)
+          sums)
+      curves;
+    out
+  in
+  let results = Parallel.map_array per_entry entries in
+  let scaled = Array.init n_methods (fun _ -> Array.make n_factors []) in
+  Array.iter
+    (fun out ->
+      Array.iteri
+        (fun mi row ->
+          Array.iteri (fun ti v -> scaled.(mi).(ti) <- v :: scaled.(mi).(ti)) row)
+        out)
+    results;
+  let averages =
+    Array.map (Array.map (fun l -> Ljqo_stats.Scaled_cost.average (Array.of_list l))) scaled
+  in
+  let outlier_fractions =
+    Array.map
+      (Array.map (fun l -> Ljqo_stats.Scaled_cost.outlier_fraction (Array.of_list l)))
+      scaled
+  in
+  {
+    methods;
+    tfactors;
+    averages;
+    outlier_fractions;
+    n_queries = Array.length entries;
+  }
+
+(* Reference optimum for the heuristic-only tables: best of II/IAI/AGI at the
+   full 9 N^2 budget. *)
+let reference_best ?kappa ~model ~seed (entry : Workload.entry) =
+  let ticks = max_budget ?kappa ~n_joins:entry.n_joins () in
+  List.fold_left
+    (fun acc (mi, m) ->
+      let r =
+        Optimizer.optimize ~method_:m ~model ~ticks
+          ~seed:(run_seed ~seed ~query_seed:entry.seed ~replicate:0 ~method_index:mi)
+          entry.query
+      in
+      Float.min acc r.cost)
+    infinity
+    [ (100, Methods.II); (101, Methods.IAI); (102, Methods.AGI) ]
+
+let heuristic_state_experiment ?kappa ?(seed = 1) ~workload ~model ~tfactors ~states
+    ~labels () =
+  ignore labels;
+  let tfactors = List.sort_uniq compare tfactors in
+  let n_factors = List.length tfactors in
+  let n_sources = List.length states in
+  let scaled = Array.init n_sources (fun _ -> Array.make n_factors []) in
+  Array.iter
+    (fun (entry : Workload.entry) ->
+      let best9 = reference_best ?kappa ~model ~seed entry in
+      let n_joins = entry.n_joins in
+      let budgets = checkpoints_for ?kappa ~tfactors ~n_joins () in
+      List.iteri
+        (fun si make_source ->
+          (* One pass with the largest budget, recording the incumbent at
+             each checkpoint — same protocol as the method runs. *)
+          let ev =
+            Evaluator.create ~checkpoints:budgets ~query:entry.query ~model
+              ~ticks:(max_budget ?kappa ~n_joins ())
+              ()
+          in
+          let source : Plan_source.t =
+            make_source entry.query ~charge:(Evaluator.charge ev)
+          in
+          (try
+             let rec drain () =
+               match source () with
+               | None -> ()
+               | Some plan ->
+                 ignore (Evaluator.eval ev plan);
+                 drain ()
+             in
+             drain ()
+           with Budget.Exhausted | Evaluator.Converged -> ());
+          List.iteri
+            (fun ti (_, c) -> scaled.(si).(ti) <- (c /. best9) :: scaled.(si).(ti))
+            (Evaluator.checkpoint_costs ev))
+        states)
+    workload.Workload.entries;
+  Array.map (Array.map (fun l -> Ljqo_stats.Scaled_cost.average (Array.of_list l))) scaled
+
+let tf_label t = Printf.sprintf "%gN^2" t
+
+let outcome_table ~title outcome =
+  let table =
+    Ljqo_report.Table.create ~title
+      ~columns:(List.map tf_label outcome.tfactors)
+  in
+  List.iteri
+    (fun mi m ->
+      Ljqo_report.Table.add_float_row table ~label:(Methods.name m)
+        (Array.to_list outcome.averages.(mi)))
+    outcome.methods;
+  table
+
+let outcome_chart ~title ?(x_label = "time limit (multiples of N^2)") outcome =
+  let series =
+    List.mapi
+      (fun mi m ->
+        {
+          Ljqo_report.Chart.name = Methods.name m;
+          points =
+            List.mapi (fun ti t -> (t, outcome.averages.(mi).(ti))) outcome.tfactors;
+        })
+      outcome.methods
+  in
+  Ljqo_report.Chart.render ~title ~x_label ~y_label:"avg scaled cost" series

@@ -1,0 +1,66 @@
+(** Shared machinery for the paper's experiments.
+
+    One experiment runs a set of methods over a workload at a ladder of time
+    limits (the paper's [t * N^2] factors).  Following Section 6.1:
+
+    - each method runs [replicates] times per query with different seeds and
+      the replicate costs are averaged;
+    - every run is given the [9 N^2] budget with checkpoints at each
+      requested factor, so one run yields the whole quality-vs-time curve;
+    - per query, costs are scaled by the best cost any compared method
+      achieved at [9 N^2];
+    - scaled costs at or above 10 are outlying values, coerced to 10;
+    - the per-datapoint statistic is the mean of the coerced scaled costs
+      over the workload. *)
+
+type scale = {
+  per_n : int;  (** queries per value of N *)
+  replicates : int;
+}
+
+val default_scale : scale
+(** 10 queries per N, 2 replicates — minutes-fast defaults. *)
+
+val paper_scale : scale
+(** 50 queries per N, 2 replicates — the paper's population sizes. *)
+
+type outcome = {
+  methods : Ljqo_core.Methods.t list;
+  tfactors : float list;
+  averages : float array array;  (** [averages.(mi).(ti)] *)
+  outlier_fractions : float array array;
+  n_queries : int;
+}
+
+val run_experiment :
+  ?kappa:int ->
+  ?config:Ljqo_core.Methods.config ->
+  ?seed:int ->
+  workload:Ljqo_querygen.Workload.t ->
+  methods:Ljqo_core.Methods.t list ->
+  model:Ljqo_cost.Cost_model.t ->
+  tfactors:float list ->
+  replicates:int ->
+  unit ->
+  outcome
+
+val heuristic_state_experiment :
+  ?kappa:int ->
+  ?seed:int ->
+  workload:Ljqo_querygen.Workload.t ->
+  model:Ljqo_cost.Cost_model.t ->
+  tfactors:float list ->
+  states:(Ljqo_catalog.Query.t -> charge:(int -> unit) -> Plan_source.t) list ->
+  labels:string list ->
+  unit ->
+  float array array
+(** For Tables 1 and 2: each "method" is a pure heuristic described as a
+    lazy stream of states; at each time limit the best state generated and
+    evaluated within the budget counts.  Scaling reference: the best of
+    II/IAI/AGI at [9 N^2] on the same query. *)
+
+val outcome_table :
+  title:string -> outcome -> Ljqo_report.Table.t
+
+val outcome_chart :
+  title:string -> ?x_label:string -> outcome -> string

@@ -1,0 +1,47 @@
+(* Multicore work distribution for the experiment harness (OCaml 5
+   domains).  Every experiment is embarrassingly parallel across queries —
+   each query's runs are pure functions of their seeds — so a simple
+   work-stealing-free counter queue suffices.  Results are written each to
+   its own slot and folded in input order afterwards, so the output is
+   bit-identical whatever the job count.
+
+   Default is sequential: pass --jobs (or set LJQO_JOBS) on multi-core
+   hosts; on a single hardware thread extra domains only add scheduling
+   overhead. *)
+
+let configured_jobs = ref None
+
+let set_jobs j = configured_jobs := Some (max 1 j)
+
+let default_jobs () =
+  match !configured_jobs with
+  | Some j -> j
+  | None -> (
+    match Sys.getenv_opt "LJQO_JOBS" with
+    | Some v -> ( match int_of_string_opt v with Some j when j >= 1 -> j | _ -> 1)
+    | None -> 1)
+
+let map_array ?(jobs = default_jobs ()) f a =
+  let n = Array.length a in
+  let jobs = max 1 (min jobs n) in
+  if jobs = 1 || n = 0 then Array.map f a
+  else begin
+    let results = Array.make n None in
+    let next = Atomic.make 0 in
+    let worker () =
+      let rec go () =
+        let i = Atomic.fetch_and_add next 1 in
+        if i < n then begin
+          results.(i) <- Some (f a.(i));
+          go ()
+        end
+      in
+      go ()
+    in
+    let domains = List.init (jobs - 1) (fun _ -> Domain.spawn worker) in
+    worker ();
+    List.iter Domain.join domains;
+    Array.map
+      (function Some r -> r | None -> failwith "Parallel.map_array: missing result")
+      results
+  end

@@ -1,0 +1,21 @@
+(** Multicore work distribution for the experiment harness (OCaml 5
+    domains).
+
+    Experiments are embarrassingly parallel across queries — each query's
+    runs are pure functions of their seeds — and results are folded in
+    input order, so output is bit-identical whatever the job count.
+
+    The default is sequential; enable parallelism with [set_jobs], the
+    bench's [--jobs] flag, or the [LJQO_JOBS] environment variable.  On a
+    single hardware thread extra domains only add overhead. *)
+
+val set_jobs : int -> unit
+(** Override the job count for subsequent [map_array] calls (floored
+    at 1). *)
+
+val default_jobs : unit -> int
+(** The configured job count: [set_jobs] value, else [LJQO_JOBS], else 1. *)
+
+val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
+(** Like [Array.map], with elements processed by [jobs] domains pulling
+    from a shared counter.  Worker exceptions propagate to the caller. *)

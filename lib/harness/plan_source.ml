@@ -1,0 +1,3 @@
+(* A lazy stream of candidate plans, as produced by the constructive
+   heuristics (augmentation starts, KBZ roots). *)
+type t = unit -> Ljqo_core.Plan.t option

@@ -1,0 +1,5 @@
+(** A lazy stream of candidate plans, as produced by the constructive
+    heuristics (augmentation starts, KBZ roots): each call returns the next
+    state or [None] when the heuristic has no more to offer. *)
+
+type t = unit -> Ljqo_core.Plan.t option

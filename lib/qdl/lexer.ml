@@ -1,0 +1,109 @@
+exception Error of { line : int; message : string }
+
+type t = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable lookahead : Token.t option;
+}
+
+let of_string input = { input; pos = 0; line = 1; lookahead = None }
+
+let fail t message = raise (Error { line = t.line; message })
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9') || c = '-'
+
+let is_digit c = c >= '0' && c <= '9'
+
+let rec skip_blanks t =
+  if t.pos < String.length t.input then begin
+    match t.input.[t.pos] with
+    | ' ' | '\t' | '\r' ->
+      t.pos <- t.pos + 1;
+      skip_blanks t
+    | '\n' ->
+      t.pos <- t.pos + 1;
+      t.line <- t.line + 1;
+      skip_blanks t
+    | '#' ->
+      while t.pos < String.length t.input && t.input.[t.pos] <> '\n' do
+        t.pos <- t.pos + 1
+      done;
+      skip_blanks t
+    | _ -> ()
+  end
+
+let lex_token t =
+  skip_blanks t;
+  if t.pos >= String.length t.input then Token.Eof
+  else
+    let c = t.input.[t.pos] in
+    if c = ';' then begin
+      t.pos <- t.pos + 1;
+      Token.Semicolon
+    end
+    else if is_ident_start c then begin
+      let start = t.pos in
+      while t.pos < String.length t.input && is_ident_char t.input.[t.pos] do
+        t.pos <- t.pos + 1
+      done;
+      let word = String.sub t.input start (t.pos - start) in
+      match Token.keyword_of_string word with
+      | Some kw -> kw
+      | None -> Token.Ident word
+    end
+    else if is_digit c || c = '.' then begin
+      let start = t.pos in
+      let accept pred =
+        while t.pos < String.length t.input && pred t.input.[t.pos] do
+          t.pos <- t.pos + 1
+        done
+      in
+      accept is_digit;
+      if t.pos < String.length t.input && t.input.[t.pos] = '.' then begin
+        t.pos <- t.pos + 1;
+        accept is_digit
+      end;
+      if t.pos < String.length t.input && (t.input.[t.pos] = 'e' || t.input.[t.pos] = 'E')
+      then begin
+        t.pos <- t.pos + 1;
+        if t.pos < String.length t.input && (t.input.[t.pos] = '+' || t.input.[t.pos] = '-')
+        then t.pos <- t.pos + 1;
+        if not (t.pos < String.length t.input && is_digit t.input.[t.pos]) then
+          fail t "malformed exponent";
+        accept is_digit
+      end;
+      let text = String.sub t.input start (t.pos - start) in
+      match float_of_string_opt text with
+      | Some f -> Token.Number f
+      | None -> fail t (Printf.sprintf "malformed number %S" text)
+    end
+    else fail t (Printf.sprintf "unexpected character %C" c)
+
+let next t =
+  match t.lookahead with
+  | Some tok ->
+    t.lookahead <- None;
+    tok
+  | None -> lex_token t
+
+let peek t =
+  match t.lookahead with
+  | Some tok -> tok
+  | None ->
+    let tok = lex_token t in
+    t.lookahead <- Some tok;
+    tok
+
+let line t = t.line
+
+let tokenize input =
+  let t = of_string input in
+  let rec go acc =
+    match next t with
+    | Token.Eof -> List.rev (Token.Eof :: acc)
+    | tok -> go (tok :: acc)
+  in
+  go []

@@ -1,0 +1,23 @@
+(** Hand-written lexer for the query description language.
+
+    Identifiers are [[A-Za-z_][A-Za-z0-9_-]*]; numbers accept integer,
+    decimal and scientific notation; [#] starts a comment to end of line;
+    whitespace separates tokens. *)
+
+exception Error of { line : int; message : string }
+
+type t
+
+val of_string : string -> t
+
+val next : t -> Token.t
+(** Consume and return the next token ([Eof] at end, repeatedly). *)
+
+val peek : t -> Token.t
+(** Look at the next token without consuming it. *)
+
+val line : t -> int
+(** Current 1-based line number (of the last token returned). *)
+
+val tokenize : string -> Token.t list
+(** All tokens including the final [Eof]; convenience for tests. *)

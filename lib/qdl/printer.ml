@@ -1,0 +1,38 @@
+open Ljqo_catalog
+
+let float_lit f =
+  (* Shortest representation that round-trips through float_of_string. *)
+  let s = Printf.sprintf "%.12g" f in
+  if float_of_string s = f then s else Printf.sprintf "%.17g" f
+
+let to_string query =
+  let buf = Buffer.create 1024 in
+  let n = Query.n_relations query in
+  Buffer.add_string buf
+    (Printf.sprintf "# %d relations, %d joins\n" n (Query.n_joins query));
+  for i = 0 to n - 1 do
+    let r = Query.relation query i in
+    Buffer.add_string buf
+      (Printf.sprintf "relation %s cardinality %d distinct %s" r.Relation.name
+         r.Relation.base_cardinality
+         (float_lit r.Relation.distinct_fraction));
+    List.iter
+      (fun s -> Buffer.add_string buf (Printf.sprintf " select %s" (float_lit s)))
+      r.Relation.selection_selectivities;
+    Buffer.add_string buf ";\n"
+  done;
+  List.iter
+    (fun (e : Join_graph.edge) ->
+      Buffer.add_string buf
+        (Printf.sprintf "join %s %s selectivity %s;\n"
+           (Query.relation query e.u).Relation.name
+           (Query.relation query e.v).Relation.name
+           (float_lit e.selectivity)))
+    (Join_graph.edges (Query.graph query));
+  Buffer.contents buf
+
+let save query path =
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (to_string query))

@@ -1,0 +1,11 @@
+(** Printing queries back to the query description language.
+
+    [Printer.to_string] emits text that [Parser.parse] accepts and that
+    reconstructs an equivalent query (same statistics, same join graph),
+    enabling round-trip tests and making generated benchmark queries
+    inspectable and shareable. *)
+
+val to_string : Ljqo_catalog.Query.t -> string
+
+val save : Ljqo_catalog.Query.t -> string -> unit
+(** Write to a file path. *)

@@ -1,0 +1,32 @@
+type t =
+  | Ident of string
+  | Number of float
+  | Kw_relation
+  | Kw_cardinality
+  | Kw_distinct
+  | Kw_select
+  | Kw_join
+  | Kw_selectivity
+  | Semicolon
+  | Eof
+
+let to_string = function
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number f -> Printf.sprintf "number %g" f
+  | Kw_relation -> "'relation'"
+  | Kw_cardinality -> "'cardinality'"
+  | Kw_distinct -> "'distinct'"
+  | Kw_select -> "'select'"
+  | Kw_join -> "'join'"
+  | Kw_selectivity -> "'selectivity'"
+  | Semicolon -> "';'"
+  | Eof -> "end of input"
+
+let keyword_of_string = function
+  | "relation" -> Some Kw_relation
+  | "cardinality" -> Some Kw_cardinality
+  | "distinct" -> Some Kw_distinct
+  | "select" -> Some Kw_select
+  | "join" -> Some Kw_join
+  | "selectivity" -> Some Kw_selectivity
+  | _ -> None

@@ -1,0 +1,17 @@
+(** Tokens of the query description language. *)
+
+type t =
+  | Ident of string
+  | Number of float
+  | Kw_relation
+  | Kw_cardinality
+  | Kw_distinct
+  | Kw_select
+  | Kw_join
+  | Kw_selectivity
+  | Semicolon
+  | Eof
+
+val to_string : t -> string
+
+val keyword_of_string : string -> t option

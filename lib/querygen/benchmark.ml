@@ -1,0 +1,179 @@
+open Ljqo_stats
+open Ljqo_catalog
+
+type graph_bias = No_bias | Star_bias | Chain_bias
+
+type spec = {
+  name : string;
+  description : string;
+  cardinality : int Dist.t;
+  selections_per_relation : int Dist.t;
+  selection_selectivity : float Dist.t;
+  distinct_fraction : float Dist.t;
+  join_cutoff : float;
+  graph_bias : graph_bias;
+}
+
+let selection_selectivity_values =
+  [ 0.001; 0.01; 0.1; 0.2; 0.34; 0.34; 0.34; 0.34; 0.34; 0.5; 0.5; 0.5; 0.67; 0.8; 1.0 ]
+
+(* Fraction ranges are open at 0 in the paper; we bound them away from zero
+   so every relation keeps at least a sliver of distinct values. *)
+let fraction_range lo hi = Dist.float_range (Float.max lo 1e-4) hi
+
+let distinct_dist ~low_cut ~mid_weight ~one_weight =
+  Dist.mixture
+    [
+      (1.0 -. mid_weight -. one_weight, fraction_range 0.0 low_cut);
+      (mid_weight, fraction_range low_cut 1.0);
+      (one_weight, Dist.constant 1.0);
+    ]
+
+let default_cardinality =
+  Dist.mixture
+    [
+      (0.2, Dist.int_range 10 100);
+      (0.6, Dist.int_range 100 1000);
+      (0.2, Dist.int_range 1000 10000);
+    ]
+
+let default =
+  {
+    name = "default";
+    description = "the paper's default distributions";
+    cardinality = default_cardinality;
+    selections_per_relation = Dist.int_range 0 3;
+    selection_selectivity = Dist.of_list selection_selectivity_values;
+    distinct_fraction = distinct_dist ~low_cut:0.2 ~mid_weight:0.09 ~one_weight:0.01;
+    join_cutoff = 0.01;
+    graph_bias = No_bias;
+  }
+
+let variations =
+  [
+    {
+      default with
+      name = "card-x10";
+      description = "cardinality ranges scaled by 10 (20/60/20%)";
+      cardinality =
+        Dist.mixture
+          [
+            (0.2, Dist.int_range 10 1000);
+            (0.6, Dist.int_range 1000 10000);
+            (0.2, Dist.int_range 10000 100000);
+          ];
+    };
+    {
+      default with
+      name = "card-uniform";
+      description = "cardinalities uniform over [10,10^4)";
+      cardinality = Dist.int_range 10 10000;
+    };
+    {
+      default with
+      name = "card-uniform-x10";
+      description = "cardinalities uniform over [10,10^5)";
+      cardinality = Dist.int_range 10 100000;
+    };
+    {
+      default with
+      name = "distinct-high";
+      description = "more distinct values: (0,0.2] 80%, (0.2,1) 16%, 1.0 4%";
+      distinct_fraction = distinct_dist ~low_cut:0.2 ~mid_weight:0.16 ~one_weight:0.04;
+    };
+    {
+      default with
+      name = "distinct-low";
+      description = "fewer distinct values: (0,0.1] 90%, (0.1,1) 9%, 1.0 1%";
+      distinct_fraction = distinct_dist ~low_cut:0.1 ~mid_weight:0.09 ~one_weight:0.01;
+    };
+    {
+      default with
+      name = "distinct-low-high";
+      description = "low range cut, heavier tail: (0,0.1] 80%, (0.1,1) 16%, 1.0 4%";
+      distinct_fraction = distinct_dist ~low_cut:0.1 ~mid_weight:0.16 ~one_weight:0.04;
+    };
+    {
+      default with
+      name = "graph-dense";
+      description = "no bias, join cutoff probability 0.1";
+      join_cutoff = 0.1;
+    };
+    {
+      default with
+      name = "graph-star";
+      description = "bias towards star-like join graphs, cutoff 0.01";
+      graph_bias = Star_bias;
+    };
+    {
+      default with
+      name = "graph-chain";
+      description = "bias towards chain-like join graphs, cutoff 0.01";
+      graph_bias = Chain_bias;
+    };
+  ]
+
+let by_index = function
+  | 0 -> default
+  | i when i >= 1 && i <= 9 -> List.nth variations (i - 1)
+  | i -> invalid_arg ("Benchmark.by_index: " ^ string_of_int i)
+
+(* Step 1 of graph generation: a random spanning structure.  Relation [i]
+   (1-based order of arrival) is linked to an earlier relation chosen
+   uniformly, by degree-squared preferential attachment (star bias), or to
+   relation [i-1] with probability 0.9 (chain bias). *)
+let spanning_links spec rng n =
+  let degree = Array.make n 0 in
+  let links = ref [] in
+  for i = 1 to n - 1 do
+    let target =
+      match spec.graph_bias with
+      | No_bias -> Rng.int rng i
+      | Chain_bias -> if Rng.bernoulli rng 0.9 then i - 1 else Rng.int rng i
+      | Star_bias ->
+        let weights = Array.init i (fun j -> float_of_int ((degree.(j) + 1) * (degree.(j) + 1))) in
+        let total = Array.fold_left ( +. ) 0.0 weights in
+        let x = Rng.float rng total in
+        let rec pick j acc =
+          let acc = acc +. weights.(j) in
+          if x < acc || j = i - 1 then j else pick (j + 1) acc
+        in
+        pick 0 0.0
+    in
+    degree.(target) <- degree.(target) + 1;
+    degree.(i) <- degree.(i) + 1;
+    links := (target, i) :: !links
+  done;
+  !links
+
+let generate_query spec ~n_joins ~rng =
+  if n_joins < 1 then invalid_arg "Benchmark.generate_query: n_joins < 1";
+  let n = n_joins + 1 in
+  let relations =
+    Array.init n (fun id ->
+        let base_cardinality = Dist.sample spec.cardinality rng in
+        let n_sel = Dist.sample spec.selections_per_relation rng in
+        let selections =
+          List.init n_sel (fun _ -> Dist.sample spec.selection_selectivity rng)
+        in
+        let distinct_fraction = Dist.sample spec.distinct_fraction rng in
+        Relation.make ~id ~base_cardinality ~selections ~distinct_fraction ())
+  in
+  let distinct i = Relation.distinct_values relations.(i) in
+  let selectivity_for u v = 1.0 /. Float.max (distinct u) (distinct v) in
+  let links = spanning_links spec rng n in
+  let linked = Hashtbl.create (2 * n) in
+  List.iter (fun (u, v) -> Hashtbl.replace linked (min u v, max u v) ()) links;
+  let edges = ref [] in
+  let add u v =
+    edges := { Join_graph.u; v; selectivity = selectivity_for u v } :: !edges
+  in
+  List.iter (fun (u, v) -> add u v) links;
+  (* Step 2: independent extra join predicates. *)
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      if (not (Hashtbl.mem linked (u, v))) && Rng.bernoulli rng spec.join_cutoff then
+        add u v
+    done
+  done;
+  Query.make ~relations ~graph:(Join_graph.make ~n !edges)

@@ -1,0 +1,52 @@
+(** Synthetic query benchmarks (Section 5).
+
+    A benchmark is a joint distribution over query features: relation
+    cardinalities, selection predicates, distinct-value fractions, and the
+    join-graph generation process.  The *default* benchmark uses the paper's
+    default distributions; nine *variations* alter one feature class at a
+    time (three cardinality variations, three distinct-value variations,
+    three join-graph variations), numbered 1-9 in the paper's order
+    (Table 3).
+
+    Join graphs are generated in two steps: a random connected spanning
+    structure (relation [i] is linked to a random earlier relation — with
+    optional bias towards star-like or chain-like shapes), then each
+    remaining relation pair is linked independently with probability
+    [join_cutoff].  Edge selectivities follow the standard distinct-value
+    rule [J_uv = 1 / max (D_u, D_v)]. *)
+
+type graph_bias =
+  | No_bias  (** uniform choice of the earlier relation *)
+  | Star_bias  (** preferential attachment: high-degree relations attract *)
+  | Chain_bias  (** the previous relation is strongly preferred *)
+
+type spec = {
+  name : string;
+  description : string;
+  cardinality : int Ljqo_stats.Dist.t;
+  selections_per_relation : int Ljqo_stats.Dist.t;
+  selection_selectivity : float Ljqo_stats.Dist.t;
+  distinct_fraction : float Ljqo_stats.Dist.t;
+  join_cutoff : float;
+  graph_bias : graph_bias;
+}
+
+val default : spec
+(** The paper's default benchmark: cardinalities 20/60/20% over
+    [10,100)/[100,1000)/[1000,10000); 0-2 selections with selectivities from
+    the paper's 15-value list; distinct fractions 90/9/1% over
+    (0,0.2]/(0.2,1)/{1}; join cutoff 0.01; no bias. *)
+
+val variations : spec list
+(** The nine variations, in the paper's order (Table 3 rows 1-9). *)
+
+val by_index : int -> spec
+(** [by_index 0] is [default]; [by_index 1 .. 9] are the variations. *)
+
+val selection_selectivity_values : float list
+(** The paper's 15-value selectivity list (values repeat to give weight). *)
+
+val generate_query : spec -> n_joins:int -> rng:Ljqo_stats.Rng.t -> Ljqo_catalog.Query.t
+(** A query with [n_joins + 1] relations and a connected join graph (the
+    spanning step guarantees connectivity; the cutoff step can only add
+    edges).  [n_joins >= 1]. *)

@@ -1,0 +1,34 @@
+open Ljqo_stats
+
+type entry = {
+  index : int;
+  n_joins : int;
+  seed : int;
+  query : Ljqo_catalog.Query.t;
+}
+
+type t = { spec : Benchmark.spec; entries : entry array }
+
+let standard_ns = [ 10; 20; 30; 40; 50 ]
+
+let large_ns = [ 10; 20; 30; 40; 50; 60; 70; 80; 90; 100 ]
+
+let make ?(ns = standard_ns) ?(per_n = 50) ?(seed = 42) spec =
+  let root = Rng.create seed in
+  let entries = ref [] in
+  let index = ref 0 in
+  List.iter
+    (fun n_joins ->
+      for k = 0 to per_n - 1 do
+        (* Stable per-query stream: depends on (n_joins, k), not on suite
+           shape, so suites of different sizes share queries. *)
+        let qseed = (n_joins * 1_000_003) + k in
+        let rng = Rng.split_at root qseed in
+        let query = Benchmark.generate_query spec ~n_joins ~rng in
+        entries := { index = !index; n_joins; seed = qseed; query } :: !entries;
+        incr index
+      done)
+    ns;
+  { spec; entries = Array.of_list (List.rev !entries) }
+
+let size t = Array.length t.entries

@@ -1,0 +1,28 @@
+(** Workload suites: the query populations the experiments run over.
+
+    The paper's standard suite has 50 queries at each of
+    [N = 10, 20, 30, 40, 50] (250 queries); the larger suite extends to
+    [N = 100] (500 queries).  Every query gets its own RNG stream derived
+    from the suite seed, so suites are reproducible and two suites with
+    different sizes share their common prefix of queries. *)
+
+type entry = {
+  index : int;  (** position within the suite *)
+  n_joins : int;
+  seed : int;  (** stream identifier for this query *)
+  query : Ljqo_catalog.Query.t;
+}
+
+type t = { spec : Benchmark.spec; entries : entry array }
+
+val standard_ns : int list
+(** [10; 20; 30; 40; 50]. *)
+
+val large_ns : int list
+(** [10; 20; ...; 100]. *)
+
+val make :
+  ?ns:int list -> ?per_n:int -> ?seed:int -> Benchmark.spec -> t
+(** Defaults: [standard_ns], 50 queries per [N], seed 42. *)
+
+val size : t -> int

@@ -1,0 +1,57 @@
+let manifest_path dir = Filename.concat dir "MANIFEST"
+
+let save (w : Workload.t) ~dir =
+  if not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf (Printf.sprintf "# ljqo workload: %s\n" w.spec.Benchmark.name);
+  Array.iteri
+    (fun i (e : Workload.entry) ->
+      let file = Printf.sprintf "q%04d.qdl" (i + 1) in
+      Ljqo_qdl.Printer.save e.query (Filename.concat dir file);
+      Buffer.add_string buf (Printf.sprintf "%s %d %d\n" file e.n_joins e.seed))
+    w.entries;
+  let oc = open_out (manifest_path dir) in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Buffer.contents buf))
+
+type loaded_entry = {
+  file : string;
+  n_joins : int;
+  seed : int;
+  query : Ljqo_catalog.Query.t;
+}
+
+let load ~dir =
+  let path = manifest_path dir in
+  if not (Sys.file_exists path) then
+    failwith (Printf.sprintf "Workload_io.load: no manifest at %s" path);
+  let ic = open_in path in
+  let lines =
+    Fun.protect
+      ~finally:(fun () -> close_in ic)
+      (fun () ->
+        let rec go acc =
+          match input_line ic with
+          | line -> go (line :: acc)
+          | exception End_of_file -> List.rev acc
+        in
+        go [])
+  in
+  List.filter_map
+    (fun line ->
+      let line = String.trim line in
+      if line = "" || line.[0] = '#' then None
+      else
+        match String.split_on_char ' ' line with
+        | [ file; n; seed ] -> (
+          match (int_of_string_opt n, int_of_string_opt seed) with
+          | Some n_joins, Some seed ->
+            let query = Ljqo_qdl.Parser.parse_file (Filename.concat dir file) in
+            Some { file; n_joins; seed; query }
+          | _ ->
+            failwith
+              (Printf.sprintf "Workload_io.load: malformed manifest line %S" line))
+        | _ ->
+          failwith (Printf.sprintf "Workload_io.load: malformed manifest line %S" line))
+    lines

@@ -1,0 +1,33 @@
+(** Persisting workload suites to disk.
+
+    A workload is saved as a directory of QDL files plus a [MANIFEST] text
+    file listing, per query: file name, N (join count of the spanning
+    construction), and the per-query stream seed.  Saved workloads make
+    experiment inputs shareable and allow running the harness against
+    externally authored query sets.
+
+    Manifest format (one query per line, [#] comments):
+
+    {v
+    # ljqo workload: <spec name>
+    q0001.qdl 10 10000003
+    q0002.qdl 10 10000004
+    v} *)
+
+val save : Workload.t -> dir:string -> unit
+(** Creates [dir] if needed; overwrites existing files of the same names. *)
+
+type loaded_entry = {
+  file : string;
+  n_joins : int;
+  seed : int;
+  query : Ljqo_catalog.Query.t;
+}
+
+val load : dir:string -> loaded_entry list
+(** Parses the manifest and every referenced QDL file.  Raises [Failure]
+    with a descriptive message on a malformed manifest, or
+    {!Ljqo_qdl.Parser.Error} on a malformed query file. *)
+
+val manifest_path : string -> string
+(** [dir ^ "/MANIFEST"]. *)

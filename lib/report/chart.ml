@@ -1,0 +1,71 @@
+type series = { name : string; points : (float * float) list }
+
+let render ?(width = 64) ?(height = 20) ?(x_label = "x") ?(y_label = "y") ~title
+    series_list =
+  let all_points = List.concat_map (fun s -> s.points) series_list in
+  match all_points with
+  | [] -> title ^ "\n(no data)\n"
+  | (x0, y0) :: _ ->
+    let fold f init = List.fold_left (fun acc (x, y) -> f acc x y) init all_points in
+    let xmin = fold (fun a x _ -> Float.min a x) x0 in
+    let xmax = fold (fun a x _ -> Float.max a x) x0 in
+    let ymin = fold (fun a _ y -> Float.min a y) y0 in
+    let ymax = fold (fun a _ y -> Float.max a y) y0 in
+    let xspan = if xmax -. xmin <= 0.0 then 1.0 else xmax -. xmin in
+    let yspan = if ymax -. ymin <= 0.0 then 1.0 else ymax -. ymin in
+    let grid = Array.make_matrix height width ' ' in
+    let place cx cy ch =
+      if cx >= 0 && cx < width && cy >= 0 && cy < height then grid.(cy).(cx) <- ch
+    in
+    List.iteri
+      (fun si s ->
+        let ch = Char.chr (Char.code 'a' + (si mod 26)) in
+        let to_cell (x, y) =
+          let cx = int_of_float ((x -. xmin) /. xspan *. float_of_int (width - 1)) in
+          let cy =
+            height - 1
+            - int_of_float ((y -. ymin) /. yspan *. float_of_int (height - 1))
+          in
+          (cx, cy)
+        in
+        (* connect consecutive points with linear interpolation *)
+        let rec connect = function
+          | (p1 : float * float) :: (p2 :: _ as rest) ->
+            let c1x, c1y = to_cell p1 and c2x, c2y = to_cell p2 in
+            let steps = max (abs (c2x - c1x)) (abs (c2y - c1y)) in
+            for k = 0 to steps do
+              let f = if steps = 0 then 0.0 else float_of_int k /. float_of_int steps in
+              let cx = c1x + int_of_float (f *. float_of_int (c2x - c1x)) in
+              let cy = c1y + int_of_float (f *. float_of_int (c2y - c1y)) in
+              place cx cy ch
+            done;
+            connect rest
+          | [ p ] ->
+            let cx, cy = to_cell p in
+            place cx cy ch
+          | [] -> ()
+        in
+        connect (List.sort compare s.points))
+      series_list;
+    let buf = Buffer.create ((width + 12) * (height + 6)) in
+    Buffer.add_string buf (title ^ "\n");
+    Buffer.add_string buf (Printf.sprintf "%s (%.3g .. %.3g)\n" y_label ymin ymax);
+    Array.iteri
+      (fun row line ->
+        let y = ymax -. (float_of_int row /. float_of_int (height - 1) *. yspan) in
+        Buffer.add_string buf (Printf.sprintf "%8.3g |" y);
+        Buffer.add_string buf (String.init width (fun c -> line.(c)));
+        Buffer.add_char buf '\n')
+      grid;
+    Buffer.add_string buf (String.make 10 ' ' ^ String.make width '-' ^ "\n");
+    Buffer.add_string buf
+      (Printf.sprintf "%10s%-8.3g%s%8.3g\n" "" xmin
+         (String.make (max 1 (width - 16)) ' ')
+         xmax);
+    Buffer.add_string buf (Printf.sprintf "%10s%s\n" "" x_label);
+    List.iteri
+      (fun si s ->
+        Buffer.add_string buf
+          (Printf.sprintf "  %c = %s\n" (Char.chr (Char.code 'a' + (si mod 26))) s.name))
+      series_list;
+    Buffer.contents buf

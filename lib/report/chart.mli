@@ -1,0 +1,21 @@
+(** Minimal ASCII line charts, for rendering the paper's figures in a
+    terminal.
+
+    Each series is a set of (x, y) points; the chart draws each series with
+    its own letter on a character grid, with y growing upward.  Intended for
+    the handful-of-series, handful-of-points shape of the paper's figures
+    (average scaled cost vs time limit). *)
+
+type series = { name : string; points : (float * float) list }
+
+val render :
+  ?width:int ->
+  ?height:int ->
+  ?x_label:string ->
+  ?y_label:string ->
+  title:string ->
+  series list ->
+  string
+(** Width and height are the plot-area size in characters (defaults 64x20).
+    Series are labelled [a], [b], ... in a legend; overlapping points show
+    the later series' letter. *)

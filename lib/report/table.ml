@@ -1,0 +1,64 @@
+type t = {
+  title : string;
+  columns : string list;
+  mutable rows : (string * string list) list;  (* reversed *)
+}
+
+let create ~title ~columns = { title; columns; rows = [] }
+
+let add_row t ~label ~cells =
+  if List.length cells <> List.length t.columns then
+    invalid_arg "Table.add_row: cell count does not match columns";
+  t.rows <- (label, cells) :: t.rows
+
+let default_fmt x = Printf.sprintf "%.2f" x
+
+let add_float_row t ~label ?(fmt = default_fmt) values =
+  add_row t ~label ~cells:(List.map fmt values)
+
+let rows t = List.rev t.rows
+
+let render t =
+  let all_rows = rows t in
+  let header = "" :: t.columns in
+  let body = List.map (fun (l, cs) -> l :: cs) all_rows in
+  let widths =
+    List.fold_left
+      (fun acc row -> List.map2 (fun w c -> max w (String.length c)) acc row)
+      (List.map String.length header)
+      body
+  in
+  let pad w s = String.make (max 0 (w - String.length s)) ' ' ^ s in
+  let pad_left w s = s ^ String.make (max 0 (w - String.length s)) ' ' in
+  let render_row row =
+    match (row, widths) with
+    | label :: cells, w0 :: ws ->
+      pad_left w0 label ^ "  "
+      ^ String.concat "  " (List.map2 pad ws cells)
+    | _ -> assert false
+  in
+  let sep =
+    String.concat "--"
+      (List.map (fun w -> String.make w '-') widths)
+  in
+  String.concat "\n"
+    (t.title :: render_row header :: sep :: List.map render_row body)
+  ^ "\n"
+
+let print t = print_string (render t)
+
+let escape_csv s =
+  if String.exists (fun c -> c = ',' || c = '"' || c = '\n') s then
+    "\"" ^ String.concat "\"\"" (String.split_on_char '"' s) ^ "\""
+  else s
+
+let to_csv t =
+  let line cells = String.concat "," (List.map escape_csv cells) in
+  String.concat "\n"
+    (line ("label" :: t.columns)
+    :: List.map (fun (l, cs) -> line (l :: cs)) (rows t))
+  ^ "\n"
+
+let save_csv t path =
+  let oc = open_out path in
+  Fun.protect ~finally:(fun () -> close_out oc) (fun () -> output_string oc (to_csv t))

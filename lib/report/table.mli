@@ -1,0 +1,28 @@
+(** Plain-text table rendering for the experiment harness.
+
+    Renders the paper-style tables (rows = methods or benchmarks, columns =
+    time limits or criteria) with right-aligned numeric cells, and emits the
+    same data as CSV for plotting. *)
+
+type t
+
+val create : title:string -> columns:string list -> t
+(** [columns] are the headers after the leading row-label column. *)
+
+val add_row : t -> label:string -> cells:string list -> unit
+(** [cells] must match the column count. *)
+
+val add_float_row : t -> label:string -> ?fmt:(float -> string) -> float list -> unit
+(** Formats with 2 decimals by default. *)
+
+val render : t -> string
+(** The table as a string, title first, columns padded. *)
+
+val print : t -> unit
+(** [render] to stdout. *)
+
+val to_csv : t -> string
+(** Title is omitted; first column header is ["label"]. *)
+
+val save_csv : t -> string -> unit
+(** Write the CSV to a file path. *)

@@ -1,0 +1,29 @@
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand =
+  | Column of { table : string; column : string }
+  | Const of float
+
+type predicate = { left : operand; op : comparison; right : operand }
+
+type from_item = { table : string; alias : string option }
+
+type select = { from : from_item list; where : predicate list }
+
+let binder item = match item.alias with Some a -> a | None -> item.table
+
+let comparison_to_string = function
+  | Eq -> "="
+  | Ne -> "<>"
+  | Lt -> "<"
+  | Le -> "<="
+  | Gt -> ">"
+  | Ge -> ">="
+
+let pp_operand ppf = function
+  | Column { table; column } -> Format.fprintf ppf "%s.%s" table column
+  | Const c -> Format.fprintf ppf "%g" c
+
+let pp_predicate ppf p =
+  Format.fprintf ppf "%a %s %a" pp_operand p.left (comparison_to_string p.op)
+    pp_operand p.right

@@ -1,0 +1,31 @@
+(** Abstract syntax of the supported SQL subset.
+
+    Conjunctive select-project-join blocks: a [FROM] list with optional
+    aliases (aliases make self-joins expressible) and a [WHERE] conjunction
+    of comparisons between qualified columns and numeric constants.
+    Projection lists are parsed and ignored — the optimizer's problem is
+    the join order, and the paper's "perform projections as soon as
+    possible" heuristic is orthogonal to it. *)
+
+type comparison = Eq | Ne | Lt | Le | Gt | Ge
+
+type operand =
+  | Column of { table : string; column : string }
+      (** [table] is the FROM alias (or table name when unaliased) *)
+  | Const of float
+
+type predicate = { left : operand; op : comparison; right : operand }
+
+type from_item = { table : string; alias : string option }
+
+type select = {
+  from : from_item list;
+  where : predicate list;  (** conjunction *)
+}
+
+val binder : from_item -> string
+(** The name predicates use: the alias if present, else the table name. *)
+
+val comparison_to_string : comparison -> string
+
+val pp_predicate : Format.formatter -> predicate -> unit

@@ -1,0 +1,179 @@
+type token =
+  | Select
+  | From
+  | Where
+  | And
+  | Star
+  | Comma
+  | Dot
+  | Semicolon
+  | Cmp of Ast.comparison
+  | Ident of string
+  | Number of float
+  | Eof
+
+exception Error of { line : int; message : string }
+
+type t = {
+  input : string;
+  mutable pos : int;
+  mutable line : int;
+  mutable lookahead : token option;
+}
+
+let of_string input = { input; pos = 0; line = 1; lookahead = None }
+
+let fail t message = raise (Error { line = t.line; message })
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+
+let is_digit c = c >= '0' && c <= '9'
+
+let keyword_of = function
+  | "select" -> Some Select
+  | "from" -> Some From
+  | "where" -> Some Where
+  | "and" -> Some And
+  | _ -> None
+
+let rec skip_blanks t =
+  if t.pos < String.length t.input then begin
+    match t.input.[t.pos] with
+    | ' ' | '\t' | '\r' ->
+      t.pos <- t.pos + 1;
+      skip_blanks t
+    | '\n' ->
+      t.pos <- t.pos + 1;
+      t.line <- t.line + 1;
+      skip_blanks t
+    | '-'
+      when t.pos + 1 < String.length t.input && t.input.[t.pos + 1] = '-' ->
+      while t.pos < String.length t.input && t.input.[t.pos] <> '\n' do
+        t.pos <- t.pos + 1
+      done;
+      skip_blanks t
+    | _ -> ()
+  end
+
+let lex_token t =
+  skip_blanks t;
+  if t.pos >= String.length t.input then Eof
+  else begin
+    let c = t.input.[t.pos] in
+    let peek_char () =
+      if t.pos + 1 < String.length t.input then Some t.input.[t.pos + 1] else None
+    in
+    match c with
+    | '*' ->
+      t.pos <- t.pos + 1;
+      Star
+    | ',' ->
+      t.pos <- t.pos + 1;
+      Comma
+    | '.' when not (match peek_char () with Some d -> is_digit d | None -> false) ->
+      t.pos <- t.pos + 1;
+      Dot
+    | ';' ->
+      t.pos <- t.pos + 1;
+      Semicolon
+    | '=' ->
+      t.pos <- t.pos + 1;
+      Cmp Ast.Eq
+    | '<' -> (
+      match peek_char () with
+      | Some '=' ->
+        t.pos <- t.pos + 2;
+        Cmp Ast.Le
+      | Some '>' ->
+        t.pos <- t.pos + 2;
+        Cmp Ast.Ne
+      | _ ->
+        t.pos <- t.pos + 1;
+        Cmp Ast.Lt)
+    | '>' -> (
+      match peek_char () with
+      | Some '=' ->
+        t.pos <- t.pos + 2;
+        Cmp Ast.Ge
+      | _ ->
+        t.pos <- t.pos + 1;
+        Cmp Ast.Gt)
+    | '!' when peek_char () = Some '=' ->
+      t.pos <- t.pos + 2;
+      Cmp Ast.Ne
+    | c when is_ident_start c ->
+      let start = t.pos in
+      while t.pos < String.length t.input && is_ident_char t.input.[t.pos] do
+        t.pos <- t.pos + 1
+      done;
+      let word = String.sub t.input start (t.pos - start) in
+      (match keyword_of (String.lowercase_ascii word) with
+      | Some kw -> kw
+      | None -> Ident word)
+    | c when is_digit c || c = '.' ->
+      let start = t.pos in
+      let accept pred =
+        while t.pos < String.length t.input && pred t.input.[t.pos] do
+          t.pos <- t.pos + 1
+        done
+      in
+      accept is_digit;
+      if t.pos < String.length t.input && t.input.[t.pos] = '.' then begin
+        t.pos <- t.pos + 1;
+        accept is_digit
+      end;
+      if
+        t.pos < String.length t.input
+        && (t.input.[t.pos] = 'e' || t.input.[t.pos] = 'E')
+      then begin
+        t.pos <- t.pos + 1;
+        if t.pos < String.length t.input && (t.input.[t.pos] = '+' || t.input.[t.pos] = '-')
+        then t.pos <- t.pos + 1;
+        accept is_digit
+      end;
+      let text = String.sub t.input start (t.pos - start) in
+      (match float_of_string_opt text with
+      | Some f -> Number f
+      | None -> fail t (Printf.sprintf "malformed number %S" text))
+    | c -> fail t (Printf.sprintf "unexpected character %C" c)
+  end
+
+let next t =
+  match t.lookahead with
+  | Some tok ->
+    t.lookahead <- None;
+    tok
+  | None -> lex_token t
+
+let peek t =
+  match t.lookahead with
+  | Some tok -> tok
+  | None ->
+    let tok = lex_token t in
+    t.lookahead <- Some tok;
+    tok
+
+let line t = t.line
+
+let tokenize input =
+  let t = of_string input in
+  let rec go acc =
+    match next t with Eof -> List.rev (Eof :: acc) | tok -> go (tok :: acc)
+  in
+  go []
+
+let token_to_string = function
+  | Select -> "SELECT"
+  | From -> "FROM"
+  | Where -> "WHERE"
+  | And -> "AND"
+  | Star -> "'*'"
+  | Comma -> "','"
+  | Dot -> "'.'"
+  | Semicolon -> "';'"
+  | Cmp c -> "'" ^ Ast.comparison_to_string c ^ "'"
+  | Ident s -> Printf.sprintf "identifier %S" s
+  | Number f -> Printf.sprintf "number %g" f
+  | Eof -> "end of input"

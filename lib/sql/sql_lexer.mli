@@ -1,0 +1,33 @@
+(** Lexer for the SQL subset.
+
+    Keywords are case-insensitive ([SELECT]/[select]); identifiers keep
+    their case.  [--] starts a comment to end of line.  Numbers are the
+    usual integer/decimal/scientific forms. *)
+
+type token =
+  | Select
+  | From
+  | Where
+  | And
+  | Star
+  | Comma
+  | Dot
+  | Semicolon
+  | Cmp of Ast.comparison
+  | Ident of string
+  | Number of float
+  | Eof
+
+exception Error of { line : int; message : string }
+
+type t
+
+val of_string : string -> t
+val next : t -> token
+val peek : t -> token
+val line : t -> int
+
+val tokenize : string -> token list
+(** Convenience for tests; includes the final [Eof]. *)
+
+val token_to_string : token -> string

@@ -1,0 +1,175 @@
+open Ljqo_catalog
+
+type binding = { binder : string; table : string; relation : int }
+
+type result = {
+  query : Query.t;
+  bindings : binding list;
+  selection_details : (string * string * float) list;
+}
+
+exception Error of string
+
+let error fmt = Printf.ksprintf (fun m -> raise (Error m)) fmt
+
+let default_inequality_selectivity = 0.34
+
+let clamp_selectivity s = Float.max 1e-9 (Float.min 1.0 s)
+
+(* Selectivity of [column op const] from the column's statistics. *)
+let selection_selectivity (cs : Stats_catalog.column_stats) op const =
+  let from_histogram h =
+    match op with
+    | Ast.Eq -> Histogram.selectivity_eq h ~distinct:cs.distinct const
+    | Ast.Ne -> 1.0 -. Histogram.selectivity_eq h ~distinct:cs.distinct const
+    | Ast.Lt -> Histogram.selectivity_lt h const
+    | Ast.Le ->
+      Histogram.selectivity_lt h const
+      +. Histogram.selectivity_eq h ~distinct:cs.distinct const
+    | Ast.Gt ->
+      Histogram.selectivity_ge h const
+      -. Histogram.selectivity_eq h ~distinct:cs.distinct const
+    | Ast.Ge -> Histogram.selectivity_ge h const
+  in
+  let from_range (lo, hi) =
+    (* linear interpolation over the declared range *)
+    let frac = (const -. lo) /. (hi -. lo) in
+    let frac = Float.max 0.0 (Float.min 1.0 frac) in
+    match op with
+    | Ast.Eq -> 1.0 /. float_of_int cs.distinct
+    | Ast.Ne -> 1.0 -. (1.0 /. float_of_int cs.distinct)
+    | Ast.Lt | Ast.Le -> frac
+    | Ast.Gt | Ast.Ge -> 1.0 -. frac
+  in
+  let s =
+    match (cs.histogram, cs.range) with
+    | Some h, _ -> from_histogram h
+    | None, Some r -> from_range r
+    | None, None -> (
+      match op with
+      | Ast.Eq -> 1.0 /. float_of_int cs.distinct
+      | Ast.Ne -> 1.0 -. (1.0 /. float_of_int cs.distinct)
+      | Ast.Lt | Ast.Le | Ast.Gt | Ast.Ge -> default_inequality_selectivity)
+  in
+  clamp_selectivity s
+
+let translate catalog (select : Ast.select) =
+  if select.from = [] then error "the FROM list is empty";
+  let bindings =
+    List.mapi
+      (fun i (item : Ast.from_item) ->
+        match Stats_catalog.find_table catalog item.table with
+        | None -> error "unknown table %S" item.table
+        | Some _ -> { binder = Ast.binder item; table = item.table; relation = i })
+      select.from
+  in
+  let resolve_binder name =
+    match List.find_opt (fun b -> b.binder = name) bindings with
+    | Some b -> b
+    | None -> error "unknown table binding %S (missing from FROM?)" name
+  in
+  let column_stats b column =
+    match Stats_catalog.find_column catalog ~table:b.table ~column with
+    | Some cs -> cs
+    | None -> error "no statistics for column %s.%s" b.table column
+  in
+  (* split predicates *)
+  let joins = ref [] in
+  let selections = ref (List.map (fun _ -> []) bindings) in
+  let selection_details = ref [] in
+  let add_selection b text s =
+    selections :=
+      List.mapi
+        (fun i sels -> if i = b.relation then s :: sels else sels)
+        !selections;
+    selection_details := (b.binder, text, s) :: !selection_details
+  in
+  List.iter
+    (fun (p : Ast.predicate) ->
+      let text = Format.asprintf "%a" Ast.pp_predicate p in
+      match (p.left, p.op, p.right) with
+      | Ast.Column l, Ast.Eq, Ast.Column r when l.table <> r.table ->
+        let bl = resolve_binder l.table and br = resolve_binder r.table in
+        let dl = (column_stats bl l.column).distinct in
+        let dr = (column_stats br r.column).distinct in
+        let selectivity =
+          clamp_selectivity (1.0 /. float_of_int (max dl dr))
+        in
+        joins :=
+          {
+            Join_graph.u = bl.relation;
+            v = br.relation;
+            selectivity;
+          }
+          :: !joins
+      | Ast.Column l, _, Ast.Column r when l.table <> r.table ->
+        error "unsupported theta-join predicate: %s" text
+      | Ast.Column l, op, Ast.Const c | Ast.Const c, op, Ast.Column l ->
+        (* normalize const-on-left comparisons by flipping the operator *)
+        let op =
+          if
+            match p.left with Ast.Const _ -> true | Ast.Column _ -> false
+          then
+            match op with
+            | Ast.Lt -> Ast.Gt
+            | Ast.Le -> Ast.Ge
+            | Ast.Gt -> Ast.Lt
+            | Ast.Ge -> Ast.Le
+            | (Ast.Eq | Ast.Ne) as o -> o
+          else op
+        in
+        let b = resolve_binder l.table in
+        let cs = column_stats b l.column in
+        add_selection b text (selection_selectivity cs op c)
+      | Ast.Column l, op, Ast.Column r ->
+        (* same binder on both sides: treat as a restriction with the
+           System-R default (no correlation statistics) *)
+        ignore (column_stats (resolve_binder l.table) l.column);
+        ignore (column_stats (resolve_binder r.table) r.column);
+        let b = resolve_binder l.table in
+        let s =
+          match op with
+          | Ast.Eq -> 0.1
+          | _ -> default_inequality_selectivity
+        in
+        add_selection b text s
+      | Ast.Const _, _, Ast.Const _ ->
+        error "constant-only predicate: %s" text)
+    select.where;
+  (* Per-relation distinct fraction: from the widest join column. *)
+  let join_column_distinct = Array.make (List.length bindings) 0 in
+  List.iter
+    (fun (p : Ast.predicate) ->
+      match (p.left, p.op, p.right) with
+      | Ast.Column l, Ast.Eq, Ast.Column r when l.table <> r.table ->
+        let bl = resolve_binder l.table and br = resolve_binder r.table in
+        let dl = (column_stats bl l.column).distinct in
+        let dr = (column_stats br r.column).distinct in
+        join_column_distinct.(bl.relation) <- max join_column_distinct.(bl.relation) dl;
+        join_column_distinct.(br.relation) <- max join_column_distinct.(br.relation) dr
+      | _ -> ())
+    select.where;
+  let relations =
+    Array.of_list
+      (List.map
+         (fun b ->
+           let ts = Option.get (Stats_catalog.find_table catalog b.table) in
+           let sels = List.nth !selections b.relation in
+           let distinct_fraction =
+             if join_column_distinct.(b.relation) = 0 then 0.1
+             else
+               Float.max 1e-6
+                 (Float.min 1.0
+                    (float_of_int join_column_distinct.(b.relation)
+                    /. float_of_int ts.rows))
+           in
+           Relation.make ~id:b.relation ~name:b.binder
+             ~base_cardinality:ts.Stats_catalog.rows ~selections:sels
+             ~distinct_fraction ())
+         bindings)
+  in
+  let query =
+    Query.make ~relations
+      ~graph:(Join_graph.make ~n:(Array.length relations) !joins)
+  in
+  { query; bindings; selection_details = List.rev !selection_details }

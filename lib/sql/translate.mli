@@ -1,0 +1,42 @@
+(** Translation of a SQL block into an optimizer query.
+
+    Each FROM item becomes a relation (base cardinality from the catalog);
+    WHERE predicates split into:
+
+    - {b joins} — column-to-column equalities across different FROM items,
+      with selectivity [1 / max(D_left, D_right)] from the columns'
+      distinct counts (non-equality column-column predicates are
+      unsupported);
+    - {b selections} — column-vs-constant comparisons, with selectivity
+      from the column's histogram when it has one, else from range
+      interpolation when it has a declared range, else the classic
+      System-R defaults (1/distinct for [=], 1/3 for inequalities — the
+      0.34 of the paper's selectivity list).
+
+    The translated relation's distinct-value fraction — the [D_k] the cost
+    model's hash-chain term and the rank heuristics read — is taken from
+    the relation's most selective join column (the one with the largest
+    distinct count), an approximation recorded here because the optimizer's
+    catalog keys one distinct count per relation. *)
+
+type binding = {
+  binder : string;  (** the alias/table name predicates used *)
+  table : string;  (** the underlying catalog table *)
+  relation : int;  (** relation id in the translated query *)
+}
+
+type result = {
+  query : Ljqo_catalog.Query.t;
+  bindings : binding list;  (** in FROM order; index = relation id *)
+  selection_details : (string * string * float) list;
+      (** (binder, predicate text, selectivity) for each selection *)
+}
+
+exception Error of string
+
+val translate : Stats_catalog.t -> Ast.select -> result
+(** Raises [Error] on unknown tables/columns, unsupported predicate shapes
+    (column-column non-equality, constant-constant), or an empty FROM. *)
+
+val default_inequality_selectivity : float
+(** 0.34, the paper's (and System R's) magic third. *)

@@ -1,0 +1,69 @@
+type t = { mutable state : int64 }
+
+(* splitmix64 constants, from the reference implementation. *)
+let gamma = 0x9E3779B97F4A7C15L
+
+let mix z =
+  let z = Int64.(mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L) in
+  let z = Int64.(mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL) in
+  Int64.(logxor z (shift_right_logical z 31))
+
+let create seed = { state = mix (Int64.of_int seed) }
+
+let copy t = { state = t.state }
+
+let bits64 t =
+  t.state <- Int64.add t.state gamma;
+  mix t.state
+
+let split t =
+  let s = bits64 t in
+  { state = mix s }
+
+let split_at t i =
+  (* Derive child [i] from the current state without consuming it. *)
+  let s = Int64.add t.state (Int64.mul gamma (Int64.of_int (i + 1))) in
+  { state = mix (Int64.logxor (mix s) 0x2545F4914F6CDD1DL) }
+
+let int t n =
+  assert (n > 0);
+  (* Rejection sampling to avoid modulo bias. *)
+  let n64 = Int64.of_int n in
+  let rec loop () =
+    let bits = Int64.shift_right_logical (bits64 t) 1 in
+    let v = Int64.rem bits n64 in
+    if Int64.(sub (add (sub bits v) n64) 1L) < 0L then loop ()
+    else Int64.to_int v
+  in
+  loop ()
+
+let int_in t lo hi =
+  assert (lo <= hi);
+  lo + int t (hi - lo + 1)
+
+let float t x =
+  (* 53 random bits mapped to [0,1). *)
+  let bits = Int64.shift_right_logical (bits64 t) 11 in
+  let u = Int64.to_float bits *. (1.0 /. 9007199254740992.0) in
+  u *. x
+
+let bool t = Int64.logand (bits64 t) 1L = 1L
+
+let bernoulli t p = float t 1.0 < p
+
+let shuffle_in_place t a =
+  for i = Array.length a - 1 downto 1 do
+    let j = int t (i + 1) in
+    let tmp = a.(i) in
+    a.(i) <- a.(j);
+    a.(j) <- tmp
+  done
+
+let choose t a =
+  assert (Array.length a > 0);
+  a.(int t (Array.length a))
+
+let choose_list t l =
+  match l with
+  | [] -> invalid_arg "Rng.choose_list: empty list"
+  | _ -> List.nth l (int t (List.length l))

@@ -1,0 +1,20 @@
+let default_outlier_threshold = 10.0
+
+let scale ~best cost =
+  if best <= 0.0 then invalid_arg "Scaled_cost.scale: non-positive best";
+  if cost < 0.0 then invalid_arg "Scaled_cost.scale: negative cost";
+  cost /. best
+
+let coerce ?(threshold = default_outlier_threshold) x =
+  if x >= threshold then threshold else x
+
+let average ?(threshold = default_outlier_threshold) samples =
+  if Array.length samples = 0 then invalid_arg "Scaled_cost.average: empty input";
+  Summary.mean (Array.map (coerce ~threshold) samples)
+
+let outlier_fraction ?(threshold = default_outlier_threshold) samples =
+  if Array.length samples = 0 then
+    invalid_arg "Scaled_cost.outlier_fraction: empty input";
+  let n = Array.length samples in
+  let k = Array.fold_left (fun acc x -> if x >= threshold then acc + 1 else acc) 0 samples in
+  float_of_int k /. float_of_int n

@@ -1,0 +1,27 @@
+(** The paper's experimental cost-scaling methodology (Section 6.1).
+
+    For each query, the solution cost obtained by a method at a time limit is
+    divided by the best cost obtained by any method at the largest limit
+    ([9 N^2]), giving a *scaled cost* >= 1.  A scaled cost at or above the
+    outlier threshold (10 in the paper) is an *outlying value* and is coerced
+    to the threshold so that arbitrarily bad plans cannot dominate the mean:
+    "once a solution is considered poor, we are not much interested ... in
+    how poor it is". *)
+
+val default_outlier_threshold : float
+(** 10.0, as in the paper. *)
+
+val scale : best:float -> float -> float
+(** [scale ~best cost] is [cost /. best].  Requires [best > 0] and
+    [cost >= 0]. *)
+
+val coerce : ?threshold:float -> float -> float
+(** Clamp a scaled cost at the outlier threshold. *)
+
+val average : ?threshold:float -> float array -> float
+(** Mean of the coerced scaled costs; the paper's per-datapoint statistic.
+    Raises [Invalid_argument] on empty input. *)
+
+val outlier_fraction : ?threshold:float -> float array -> float
+(** Fraction of samples that were outlying (useful diagnostic, not in the
+    paper's tables). *)

@@ -1,0 +1,33 @@
+(** Summary statistics over float samples.
+
+    Used both for validating generator distributions in tests and for the
+    experiment harness.  All functions are total on non-empty inputs and
+    raise [Invalid_argument] on empty ones. *)
+
+val mean : float array -> float
+
+val variance : float array -> float
+(** Sample (n-1) variance; 0 for singleton input. *)
+
+val stddev : float array -> float
+
+val median : float array -> float
+(** Does not mutate its argument. *)
+
+val percentile : float array -> float -> float
+(** [percentile a p] with [p] in [0,100], linear interpolation between order
+    statistics.  Does not mutate its argument. *)
+
+val min_max : float array -> float * float
+
+val geometric_mean : float array -> float
+(** Requires all-positive samples. *)
+
+type running
+(** Online mean/variance accumulator (Welford). *)
+
+val running_create : unit -> running
+val running_add : running -> float -> unit
+val running_count : running -> int
+val running_mean : running -> float
+val running_stddev : running -> float

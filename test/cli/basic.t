@@ -1,0 +1,48 @@
+Generate a small query deterministically:
+
+  $ ljqo generate --n-joins 4 --seed 7 -o q.qdl
+  wrote q.qdl (5 relations, 4 joins)
+
+The file is QDL and reparses:
+
+  $ head -1 q.qdl
+  # 5 relations, 4 joins
+
+  $ ljqo inspect q.qdl | head -1
+  5 relations, 4 join predicates
+
+Optimizing is deterministic given a seed:
+
+  $ ljqo optimize q.qdl --method IAI --seed 3 | grep -c "estimated cost"
+  1
+
+  $ ljqo optimize q.qdl --method IAI --seed 3 > a.out
+  $ ljqo optimize q.qdl --method IAI --seed 3 > b.out
+  $ cmp a.out b.out
+
+Exact search agrees with itself and reports the space size:
+
+  $ ljqo exact q.qdl | grep -c "valid plans"
+  1
+
+Unknown methods are rejected:
+
+  $ ljqo optimize q.qdl --method NOPE 2>&1 | grep -c "unknown method"
+  1
+
+Listing commands:
+
+  $ ljqo methods
+  II
+  SA
+  SAA
+  SAK
+  IAI
+  IKI
+  IAL
+  AGI
+  KBI
+
+  $ ljqo benchmarks | head -2
+  0  default            the paper's default distributions
+  1  card-x10           cardinality ranges scaled by 10 (20/60/20%)

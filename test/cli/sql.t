@@ -1,0 +1,32 @@
+A statistics catalog and a SQL query:
+
+  $ cat > demo.stats <<'STATS'
+  > table emp rows 1000;
+  > table dept rows 20;
+  > column emp.deptno distinct 20;
+  > column emp.sal distinct 400 range 1000 9000;
+  > column dept.id distinct 20;
+  > STATS
+
+  $ cat > demo.sql <<'SQL'
+  > SELECT * FROM emp e, dept d
+  > WHERE e.deptno = d.id AND e.sal > 5000;
+  > SQL
+
+  $ ljqo sql demo.sql --catalog demo.stats --seed 1 | head -3
+  2 relations, 1 join predicates
+    selection on e: e.sal > 5000  (selectivity 0.5)
+  
+
+Errors are located:
+
+  $ cat > bad.sql <<'SQL'
+  > SELECT * FROM emp e
+  > WHERE e.sal ==
+  > SQL
+
+  $ ljqo sql bad.sql --catalog demo.stats 2>&1 | grep -c "bad.sql:2"
+  1
+
+  $ ljqo sql demo.sql --catalog /dev/null 2>&1 | head -1
+  demo.sql: unknown table "emp"

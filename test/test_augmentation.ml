@@ -1,0 +1,148 @@
+open Ljqo_core
+open Ljqo_catalog
+
+let test_criterion_indexing () =
+  List.iter
+    (fun c ->
+      Alcotest.(check bool) "roundtrip" true
+        (Augmentation.criterion_of_index (Augmentation.criterion_index c) = c))
+    Augmentation.all_criteria;
+  Alcotest.(check int) "five criteria" 5 (List.length Augmentation.all_criteria);
+  (match Augmentation.criterion_of_index 6 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "index 6 accepted");
+  Alcotest.(check bool) "default is min-selectivity" true
+    (Augmentation.default_criterion = Augmentation.Min_selectivity)
+
+let test_starts_sorted_by_cardinality () =
+  let q = Helpers.chain3 () in
+  (* cards: A=100, B=1000, C=10 -> order C, A, B *)
+  Alcotest.(check (list int)) "sorted" [ 2; 0; 1 ] (Augmentation.starts q)
+
+let test_generates_valid_plans () =
+  let q = Helpers.random_query ~n_joins:10 71 in
+  List.iter
+    (fun crit ->
+      List.iter
+        (fun start ->
+          let p = Augmentation.generate q crit ~start in
+          if not (Plan.is_valid q p) then
+            Alcotest.failf "invalid plan for criterion %s start %d"
+              (Augmentation.criterion_name crit)
+              start;
+          Alcotest.(check int) "starts at start" start p.(0))
+        (Augmentation.starts q))
+    Augmentation.all_criteria
+
+let test_deterministic () =
+  let q = Helpers.random_query ~n_joins:8 72 in
+  List.iter
+    (fun crit ->
+      Alcotest.(check bool) "same plan twice" true
+        (Augmentation.generate q crit ~start:0 = Augmentation.generate q crit ~start:0))
+    Augmentation.all_criteria
+
+let test_min_cardinality_greedy () =
+  (* On chain3 starting at C, min-cardinality must pick B (the only valid
+     choice), then A. *)
+  let q = Helpers.chain3 () in
+  let p = Augmentation.generate q Augmentation.Min_cardinality ~start:2 in
+  Alcotest.(check (array int)) "forced chain order" [| 2; 1; 0 |] p
+
+let test_max_degree_greedy () =
+  (* On a star, max-degree picks the hub right after any leaf start. *)
+  let relations =
+    Array.init 5 (fun id -> Helpers.rel ~id ~card:100 ~distinct:0.5 ())
+  in
+  let edges =
+    List.init 4 (fun i -> { Join_graph.u = 0; v = i + 1; selectivity = 0.02 })
+  in
+  let q = Query.make ~relations ~graph:(Join_graph.make ~n:5 edges) in
+  let p = Augmentation.generate q Augmentation.Max_degree ~start:3 in
+  Alcotest.(check int) "hub second" 0 p.(1)
+
+let test_charge_called () =
+  let q = Helpers.random_query ~n_joins:8 73 in
+  let charged = ref 0 in
+  ignore
+    (Augmentation.generate
+       ~charge:(fun k -> charged := !charged + k)
+       q Augmentation.default_criterion ~start:0);
+  Alcotest.(check bool) "work was charged" true (!charged >= Query.n_relations q - 1)
+
+let test_source_drains () =
+  let q = Helpers.random_query ~n_joins:6 74 in
+  let ev =
+    Evaluator.create ~query:q ~model:Helpers.memory_model ~ticks:1_000_000 ()
+  in
+  let source = Augmentation.make_source ev in
+  let count = ref 0 in
+  let rec drain () =
+    match source () with
+    | Some p ->
+      Alcotest.(check bool) "valid" true (Plan.is_valid q p);
+      incr count;
+      drain ()
+    | None -> ()
+  in
+  drain ();
+  Alcotest.(check int) "one state per relation" (Query.n_relations q) !count;
+  Alcotest.(check bool) "stays drained" true (source () = None)
+
+let test_rejects_disconnected () =
+  let q = Helpers.disconnected () in
+  match Augmentation.generate q Augmentation.default_criterion ~start:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disconnected query accepted"
+
+let test_criterion3_beats_criterion1_aggregate () =
+  (* Table 1's headline: min-selectivity dominates min-cardinality.  Compare
+     best-of-states quality aggregated over a batch of benchmark queries. *)
+  let total crit =
+    List.fold_left
+      (fun acc seed ->
+        let q = Helpers.random_query ~n_joins:15 (900 + seed) in
+        let best =
+          List.fold_left
+            (fun b start ->
+              Float.min b
+                (Ljqo_cost.Plan_cost.total Helpers.memory_model q
+                   (Augmentation.generate q crit ~start)))
+            infinity (Augmentation.starts q)
+        in
+        let lb = Ljqo_cost.Plan_cost.lower_bound Helpers.memory_model q in
+        acc +. Float.min 10.0 (best /. lb))
+      0.0
+      (List.init 10 (fun i -> i))
+  in
+  let c3 = total Augmentation.Min_selectivity in
+  let c1 = total Augmentation.Min_cardinality in
+  Alcotest.(check bool)
+    (Printf.sprintf "criterion 3 (%.2f) <= criterion 1 (%.2f)" c3 c1)
+    true (c3 <= c1)
+
+let prop_all_criteria_valid =
+  Helpers.qcheck_case ~count:40 ~name:"every criterion yields valid plans"
+    (fun (qseed, cidx) ->
+      let q = Helpers.random_query ~n_joins:8 qseed in
+      let crit = Augmentation.criterion_of_index (1 + abs cidx mod 5) in
+      let start = List.hd (Augmentation.starts q) in
+      Plan.is_valid q (Augmentation.generate q crit ~start))
+    QCheck.(pair small_int small_int)
+
+let suite =
+  [
+    Alcotest.test_case "criterion indexing" `Quick test_criterion_indexing;
+    Alcotest.test_case "starts sorted by cardinality" `Quick
+      test_starts_sorted_by_cardinality;
+    Alcotest.test_case "generates valid plans" `Quick test_generates_valid_plans;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "min-cardinality greedy" `Quick test_min_cardinality_greedy;
+    Alcotest.test_case "max-degree greedy" `Quick test_max_degree_greedy;
+    Alcotest.test_case "charge called" `Quick test_charge_called;
+    Alcotest.test_case "source drains" `Quick test_source_drains;
+    Alcotest.test_case "rejects disconnected" `Quick test_rejects_disconnected;
+    Alcotest.test_case "criterion 3 beats criterion 1 (Table 1)" `Slow
+      test_criterion3_beats_criterion1_aggregate;
+    prop_all_criteria_valid;
+  ]

@@ -1,0 +1,95 @@
+open Ljqo_core
+
+let mem = Helpers.memory_model
+
+let run_baseline b query ~ticks ~seed =
+  let ev = Evaluator.create ~query ~model:mem ~ticks () in
+  Baselines.run b ev (Ljqo_stats.Rng.create seed);
+  ev
+
+let test_names () =
+  Alcotest.(check (list string)) "names" [ "RAND"; "WALK"; "SDII" ]
+    (List.map Baselines.name Baselines.all)
+
+let test_all_produce_results () =
+  let q = Helpers.random_query ~n_joins:8 1401 in
+  List.iter
+    (fun b ->
+      let ev = run_baseline b q ~ticks:20_000 ~seed:2 in
+      match Evaluator.best ev with
+      | Some (cost, plan) ->
+        Alcotest.(check bool)
+          (Baselines.name b ^ " valid plan")
+          true (Plan.is_valid q plan);
+        Alcotest.(check bool) "positive cost" true (cost > 0.0)
+      | None -> Alcotest.failf "%s produced nothing" (Baselines.name b))
+    Baselines.all
+
+let test_budget_respected () =
+  let q = Helpers.random_query ~n_joins:10 1402 in
+  List.iter
+    (fun b ->
+      let ev = run_baseline b q ~ticks:5_000 ~seed:3 in
+      Alcotest.(check bool)
+        (Baselines.name b ^ " exhausts its budget")
+        true (Evaluator.exhausted ev))
+    Baselines.all
+
+let test_sampling_matches_best_random () =
+  (* RAND's incumbent is the best of the plans drawn from its stream; in
+     particular it can never be worse than the stream's first plan. *)
+  let q = Helpers.random_query ~n_joins:8 1403 in
+  let ev = run_baseline Baselines.Random_sampling q ~ticks:5_000 ~seed:4 in
+  let first =
+    Ljqo_cost.Plan_cost.total mem q (Random_plan.generate (Ljqo_stats.Rng.create 4) q)
+  in
+  Alcotest.(check bool) "best <= first sample" true
+    (Evaluator.best_cost ev <= first +. 1e-9)
+
+let test_ii_beats_walk_and_rand () =
+  (* SG88's finding in miniature: II dominates the naive baselines given
+     the same budget, aggregated over queries. *)
+  let total driver =
+    List.fold_left
+      (fun acc seed ->
+        let q = Helpers.random_query ~n_joins:12 (1500 + seed) in
+        let ticks = Budget.ticks_for_limit ~t_factor:3.0 ~n_joins:12 () in
+        let ev = Evaluator.create ~query:q ~model:mem ~ticks () in
+        driver ev (Ljqo_stats.Rng.create (1600 + seed));
+        acc +. Float.min 10.0 (Evaluator.best_cost ev /. Evaluator.lower_bound ev))
+      0.0
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let ii = total (Methods.run Methods.II) in
+  let walk = total (Baselines.run Baselines.Perturbation_walk) in
+  let rand = total (Baselines.run Baselines.Random_sampling) in
+  Alcotest.(check bool)
+    (Printf.sprintf "II (%.2f) <= WALK (%.2f)" ii walk)
+    true (ii <= walk);
+  Alcotest.(check bool)
+    (Printf.sprintf "II (%.2f) <= RAND (%.2f)" ii rand)
+    true (ii <= rand)
+
+let test_steepest_descent_monotone_incumbent () =
+  let q = Helpers.random_query ~n_joins:8 1404 in
+  let checkpoints = [ 2_000; 10_000; 30_000 ] in
+  let ev = Evaluator.create ~checkpoints ~query:q ~model:mem ~ticks:30_000 () in
+  Baselines.run Baselines.Steepest_descent ev (Ljqo_stats.Rng.create 5);
+  let costs = List.map snd (Evaluator.checkpoint_costs ev) in
+  let rec nonincreasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && nonincreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "incumbent monotone" true (nonincreasing costs)
+
+let suite =
+  [
+    Alcotest.test_case "names" `Quick test_names;
+    Alcotest.test_case "all produce results" `Quick test_all_produce_results;
+    Alcotest.test_case "budget respected" `Quick test_budget_respected;
+    Alcotest.test_case "sampling finds good plans" `Quick
+      test_sampling_matches_best_random;
+    Alcotest.test_case "II beats WALK and RAND" `Slow test_ii_beats_walk_and_rand;
+    Alcotest.test_case "steepest descent monotone" `Quick
+      test_steepest_descent_monotone_incumbent;
+  ]

@@ -1,0 +1,71 @@
+open Ljqo_core
+
+let test_basic_charging () =
+  let b = Budget.create ~ticks:100 () in
+  Budget.charge b 30;
+  Alcotest.(check int) "used" 30 (Budget.used b);
+  Alcotest.(check (option int)) "remaining" (Some 70) (Budget.remaining b);
+  Alcotest.(check bool) "not exhausted" false (Budget.exhausted b)
+
+let test_exhaustion () =
+  let b = Budget.create ~ticks:10 () in
+  Budget.charge b 5;
+  (match Budget.charge b 5 with
+  | exception Budget.Exhausted -> ()
+  | () -> Alcotest.fail "reaching the limit must raise");
+  Alcotest.(check bool) "exhausted" true (Budget.exhausted b);
+  match Budget.charge b 1 with
+  | exception Budget.Exhausted -> ()
+  | () -> Alcotest.fail "dead budget must keep raising"
+
+let test_unlimited () =
+  let b = Budget.unlimited () in
+  Budget.charge b 1_000_000;
+  Alcotest.(check (option int)) "no limit" None (Budget.limit b);
+  Alcotest.(check (option int)) "no remaining" None (Budget.remaining b)
+
+let test_checkpoints_fire_in_order () =
+  let b = Budget.create ~checkpoints:[ 30; 10; 20 ] ~ticks:100 () in
+  let fired = ref [] in
+  Budget.set_checkpoint_callback b (fun c -> fired := c :: !fired);
+  Budget.charge b 9;
+  Alcotest.(check (list int)) "nothing yet" [] (List.rev !fired);
+  Budget.charge b 1;
+  Alcotest.(check (list int)) "first" [ 10 ] (List.rev !fired);
+  Budget.charge b 25;
+  Alcotest.(check (list int)) "two crossed at once" [ 10; 20; 30 ] (List.rev !fired)
+
+let test_checkpoint_at_limit () =
+  let b = Budget.create ~checkpoints:[ 10 ] ~ticks:10 () in
+  let fired = ref [] in
+  Budget.set_checkpoint_callback b (fun c -> fired := c :: !fired);
+  (try Budget.charge b 10 with Budget.Exhausted -> ());
+  Alcotest.(check (list int)) "fires before exhaustion" [ 10 ] !fired
+
+let test_checkpoints_beyond_limit_dropped () =
+  let b = Budget.create ~checkpoints:[ 5; 500 ] ~ticks:10 () in
+  let fired = ref [] in
+  Budget.set_checkpoint_callback b (fun c -> fired := c :: !fired);
+  (try Budget.charge b 10 with Budget.Exhausted -> ());
+  Alcotest.(check (list int)) "only reachable checkpoints" [ 5 ] (List.rev !fired)
+
+let test_ticks_for_limit () =
+  Alcotest.(check int) "t*N^2*kappa"
+    (int_of_float (1.5 *. 400.0 *. float_of_int Budget.default_ticks_per_unit))
+    (Budget.ticks_for_limit ~t_factor:1.5 ~n_joins:20 ());
+  Alcotest.(check int) "custom kappa" 9000
+    (Budget.ticks_for_limit ~ticks_per_unit:10 ~t_factor:9.0 ~n_joins:10 ());
+  Alcotest.(check bool) "at least one tick" true
+    (Budget.ticks_for_limit ~ticks_per_unit:1 ~t_factor:0.0001 ~n_joins:1 () >= 1)
+
+let suite =
+  [
+    Alcotest.test_case "basic charging" `Quick test_basic_charging;
+    Alcotest.test_case "exhaustion" `Quick test_exhaustion;
+    Alcotest.test_case "unlimited" `Quick test_unlimited;
+    Alcotest.test_case "checkpoints fire in order" `Quick test_checkpoints_fire_in_order;
+    Alcotest.test_case "checkpoint at the limit" `Quick test_checkpoint_at_limit;
+    Alcotest.test_case "checkpoints beyond limit dropped" `Quick
+      test_checkpoints_beyond_limit_dropped;
+    Alcotest.test_case "ticks_for_limit" `Quick test_ticks_for_limit;
+  ]

@@ -1,0 +1,107 @@
+open Ljqo_core
+
+let mem = Helpers.memory_model
+
+(* Brute-force optimum under the product estimator. *)
+let brute_force_product_optimum query =
+  let n = Ljqo_catalog.Query.n_relations query in
+  let best = ref infinity in
+  let perm = Array.make n (-1) in
+  let used = Array.make n false in
+  let rec go depth =
+    if depth = n then begin
+      let c = Ljqo_cost.Product_cost.total mem query perm in
+      if c < !best then best := c
+    end
+    else
+      for r = 0 to n - 1 do
+        if not used.(r) then begin
+          let ok =
+            depth = 0
+            || List.exists
+                 (fun (o, _) -> Array.exists (fun x -> x = o) (Array.sub perm 0 depth))
+                 (Ljqo_catalog.Join_graph.neighbors
+                    (Ljqo_catalog.Query.graph query) r)
+          in
+          if ok then begin
+            perm.(depth) <- r;
+            used.(r) <- true;
+            go (depth + 1);
+            used.(r) <- false;
+            perm.(depth) <- -1
+          end
+        end
+      done
+  in
+  go 0;
+  !best
+
+let test_matches_brute_force () =
+  for seed = 1 to 8 do
+    let q = Helpers.random_query ~n_joins:5 (1300 + seed) in
+    let dp = Dp.optimize mem q in
+    Helpers.check_approx
+      (Printf.sprintf "product optimum (seed %d)" seed)
+      (brute_force_product_optimum q) dp.product_cost;
+    Alcotest.(check bool) "plan valid" true (Plan.is_valid q dp.plan);
+    Helpers.check_approx "product cost matches its plan"
+      (Ljqo_cost.Product_cost.total mem q dp.plan)
+      dp.product_cost;
+    Helpers.check_approx "clamped cost reported correctly"
+      (Ljqo_cost.Plan_cost.total mem q dp.plan)
+      dp.clamped_cost
+  done
+
+let test_dp_beats_random_under_product () =
+  let q = Helpers.random_query ~n_joins:10 1311 in
+  let dp = Dp.optimize mem q in
+  for pseed = 1 to 10 do
+    let p = Helpers.valid_random_plan q pseed in
+    Alcotest.(check bool) "dp <= random (product metric)" true
+      (dp.product_cost <= Ljqo_cost.Product_cost.total mem q p +. 1e-6)
+  done
+
+let test_too_large () =
+  let q = Helpers.random_query ~n_joins:30 1321 in
+  match Dp.optimize mem q with
+  | exception Dp.Too_large _ -> ()
+  | _ -> Alcotest.fail "oversized query accepted"
+
+let test_rejects_disconnected () =
+  match Dp.optimize mem (Helpers.disconnected ()) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "disconnected accepted"
+
+let test_single_relation () =
+  let relations = [| Helpers.rel ~id:0 ~card:10 ~distinct:0.5 () |] in
+  let q =
+    Ljqo_catalog.Query.make ~relations ~graph:(Ljqo_catalog.Join_graph.make ~n:1 [])
+  in
+  let dp = Dp.optimize mem q in
+  Alcotest.(check (array int)) "trivial plan" [| 0 |] dp.plan
+
+let test_subset_counts_grow () =
+  let count n_joins =
+    (Dp.optimize mem (Helpers.random_query ~n_joins 1331)).subsets_explored
+  in
+  Alcotest.(check bool) "exponential-ish growth" true (count 12 > 2 * count 8)
+
+let prop_dp_optimal_vs_random =
+  Helpers.qcheck_case ~count:20 ~name:"DP optimal under product estimator"
+    (fun (qseed, pseed) ->
+      let q = Helpers.random_query ~n_joins:6 qseed in
+      let dp = Dp.optimize mem q in
+      let p = Helpers.valid_random_plan q pseed in
+      dp.product_cost <= Ljqo_cost.Product_cost.total mem q p +. 1e-6)
+    QCheck.(pair small_int small_int)
+
+let suite =
+  [
+    Alcotest.test_case "matches brute force" `Quick test_matches_brute_force;
+    Alcotest.test_case "beats random plans" `Quick test_dp_beats_random_under_product;
+    Alcotest.test_case "too large rejected" `Quick test_too_large;
+    Alcotest.test_case "rejects disconnected" `Quick test_rejects_disconnected;
+    Alcotest.test_case "single relation" `Quick test_single_relation;
+    Alcotest.test_case "subset counts grow" `Quick test_subset_counts_grow;
+    prop_dp_optimal_vs_random;
+  ]

@@ -1,0 +1,110 @@
+open Ljqo_core
+open Ljqo_cost
+
+let mem = Helpers.memory_model
+
+let make_ev ?epsilon ?checkpoints ?(ticks = 1_000_000) () =
+  let q = Helpers.chain3 () in
+  (q, Evaluator.create ?epsilon ?checkpoints ~query:q ~model:mem ~ticks ())
+
+let test_eval_records_best () =
+  let q, ev = make_ev () in
+  let c1 = Evaluator.eval ev [| 0; 1; 2 |] in
+  Helpers.check_approx "cost matches plan_cost" (Plan_cost.total mem q [| 0; 1; 2 |]) c1;
+  let c2 = Evaluator.eval ev [| 2; 1; 0 |] in
+  Alcotest.(check bool) "second plan cheaper" true (c2 < c1);
+  (match Evaluator.best ev with
+  | Some (best, plan) ->
+    Helpers.check_approx "best cost" c2 best;
+    Alcotest.(check (array int)) "best plan" [| 2; 1; 0 |] plan
+  | None -> Alcotest.fail "no best recorded");
+  (* A worse plan later must not displace the incumbent. *)
+  ignore (Evaluator.eval ev [| 0; 1; 2 |]);
+  Helpers.check_approx "incumbent kept" c2 (Evaluator.best_cost ev)
+
+let test_charges_ticks () =
+  let _, ev = make_ev () in
+  ignore (Evaluator.eval ev [| 0; 1; 2 |]);
+  Alcotest.(check int) "n ticks per eval" 3 (Evaluator.used ev)
+
+let test_budget_exhaustion_keeps_result () =
+  let _, ev = make_ev ~ticks:3 () in
+  (match Evaluator.eval ev [| 2; 1; 0 |] with
+  | exception Budget.Exhausted -> ()
+  | _ -> Alcotest.fail "expected exhaustion");
+  (* The plan evaluated while crossing the limit is still recorded. *)
+  match Evaluator.best ev with
+  | Some (_, plan) -> Alcotest.(check (array int)) "recorded" [| 2; 1; 0 |] plan
+  | None -> Alcotest.fail "result lost at exhaustion"
+
+let test_convergence () =
+  (* A single-join query where the optimum is close to the lower bound. *)
+  let relations =
+    [|
+      Helpers.rel ~id:0 ~card:100 ~distinct:1.0 ();
+      Helpers.rel ~id:1 ~card:100 ~distinct:1.0 ();
+    |]
+  in
+  let q =
+    Ljqo_catalog.Query.make ~relations
+      ~graph:
+        (Ljqo_catalog.Join_graph.make ~n:2
+           [ { Ljqo_catalog.Join_graph.u = 0; v = 1; selectivity = 0.01 } ])
+  in
+  let ev = Evaluator.create ~epsilon:100.0 ~query:q ~model:mem ~ticks:1000 () in
+  match Evaluator.eval ev [| 0; 1 |] with
+  | exception Evaluator.Converged -> ()
+  | _ -> Alcotest.fail "generous epsilon must trigger convergence"
+
+let test_checkpoint_costs () =
+  let _, ev = make_ev ~checkpoints:[ 3; 6; 1000 ] ~ticks:2000 () in
+  ignore (Evaluator.eval ev [| 0; 1; 2 |]);
+  ignore (Evaluator.eval ev [| 2; 1; 0 |]);
+  let cps = Evaluator.checkpoint_costs ev in
+  Alcotest.(check int) "all requested checkpoints" 3 (List.length cps);
+  (match cps with
+  | [ (3, c3); (6, c6); (1000, cfinal) ] ->
+    (* At tick 3 the first eval has not been recorded yet (charge precedes
+       record), so the snapshot is infinite; by tick 6 the first plan is in;
+       the unreached checkpoint falls back to the final incumbent. *)
+    Alcotest.(check bool) "first snapshot empty" true (c3 = infinity);
+    Helpers.check_approx "snapshot after first eval"
+      (Plan_cost.total mem (Helpers.chain3 ()) [| 0; 1; 2 |])
+      c6;
+    Helpers.check_approx "fallback to final" (Evaluator.best_cost ev) cfinal
+  | _ -> Alcotest.fail "unexpected checkpoint shape");
+  ()
+
+let test_checkpoints_nonincreasing () =
+  let q = Helpers.random_query ~n_joins:10 5 in
+  let checkpoints = [ 100; 500; 2000; 10_000; 50_000 ] in
+  let ev = Evaluator.create ~checkpoints ~query:q ~model:mem ~ticks:50_000 () in
+  let rng = Ljqo_stats.Rng.create 3 in
+  (try
+     while true do
+       ignore (Evaluator.eval ev (Random_plan.generate rng q))
+     done
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  let costs = List.map snd (Evaluator.checkpoint_costs ev) in
+  let rec nonincreasing = function
+    | a :: (b :: _ as rest) -> a >= b && nonincreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "incumbent only improves" true (nonincreasing costs)
+
+let test_best_cost_without_plans () =
+  let _, ev = make_ev () in
+  match Evaluator.best_cost ev with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "best_cost on empty evaluator must raise"
+
+let suite =
+  [
+    Alcotest.test_case "eval records best" `Quick test_eval_records_best;
+    Alcotest.test_case "charges ticks" `Quick test_charges_ticks;
+    Alcotest.test_case "exhaustion keeps result" `Quick test_budget_exhaustion_keeps_result;
+    Alcotest.test_case "convergence" `Quick test_convergence;
+    Alcotest.test_case "checkpoint costs" `Quick test_checkpoint_costs;
+    Alcotest.test_case "checkpoints nonincreasing" `Quick test_checkpoints_nonincreasing;
+    Alcotest.test_case "best_cost without plans" `Quick test_best_cost_without_plans;
+  ]

@@ -1,0 +1,150 @@
+open Ljqo_catalog
+open Ljqo_exec
+
+let data_for ?(seed = 1) q = Relation_data.generate_all q ~rng:(Ljqo_stats.Rng.create seed)
+
+let test_data_matches_stats () =
+  let q = Helpers.chain3 () in
+  let data = data_for q in
+  Array.iteri
+    (fun r d ->
+      Alcotest.(check int) "cardinality"
+        (int_of_float (Float.round (Query.cardinality q r)))
+        (Relation_data.cardinality d);
+      List.iter
+        (fun (other, _) ->
+          let dc = Relation_data.distinct_count d ~other in
+          Alcotest.(check bool) "distinct bounded by D" true
+            (float_of_int dc <= Query.distinct_values q r +. 0.5))
+        (Join_graph.neighbors (Query.graph q) r))
+    data
+
+let test_hash_join_matches_oracle () =
+  for seed = 1 to 10 do
+    let q = Helpers.small_exec_query ~n_joins:3 seed in
+    let data = data_for ~seed q in
+    let plan = Helpers.valid_random_plan q (seed * 3) in
+    let hash = Executor.run q ~data plan in
+    let oracle = Executor.nested_loop_oracle q ~data plan in
+    Alcotest.(check int)
+      (Printf.sprintf "seed %d" seed)
+      oracle
+      (Array.length hash.rows)
+  done
+
+let test_cross_product_size () =
+  let q = Helpers.disconnected () in
+  let data = data_for q in
+  (* C (relation 2) is its own component: joining it last is a cross *)
+  let r = Executor.run q ~data [| 0; 1; 2 |] in
+  let ab = List.nth (Executor.cardinalities r) 1 in
+  let final = List.nth (Executor.cardinalities r) 2 in
+  Alcotest.(check int) "cross multiplies" (ab * 50) final
+
+let test_result_too_large () =
+  let relations =
+    [|
+      Helpers.rel ~id:0 ~card:1000 ~distinct:0.001 ();
+      Helpers.rel ~id:1 ~card:1000 ~distinct:0.001 ();
+    |]
+  in
+  let q =
+    Query.make ~relations
+      ~graph:(Join_graph.make ~n:2 [ { Join_graph.u = 0; v = 1; selectivity = 1.0 } ])
+  in
+  let data = data_for q in
+  match Executor.run ~max_rows:100 q ~data [| 0; 1 |] with
+  | exception Executor.Result_too_large n ->
+    Alcotest.(check bool) "cap reported" true (n > 100)
+  | _ -> Alcotest.fail "expected Result_too_large"
+
+let test_cardinalities_shape () =
+  let q = Helpers.chain3 () in
+  let data = data_for q in
+  let r = Executor.run q ~data [| 2; 1; 0 |] in
+  let cards = Executor.cardinalities r in
+  Alcotest.(check int) "one entry per position" 3 (List.length cards);
+  Alcotest.(check int) "first is C's cardinality" 10 (List.hd cards);
+  Alcotest.(check int) "last matches rows" (Array.length r.rows)
+    (List.nth cards 2)
+
+let test_input_validation () =
+  let q = Helpers.chain3 () in
+  let data = data_for q in
+  (match Executor.run q ~data [| 0; 1 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "short plan accepted");
+  let swapped = [| data.(1); data.(0); data.(2) |] in
+  match Executor.run q ~data:swapped [| 0; 1; 2 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "misindexed data accepted"
+
+let test_single_join_expectation () =
+  (* |R ⋈ S| should be near N_r * N_s / max(D_r, D_s) on average. *)
+  let relations =
+    [|
+      Helpers.rel ~id:0 ~card:400 ~distinct:0.25 ();
+      (* D = 100 *)
+      Helpers.rel ~id:1 ~card:300 ~distinct:0.5 ();
+      (* D = 150 *)
+    |]
+  in
+  let q =
+    Query.make ~relations
+      ~graph:
+        (Join_graph.make ~n:2
+           [ { Join_graph.u = 0; v = 1; selectivity = 1.0 /. 150.0 } ])
+  in
+  let expected = 400.0 *. 300.0 /. 150.0 in
+  let total = ref 0 in
+  let trials = 20 in
+  for seed = 1 to trials do
+    let data = data_for ~seed q in
+    let r = Executor.run q ~data [| 0; 1 |] in
+    total := !total + Array.length r.rows
+  done;
+  let mean = float_of_int !total /. float_of_int trials in
+  if mean < expected *. 0.85 || mean > expected *. 1.15 then
+    Alcotest.failf "join size off: expected ~%.0f, got %.0f" expected mean
+
+let test_plan_order_preserves_final_size () =
+  (* The final result is the same set regardless of join order. *)
+  for seed = 1 to 8 do
+    let q = Helpers.small_exec_query ~n_joins:3 (100 + seed) in
+    let data = data_for ~seed q in
+    let p1 = Helpers.valid_random_plan q 1 in
+    let p2 = Helpers.valid_random_plan q 2 in
+    let r1 = Executor.run q ~data p1 in
+    let r2 = Executor.run q ~data p2 in
+    Alcotest.(check int)
+      (Printf.sprintf "final size invariant (seed %d)" seed)
+      (Array.length r1.rows) (Array.length r2.rows)
+  done
+
+let prop_hash_equals_oracle =
+  Helpers.qcheck_case ~count:25 ~name:"hash join executor equals nested-loop oracle"
+    (fun (qseed, pseed) ->
+      let q = Helpers.small_exec_query ~n_joins:3 qseed in
+      let data = data_for ~seed:qseed q in
+      let plan = Helpers.valid_random_plan q pseed in
+      match
+        ( Executor.run ~max_rows:200_000 q ~data plan,
+          Executor.nested_loop_oracle ~max_rows:200_000 q ~data plan )
+      with
+      | r, oracle -> Array.length r.rows = oracle
+      | exception Executor.Result_too_large _ -> QCheck.assume_fail ())
+    QCheck.(pair small_int small_int)
+
+let suite =
+  [
+    Alcotest.test_case "data matches statistics" `Quick test_data_matches_stats;
+    Alcotest.test_case "hash join matches oracle" `Quick test_hash_join_matches_oracle;
+    Alcotest.test_case "cross product size" `Quick test_cross_product_size;
+    Alcotest.test_case "result too large" `Quick test_result_too_large;
+    Alcotest.test_case "cardinalities shape" `Quick test_cardinalities_shape;
+    Alcotest.test_case "input validation" `Quick test_input_validation;
+    Alcotest.test_case "single join expectation" `Slow test_single_join_expectation;
+    Alcotest.test_case "final size order-invariant" `Quick
+      test_plan_order_preserves_final_size;
+    prop_hash_equals_oracle;
+  ]

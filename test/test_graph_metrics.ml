@@ -1,0 +1,99 @@
+open Ljqo_catalog
+
+let edge u v = { Join_graph.u; v; selectivity = 0.5 }
+
+let test_chain_metrics () =
+  let g = Join_graph.make ~n:5 [ edge 0 1; edge 1 2; edge 2 3; edge 3 4 ] in
+  let m = Graph_metrics.compute g in
+  Alcotest.(check int) "vertices" 5 m.n_vertices;
+  Alcotest.(check int) "edges" 4 m.n_edges;
+  Alcotest.(check int) "components" 1 m.n_components;
+  Alcotest.(check int) "diameter" 4 m.diameter;
+  Alcotest.(check int) "cyclomatic" 0 m.cyclomatic;
+  Alcotest.(check int) "max degree" 2 m.max_degree;
+  Helpers.check_approx "chain score" 1.0 m.chain_score;
+  Helpers.check_approx "star score" 0.5 m.star_score;
+  Alcotest.(check (list (pair int int))) "histogram" [ (1, 2); (2, 3) ]
+    m.degree_histogram
+
+let test_star_metrics () =
+  let g = Join_graph.make ~n:5 [ edge 0 1; edge 0 2; edge 0 3; edge 0 4 ] in
+  let m = Graph_metrics.compute g in
+  Alcotest.(check int) "diameter" 2 m.diameter;
+  Alcotest.(check int) "max degree" 4 m.max_degree;
+  Helpers.check_approx "star score" 1.0 m.star_score;
+  Helpers.check_approx "chain score" 0.8 m.chain_score
+
+let test_cycle_metrics () =
+  let g = Join_graph.make ~n:4 [ edge 0 1; edge 1 2; edge 2 3; edge 3 0 ] in
+  let m = Graph_metrics.compute g in
+  Alcotest.(check int) "cyclomatic" 1 m.cyclomatic;
+  Alcotest.(check int) "diameter" 2 m.diameter;
+  Helpers.check_approx "chain score" 1.0 m.chain_score
+
+let test_disconnected () =
+  let g = Join_graph.make ~n:4 [ edge 0 1 ] in
+  let m = Graph_metrics.compute g in
+  Alcotest.(check int) "components" 3 m.n_components;
+  Alcotest.(check int) "diameter unavailable" (-1) m.diameter;
+  Alcotest.(check int) "min degree" 0 m.min_degree
+
+let test_empty_rejected () =
+  match Graph_metrics.compute (Join_graph.make ~n:0 []) with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty graph accepted"
+
+let test_histogram_totals () =
+  let g = Join_graph.make ~n:6 [ edge 0 1; edge 1 2; edge 0 2; edge 3 4 ] in
+  let m = Graph_metrics.compute g in
+  let total = List.fold_left (fun acc (_, c) -> acc + c) 0 m.degree_histogram in
+  Alcotest.(check int) "histogram covers all vertices" 6 total
+
+let test_star_benchmark_scores_high () =
+  (* generator sanity through the metrics lens *)
+  let gen spec seed =
+    Ljqo_querygen.Benchmark.generate_query spec ~n_joins:30
+      ~rng:(Ljqo_stats.Rng.create seed)
+  in
+  let avg spec =
+    let t = ref 0.0 in
+    for seed = 1 to 10 do
+      let m =
+        Graph_metrics.compute (Query.graph (gen spec seed))
+      in
+      t := !t +. m.star_score
+    done;
+    !t /. 10.0
+  in
+  let star = avg (Ljqo_querygen.Benchmark.by_index 8) in
+  let chain = avg (Ljqo_querygen.Benchmark.by_index 9) in
+  Alcotest.(check bool)
+    (Printf.sprintf "star score separates shapes: %.2f > %.2f" star chain)
+    true (star > chain)
+
+let prop_invariants =
+  Helpers.qcheck_case ~count:40 ~name:"metric invariants on random graphs"
+    (fun seed ->
+      let q = Helpers.random_query ~n_joins:10 seed in
+      let m = Graph_metrics.compute (Query.graph q) in
+      m.min_degree <= m.max_degree
+      && m.cyclomatic >= 0
+      && m.star_score >= 0.0
+      && m.star_score <= 1.0
+      && m.chain_score >= 0.0
+      && m.chain_score <= 1.0
+      && (m.n_components > 1 || (m.diameter >= 1 && m.diameter <= m.n_vertices - 1)))
+    QCheck.small_int
+
+let suite =
+  [
+    Alcotest.test_case "chain metrics" `Quick test_chain_metrics;
+    Alcotest.test_case "star metrics" `Quick test_star_metrics;
+    Alcotest.test_case "cycle metrics" `Quick test_cycle_metrics;
+    Alcotest.test_case "disconnected" `Quick test_disconnected;
+    Alcotest.test_case "empty rejected" `Quick test_empty_rejected;
+    Alcotest.test_case "histogram totals" `Quick test_histogram_totals;
+    Alcotest.test_case "star benchmark scores high" `Quick
+      test_star_benchmark_scores_high;
+    prop_invariants;
+  ]

@@ -1,0 +1,111 @@
+open Ljqo_core
+open Ljqo_harness
+
+let mem = Helpers.memory_model
+
+let tiny_workload () =
+  Ljqo_querygen.Workload.make ~ns:[ 5; 8 ] ~per_n:2 ~seed:11
+    Ljqo_querygen.Benchmark.default
+
+let test_parallel_map_matches_sequential () =
+  let a = Array.init 37 (fun i -> i) in
+  let f x = (x * x) + 1 in
+  Alcotest.(check (array int)) "jobs=1" (Array.map f a) (Parallel.map_array ~jobs:1 f a);
+  Alcotest.(check (array int)) "jobs=4" (Array.map f a) (Parallel.map_array ~jobs:4 f a);
+  Alcotest.(check (array int)) "jobs>n" (Array.map f a)
+    (Parallel.map_array ~jobs:100 f a);
+  Alcotest.(check (array int)) "empty" [||] (Parallel.map_array ~jobs:4 f [||])
+
+let test_parallel_propagates_exceptions () =
+  match
+    Parallel.map_array ~jobs:3
+      (fun x -> if x = 5 then failwith "boom" else x)
+      (Array.init 10 Fun.id)
+  with
+  | exception _ -> ()
+  | _ -> Alcotest.fail "worker exception swallowed"
+
+let run_tiny ?(jobs = 1) () =
+  let workload = tiny_workload () in
+  ignore jobs;
+  Driver.run_experiment ~workload ~methods:Methods.[ II; IAI ] ~model:mem
+    ~tfactors:[ 0.5; 9.0 ] ~replicates:2 ()
+
+let test_experiment_shapes () =
+  let o = run_tiny () in
+  Alcotest.(check int) "methods" 2 (List.length o.Driver.methods);
+  Alcotest.(check (list (float 1e-9))) "tfactors sorted" [ 0.5; 9.0 ] o.Driver.tfactors;
+  Alcotest.(check int) "queries" 4 o.Driver.n_queries;
+  Array.iter
+    (Array.iter (fun v ->
+         if v < 1.0 -. 1e-9 || v > 10.0 +. 1e-9 then
+           Alcotest.failf "scaled average out of range: %f" v))
+    o.Driver.averages
+
+let test_experiment_monotone_in_time () =
+  let o = run_tiny () in
+  Array.iter
+    (fun row ->
+      Alcotest.(check bool) "more time helps or ties" true (row.(1) <= row.(0) +. 1e-9))
+    o.Driver.averages
+
+let test_experiment_deterministic_across_jobs () =
+  let o1 = run_tiny () in
+  Parallel.set_jobs 3;
+  let workload = tiny_workload () in
+  let o2 =
+    Driver.run_experiment ~workload ~methods:Methods.[ II; IAI ] ~model:mem
+      ~tfactors:[ 0.5; 9.0 ] ~replicates:2 ()
+  in
+  Parallel.set_jobs 1;
+  Alcotest.(check bool) "bit-identical across job counts" true
+    (o1.Driver.averages = o2.Driver.averages)
+
+let test_outcome_table_render () =
+  let o = run_tiny () in
+  let t = Driver.outcome_table ~title:"demo" o in
+  let s = Ljqo_report.Table.render t in
+  Alcotest.(check bool) "mentions II" true
+    (String.length s > 0
+    && String.split_on_char '\n' s |> List.exists (fun l -> String.length l > 1))
+
+let test_heuristic_state_experiment () =
+  let workload = tiny_workload () in
+  let states =
+    [
+      (fun query ~charge ->
+        let remaining = ref (Augmentation.starts query) in
+        fun () ->
+          match !remaining with
+          | [] -> None
+          | s :: rest ->
+            remaining := rest;
+            Some (Augmentation.generate ~charge query Augmentation.default_criterion ~start:s));
+    ]
+  in
+  let averages =
+    Driver.heuristic_state_experiment ~workload ~model:mem ~tfactors:[ 1.5; 9.0 ]
+      ~states ~labels:[ "aug" ] ()
+  in
+  Alcotest.(check int) "one source" 1 (Array.length averages);
+  Array.iter
+    (fun v ->
+      if v < 1.0 -. 1e-9 || v > 10.0 +. 1e-9 then
+        Alcotest.failf "scaled average out of range: %f" v)
+    averages.(0)
+
+let suite =
+  [
+    Alcotest.test_case "parallel map matches sequential" `Quick
+      test_parallel_map_matches_sequential;
+    Alcotest.test_case "parallel propagates exceptions" `Quick
+      test_parallel_propagates_exceptions;
+    Alcotest.test_case "experiment shapes" `Quick test_experiment_shapes;
+    Alcotest.test_case "experiment monotone in time" `Quick
+      test_experiment_monotone_in_time;
+    Alcotest.test_case "deterministic across job counts" `Quick
+      test_experiment_deterministic_across_jobs;
+    Alcotest.test_case "outcome table renders" `Quick test_outcome_table_render;
+    Alcotest.test_case "heuristic state experiment" `Quick
+      test_heuristic_state_experiment;
+  ]

@@ -1,0 +1,93 @@
+open Ljqo_core
+open Ljqo_cost
+
+let mem = Helpers.memory_model
+
+let test_descend_improves_or_keeps () =
+  let q = Helpers.random_query ~n_joins:10 11 in
+  let start = Helpers.valid_random_plan q 12 in
+  let start_cost = Plan_cost.total mem q start in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
+  let st = Search_state.init ev start in
+  (try Iterative_improvement.descend st (Ljqo_stats.Rng.create 13)
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "descent never worsens the incumbent" true
+    (Evaluator.best_cost ev <= start_cost +. 1e-9)
+
+let test_descend_reaches_sampled_local_minimum () =
+  (* After descend, re-sampling improving moves from the end state should
+     rarely succeed — we just assert the state stayed valid and the final
+     cost matches an independent evaluation. *)
+  let q = Helpers.random_query ~n_joins:8 21 in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
+  let st = Search_state.init ev (Helpers.valid_random_plan q 22) in
+  (try Iterative_improvement.descend st (Ljqo_stats.Rng.create 23)
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "end state valid" true (Plan.is_valid q (Search_state.perm st));
+  Helpers.check_approx ~rel:1e-6 "end cost consistent"
+    (Plan_cost.total mem q (Search_state.perm st))
+    (Search_state.cost st)
+
+let test_run_consumes_starts () =
+  let q = Helpers.random_query ~n_joins:6 31 in
+  let consumed = ref 0 in
+  let starts () =
+    if !consumed >= 3 then None
+    else begin
+      incr consumed;
+      Some (Helpers.valid_random_plan q (40 + !consumed))
+    end
+  in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
+  (try Iterative_improvement.run ev (Ljqo_stats.Rng.create 32) ~starts
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check int) "all starts used" 3 !consumed;
+  Alcotest.(check bool) "a result exists" true (Evaluator.best ev <> None)
+
+let test_run_stops_on_budget () =
+  let q = Helpers.random_query ~n_joins:10 33 in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:500 () in
+  let rng = Ljqo_stats.Rng.create 34 in
+  (match
+     Iterative_improvement.run ev rng ~starts:(fun () ->
+         Some (Random_plan.generate rng q))
+   with
+  | exception Budget.Exhausted -> ()
+  | exception Evaluator.Converged -> ()
+  | () -> Alcotest.fail "endless starts must end by exhaustion");
+  Alcotest.(check bool) "budget spent" true (Evaluator.exhausted ev)
+
+let test_patience_respected () =
+  (* With patience 1, a descent samples at most a handful of moves from a
+     local minimum; measure that it terminates fast on a tiny query. *)
+  let q = Helpers.chain3 () in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:1_000_000 () in
+  let st = Search_state.init ev [| 2; 1; 0 |] in
+  let params = { Iterative_improvement.default_params with patience_factor = 1 } in
+  Iterative_improvement.descend ~params st (Ljqo_stats.Rng.create 35);
+  Alcotest.(check bool) "cheap descent" true (Evaluator.used ev < 1000)
+
+let prop_best_no_worse_than_start =
+  Helpers.qcheck_case ~count:30 ~name:"II incumbent <= start cost"
+    (fun (qseed, pseed) ->
+      let q = Helpers.random_query ~n_joins:7 qseed in
+      let start = Helpers.valid_random_plan q pseed in
+      let start_cost = Plan_cost.total mem q start in
+      let ev = Evaluator.create ~query:q ~model:mem ~ticks:100_000 () in
+      (try
+         let st = Search_state.init ev start in
+         Iterative_improvement.descend st (Ljqo_stats.Rng.create (pseed + 1))
+       with Budget.Exhausted | Evaluator.Converged -> ());
+      Evaluator.best_cost ev <= start_cost +. 1e-9)
+    QCheck.(pair small_int small_int)
+
+let suite =
+  [
+    Alcotest.test_case "descend improves or keeps" `Quick test_descend_improves_or_keeps;
+    Alcotest.test_case "descent end state consistent" `Quick
+      test_descend_reaches_sampled_local_minimum;
+    Alcotest.test_case "run consumes starts" `Quick test_run_consumes_starts;
+    Alcotest.test_case "run stops on budget" `Quick test_run_stops_on_budget;
+    Alcotest.test_case "patience respected" `Quick test_patience_respected;
+    prop_best_no_worse_than_start;
+  ]

@@ -1,0 +1,163 @@
+open Ljqo_catalog
+
+let edge u v s = { Join_graph.u; v; selectivity = s }
+
+let path4 () =
+  Join_graph.make ~n:4 [ edge 0 1 0.1; edge 1 2 0.2; edge 2 3 0.3 ]
+
+let test_basic_accessors () =
+  let g = path4 () in
+  Alcotest.(check int) "n" 4 (Join_graph.n g);
+  Alcotest.(check int) "edges" 3 (Join_graph.n_edges g);
+  Alcotest.(check int) "degree mid" 2 (Join_graph.degree g 1);
+  Alcotest.(check int) "degree end" 1 (Join_graph.degree g 0);
+  Alcotest.(check bool) "joined" true (Join_graph.are_joined g 1 2);
+  Alcotest.(check bool) "not joined" false (Join_graph.are_joined g 0 3);
+  Helpers.check_approx "selectivity" 0.2 (Join_graph.selectivity_exn g 2 1)
+
+let test_neighbors_sorted () =
+  let g = Join_graph.make ~n:5 [ edge 0 4 0.1; edge 0 2 0.1; edge 0 1 0.1 ] in
+  Alcotest.(check (list int)) "sorted neighbors" [ 1; 2; 4 ]
+    (List.map fst (Join_graph.neighbors g 0))
+
+let test_duplicate_edges_merge () =
+  let g = Join_graph.make ~n:2 [ edge 0 1 0.5; edge 1 0 0.5 ] in
+  Alcotest.(check int) "merged to one edge" 1 (Join_graph.n_edges g);
+  Helpers.check_approx "selectivities multiplied" 0.25
+    (Join_graph.selectivity_exn g 0 1)
+
+let test_validation () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail msg
+  in
+  expect_invalid "self loop" (fun () -> Join_graph.make ~n:2 [ edge 0 0 0.5 ]);
+  expect_invalid "out of range" (fun () -> Join_graph.make ~n:2 [ edge 0 5 0.5 ]);
+  expect_invalid "bad selectivity" (fun () -> Join_graph.make ~n:2 [ edge 0 1 0.0 ]);
+  expect_invalid "selectivity above 1" (fun () ->
+      Join_graph.make ~n:2 [ edge 0 1 1.5 ])
+
+let test_components () =
+  let g = Join_graph.make ~n:5 [ edge 0 1 0.1; edge 3 4 0.1 ] in
+  Alcotest.(check (list (list int))) "components" [ [ 0; 1 ]; [ 2 ]; [ 3; 4 ] ]
+    (Join_graph.components g);
+  Alcotest.(check bool) "not connected" false (Join_graph.is_connected g);
+  Alcotest.(check bool) "path connected" true (Join_graph.is_connected (path4 ()));
+  Alcotest.(check bool) "single vertex connected" true
+    (Join_graph.is_connected (Join_graph.make ~n:1 []))
+
+let test_is_tree () =
+  Alcotest.(check bool) "path is tree" true (Join_graph.is_tree (path4 ()));
+  let cycle = Join_graph.make ~n:3 [ edge 0 1 0.1; edge 1 2 0.1; edge 0 2 0.1 ] in
+  Alcotest.(check bool) "cycle is not tree" false (Join_graph.is_tree cycle);
+  let forest = Join_graph.make ~n:3 [ edge 0 1 0.1 ] in
+  Alcotest.(check bool) "forest is not tree" false (Join_graph.is_tree forest)
+
+let test_induced_connected () =
+  let g = path4 () in
+  Alcotest.(check bool) "prefix" true (Join_graph.induced_connected g [ 0; 1; 2 ]);
+  Alcotest.(check bool) "gap" false (Join_graph.induced_connected g [ 0; 2 ]);
+  Alcotest.(check bool) "singleton" true (Join_graph.induced_connected g [ 3 ]);
+  Alcotest.(check bool) "empty" false (Join_graph.induced_connected g [])
+
+let test_edges_listing () =
+  let g = path4 () in
+  let es = Join_graph.edges g in
+  Alcotest.(check int) "count" 3 (List.length es);
+  List.iter (fun (e : Join_graph.edge) -> Alcotest.(check bool) "u<v" true (e.u < e.v)) es
+
+let test_spanning_tree_shape () =
+  let g =
+    Join_graph.make ~n:4
+      [ edge 0 1 0.5; edge 1 2 0.5; edge 2 3 0.5; edge 0 3 0.1; edge 0 2 0.9 ]
+  in
+  let t = Join_graph.spanning_tree g ~weight:(fun e -> e.selectivity) in
+  Alcotest.(check bool) "is tree" true (Join_graph.is_tree t);
+  Alcotest.(check int) "n preserved" 4 (Join_graph.n t);
+  (* the cheap 0-3 edge must be in the minimum tree *)
+  Alcotest.(check bool) "min edge kept" true (Join_graph.are_joined t 0 3)
+
+let test_spanning_tree_disconnected () =
+  let g = Join_graph.make ~n:4 [ edge 0 1 0.5; edge 2 3 0.5 ] in
+  let t = Join_graph.spanning_tree g ~weight:(fun e -> e.selectivity) in
+  Alcotest.(check int) "forest edge count" 2 (Join_graph.n_edges t)
+
+(* Brute-force MST weight for small graphs: minimum over all spanning trees
+   by enumerating edge subsets. *)
+let brute_mst_weight g weight =
+  let es = Array.of_list (Join_graph.edges g) in
+  let n = Join_graph.n g in
+  let m = Array.length es in
+  let best = ref infinity in
+  for mask = 0 to (1 lsl m) - 1 do
+    let chosen = ref [] in
+    let w = ref 0.0 in
+    for i = 0 to m - 1 do
+      if mask land (1 lsl i) <> 0 then begin
+        chosen := es.(i) :: !chosen;
+        w := !w +. weight es.(i)
+      end
+    done;
+    if List.length !chosen = n - 1 then begin
+      let t = Join_graph.make ~n !chosen in
+      if Join_graph.is_tree t && !w < !best then best := !w
+    end
+  done;
+  !best
+
+let prop_spanning_tree_minimal =
+  Helpers.qcheck_case ~count:60 ~name:"Prim tree weight equals brute-force MST"
+    (fun seed ->
+      let rng = Ljqo_stats.Rng.create seed in
+      let n = 2 + Ljqo_stats.Rng.int rng 4 in
+      (* random connected graph: spanning links plus extras *)
+      let edges = ref [] in
+      for i = 1 to n - 1 do
+        let t = Ljqo_stats.Rng.int rng i in
+        edges := edge t i (0.01 +. Ljqo_stats.Rng.float rng 0.98) :: !edges
+      done;
+      for u = 0 to n - 2 do
+        for v = u + 1 to n - 1 do
+          if Ljqo_stats.Rng.bernoulli rng 0.3 then
+            edges := edge u v (0.01 +. Ljqo_stats.Rng.float rng 0.98) :: !edges
+        done
+      done;
+      let g = Join_graph.make ~n !edges in
+      let weight (e : Join_graph.edge) = e.selectivity in
+      let t = Join_graph.spanning_tree g ~weight in
+      let tw = List.fold_left (fun acc e -> acc +. weight e) 0.0 (Join_graph.edges t) in
+      Helpers.approx ~rel:1e-9 tw (brute_mst_weight g weight))
+    QCheck.small_int
+
+let prop_components_partition =
+  Helpers.qcheck_case ~count:60 ~name:"components partition the vertices"
+    (fun seed ->
+      let rng = Ljqo_stats.Rng.create seed in
+      let n = 1 + Ljqo_stats.Rng.int rng 10 in
+      let edges = ref [] in
+      for _ = 1 to Ljqo_stats.Rng.int rng (2 * n) do
+        let u = Ljqo_stats.Rng.int rng n and v = Ljqo_stats.Rng.int rng n in
+        if u <> v then edges := edge u v 0.5 :: !edges
+      done;
+      let g = Join_graph.make ~n !edges in
+      let comps = Join_graph.components g in
+      let all = List.sort compare (List.concat comps) in
+      all = List.init n Fun.id)
+    QCheck.small_int
+
+let suite =
+  [
+    Alcotest.test_case "basic accessors" `Quick test_basic_accessors;
+    Alcotest.test_case "neighbors sorted" `Quick test_neighbors_sorted;
+    Alcotest.test_case "duplicate edges merge" `Quick test_duplicate_edges_merge;
+    Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "components" `Quick test_components;
+    Alcotest.test_case "is_tree" `Quick test_is_tree;
+    Alcotest.test_case "induced_connected" `Quick test_induced_connected;
+    Alcotest.test_case "edges listing" `Quick test_edges_listing;
+    Alcotest.test_case "spanning tree shape" `Quick test_spanning_tree_shape;
+    Alcotest.test_case "spanning forest" `Quick test_spanning_tree_disconnected;
+    prop_spanning_tree_minimal;
+    prop_components_partition;
+  ]

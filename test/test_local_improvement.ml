@@ -1,0 +1,109 @@
+open Ljqo_core
+open Ljqo_cost
+
+let mem = Helpers.memory_model
+
+let make_state ~qseed ~pseed ?(ticks = 50_000_000) () =
+  let q = Helpers.random_query ~n_joins:10 qseed in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks () in
+  (q, Search_state.init ev (Helpers.valid_random_plan q pseed))
+
+let test_ladder () =
+  Alcotest.(check (list (pair int int)))
+    "the paper's strategy ladder"
+    [ (5, 4); (4, 3); (3, 2); (2, 1); (2, 0) ]
+    Local_improvement.strategy_ladder
+
+let test_pass_never_increases_cost () =
+  let q, st = make_state ~qseed:91 ~pseed:92 () in
+  let before = Search_state.cost st in
+  (try ignore (Local_improvement.one_pass st ~c:3 ~o:2)
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "never worse" true (Search_state.cost st <= before +. 1e-9);
+  Helpers.check_approx ~rel:1e-6 "state consistent"
+    (Plan_cost.total mem q (Search_state.perm st))
+    (Search_state.cost st)
+
+let test_improve_reaches_fixpoint () =
+  let _, st = make_state ~qseed:93 ~pseed:94 () in
+  (try Local_improvement.improve st ~c:3 ~o:2
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  (* one more pass may make no change *)
+  let cost = Search_state.cost st in
+  (try
+     let improved = Local_improvement.one_pass st ~c:3 ~o:2 in
+     Alcotest.(check bool) "fixpoint" false improved
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Helpers.check_approx "cost unchanged" cost (Search_state.cost st)
+
+let test_bad_args_rejected () =
+  let _, st = make_state ~qseed:95 ~pseed:96 () in
+  List.iter
+    (fun (c, o) ->
+      match Local_improvement.one_pass st ~c ~o with
+      | exception Invalid_argument _ -> ()
+      | _ -> Alcotest.failf "accepted (c=%d, o=%d)" c o)
+    [ (1, 0); (3, 3); (3, -1) ]
+
+let test_pass_estimate_positive () =
+  List.iter
+    (fun (c, o) ->
+      Alcotest.(check bool)
+        (Printf.sprintf "estimate (%d,%d)" c o)
+        true
+        (Local_improvement.pass_ticks_estimate ~n:20 ~c ~o > 0))
+    Local_improvement.strategy_ladder
+
+let test_improves_a_bad_plan () =
+  (* A deliberately bad ordering of a chain must improve with cluster 2. *)
+  let q = Helpers.random_query ~n_joins:12 97 in
+  (* pick the worst of several random starts *)
+  let start =
+    List.fold_left
+      (fun acc s ->
+        let p = Helpers.valid_random_plan q s in
+        match acc with
+        | None -> Some p
+        | Some b ->
+          if Plan_cost.total mem q p > Plan_cost.total mem q b then Some p else Some b)
+      None [ 1; 2; 3; 4; 5; 6 ]
+    |> Option.get
+  in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:50_000_000 () in
+  let st = Search_state.init ev start in
+  let before = Search_state.cost st in
+  (try Local_improvement.auto st with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "auto improved a bad plan" true (Search_state.cost st < before)
+
+let test_auto_respects_budget () =
+  let _, st = make_state ~qseed:98 ~pseed:99 ~ticks:200 () in
+  (try Local_improvement.auto st with Budget.Exhausted | Evaluator.Converged -> ());
+  (* must not blow past the budget by more than one cluster's work *)
+  let ev = Search_state.evaluator st in
+  Alcotest.(check bool) "bounded overshoot" true (Evaluator.used ev < 5000)
+
+let prop_pass_monotone =
+  Helpers.qcheck_case ~count:25 ~name:"local improvement is monotone for all strategies"
+    (fun (qseed, pseed) ->
+      let q, st = make_state ~qseed ~pseed () in
+      ignore q;
+      List.for_all
+        (fun (c, o) ->
+          let before = Search_state.cost st in
+          (try ignore (Local_improvement.one_pass st ~c ~o)
+           with Budget.Exhausted | Evaluator.Converged -> ());
+          Search_state.cost st <= before +. 1e-9)
+        [ (2, 0); (2, 1); (3, 2) ])
+    QCheck.(pair small_int small_int)
+
+let suite =
+  [
+    Alcotest.test_case "strategy ladder" `Quick test_ladder;
+    Alcotest.test_case "pass never increases cost" `Quick test_pass_never_increases_cost;
+    Alcotest.test_case "improve reaches fixpoint" `Quick test_improve_reaches_fixpoint;
+    Alcotest.test_case "bad args rejected" `Quick test_bad_args_rejected;
+    Alcotest.test_case "pass estimate positive" `Quick test_pass_estimate_positive;
+    Alcotest.test_case "improves a bad plan" `Quick test_improves_a_bad_plan;
+    Alcotest.test_case "auto respects budget" `Quick test_auto_respects_budget;
+    prop_pass_monotone;
+  ]

@@ -1,0 +1,101 @@
+open Ljqo_core
+
+let test_names_roundtrip () =
+  List.iter
+    (fun m ->
+      match Methods.of_name (Methods.name m) with
+      | Some m' -> Alcotest.(check bool) "roundtrip" true (m = m')
+      | None -> Alcotest.failf "name %s not parsed" (Methods.name m))
+    Methods.all;
+  Alcotest.(check bool) "case insensitive" true (Methods.of_name "iai" = Some Methods.IAI);
+  Alcotest.(check bool) "unknown" true (Methods.of_name "XYZ" = None)
+
+let test_all_methods_produce_results () =
+  let q = Helpers.random_query ~n_joins:8 101 in
+  List.iter
+    (fun m ->
+      let ev =
+        Evaluator.create ~query:q ~model:Helpers.memory_model ~ticks:30_000 ()
+      in
+      Methods.run m ev (Ljqo_stats.Rng.create 102);
+      match Evaluator.best ev with
+      | Some (cost, plan) ->
+        Alcotest.(check bool)
+          (Methods.name m ^ " yields a valid plan")
+          true (Plan.is_valid q plan);
+        Alcotest.(check bool) "positive cost" true (cost > 0.0)
+      | None -> Alcotest.failf "%s produced nothing" (Methods.name m))
+    Methods.all
+
+let test_run_swallows_stop_exceptions () =
+  let q = Helpers.random_query ~n_joins:10 103 in
+  (* tiny budget: the run must still return normally *)
+  let ev = Evaluator.create ~query:q ~model:Helpers.memory_model ~ticks:50 () in
+  Methods.run Methods.II ev (Ljqo_stats.Rng.create 104);
+  Alcotest.(check bool) "exhausted but returned" true (Evaluator.exhausted ev)
+
+let test_methods_use_their_budget () =
+  (* iterative methods should consume essentially the whole budget *)
+  let q = Helpers.random_query ~n_joins:10 105 in
+  List.iter
+    (fun m ->
+      let ticks = 20_000 in
+      let ev = Evaluator.create ~query:q ~model:Helpers.memory_model ~ticks () in
+      Methods.run m ev (Ljqo_stats.Rng.create 106);
+      let used = Evaluator.used ev in
+      Alcotest.(check bool)
+        (Methods.name m ^ " uses its time")
+        true
+        (used >= ticks * 9 / 10))
+    Methods.[ II; IAI; IKI; AGI; KBI ]
+
+let test_top_five () =
+  Alcotest.(check int) "five methods" 5 (List.length Methods.top_five);
+  List.iter
+    (fun m ->
+      Alcotest.(check bool) "member of all" true (List.mem m Methods.all))
+    Methods.top_five
+
+let test_deterministic_given_seed () =
+  let q = Helpers.random_query ~n_joins:8 107 in
+  let run () =
+    let ev = Evaluator.create ~query:q ~model:Helpers.memory_model ~ticks:30_000 () in
+    Methods.run Methods.IAI ev (Ljqo_stats.Rng.create 108);
+    Evaluator.best_cost ev
+  in
+  Helpers.check_approx "identical runs" (run ()) (run ())
+
+let test_seeded_methods_beat_pure_sa_usually () =
+  (* The paper's central finding, in miniature: over a few queries, IAI's
+     total scaled cost should not exceed SA's. *)
+  let total method_ =
+    List.fold_left
+      (fun acc seed ->
+        let q = Helpers.random_query ~n_joins:12 (200 + seed) in
+        let ticks = Budget.ticks_for_limit ~t_factor:3.0 ~n_joins:12 () in
+        let ev = Evaluator.create ~query:q ~model:Helpers.memory_model ~ticks () in
+        Methods.run method_ ev (Ljqo_stats.Rng.create (300 + seed));
+        let lb = Evaluator.lower_bound ev in
+        acc +. Float.min 10.0 (Evaluator.best_cost ev /. lb))
+      0.0
+      [ 1; 2; 3; 4; 5; 6 ]
+  in
+  let iai = total Methods.IAI and sa = total Methods.SA in
+  Alcotest.(check bool)
+    (Printf.sprintf "IAI (%.2f) <= SA (%.2f)" iai sa)
+    true (iai <= sa)
+
+let suite =
+  [
+    Alcotest.test_case "names roundtrip" `Quick test_names_roundtrip;
+    Alcotest.test_case "all methods produce results" `Quick
+      test_all_methods_produce_results;
+    Alcotest.test_case "run swallows stop exceptions" `Quick
+      test_run_swallows_stop_exceptions;
+    Alcotest.test_case "iterative methods use their budget" `Quick
+      test_methods_use_their_budget;
+    Alcotest.test_case "top five" `Quick test_top_five;
+    Alcotest.test_case "deterministic given seed" `Quick test_deterministic_given_seed;
+    Alcotest.test_case "IAI no worse than SA (aggregate)" `Slow
+      test_seeded_methods_beat_pure_sa_usually;
+  ]

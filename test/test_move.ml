@@ -1,0 +1,69 @@
+open Ljqo_core
+
+let test_affected_range () =
+  Alcotest.(check (pair int int)) "swap" (2, 6) (Move.affected_range (Move.Swap (2, 5)));
+  Alcotest.(check (pair int int)) "insert fwd" (1, 5)
+    (Move.affected_range (Move.Insert (1, 4)));
+  Alcotest.(check (pair int int)) "insert bwd" (1, 5)
+    (Move.affected_range (Move.Insert (4, 1)))
+
+let test_random_positions_distinct () =
+  let rng = Ljqo_stats.Rng.create 1 in
+  for _ = 1 to 2000 do
+    match Move.random rng ~n:8 with
+    | Move.Swap (i, j) ->
+      if not (0 <= i && i < j && j < 8) then Alcotest.fail "bad swap positions"
+    | Move.Insert (src, dst) ->
+      if src = dst || src < 0 || dst < 0 || src >= 8 || dst >= 8 then
+        Alcotest.fail "bad insert positions"
+  done
+
+let test_random_small_n () =
+  let rng = Ljqo_stats.Rng.create 2 in
+  for _ = 1 to 100 do
+    match Move.random rng ~n:2 with
+    | Move.Swap (0, 1) | Move.Insert (0, 1) | Move.Insert (1, 0) -> ()
+    | m -> Alcotest.failf "unexpected move on n=2: %s" (Format.asprintf "%a" Move.pp m)
+  done;
+  match Move.random rng ~n:1 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "n=1 must be rejected"
+
+let test_mix_respected () =
+  (* An all-adjacent mix must only produce adjacent swaps. *)
+  let rng = Ljqo_stats.Rng.create 3 in
+  let mix = { Move.p_swap = 0.0; p_adjacent_swap = 1.0; p_insert = 0.0 } in
+  for _ = 1 to 500 do
+    match Move.random ~mix rng ~n:10 with
+    | Move.Swap (i, j) when j = i + 1 -> ()
+    | m -> Alcotest.failf "non-adjacent move: %s" (Format.asprintf "%a" Move.pp m)
+  done
+
+let test_insert_only_mix () =
+  let rng = Ljqo_stats.Rng.create 4 in
+  let mix = { Move.p_swap = 0.0; p_adjacent_swap = 0.0; p_insert = 1.0 } in
+  for _ = 1 to 500 do
+    match Move.random ~mix rng ~n:10 with
+    | Move.Insert _ -> ()
+    | m -> Alcotest.failf "non-insert move: %s" (Format.asprintf "%a" Move.pp m)
+  done
+
+let prop_affected_range_bounds =
+  Helpers.qcheck_case ~name:"affected range within the permutation"
+    (fun seed ->
+      let rng = Ljqo_stats.Rng.create seed in
+      let n = 2 + Ljqo_stats.Rng.int rng 50 in
+      let m = Move.random rng ~n in
+      let lo, hi = Move.affected_range m in
+      0 <= lo && lo < hi && hi <= n)
+    QCheck.small_int
+
+let suite =
+  [
+    Alcotest.test_case "affected_range" `Quick test_affected_range;
+    Alcotest.test_case "random positions distinct" `Quick test_random_positions_distinct;
+    Alcotest.test_case "small n" `Quick test_random_small_n;
+    Alcotest.test_case "adjacent-only mix" `Quick test_mix_respected;
+    Alcotest.test_case "insert-only mix" `Quick test_insert_only_mix;
+    prop_affected_range_bounds;
+  ]

@@ -1,0 +1,102 @@
+open Ljqo_core
+
+let mem = Helpers.memory_model
+
+let test_connected_query () =
+  let q = Helpers.random_query ~n_joins:8 111 in
+  let r = Optimizer.optimize ~method_:Methods.IAI ~model:mem ~ticks:50_000 ~seed:1 q in
+  Alcotest.(check bool) "valid plan" true (Plan.is_valid q r.plan);
+  Helpers.check_approx "cost matches plan"
+    (Ljqo_cost.Plan_cost.total mem q r.plan)
+    r.cost;
+  Alcotest.(check bool) "cost >= lower bound" true (r.cost >= r.lower_bound -. 1e-9)
+
+let test_single_relation () =
+  let relations = [| Helpers.rel ~id:0 ~card:10 ~distinct:0.5 () |] in
+  let q =
+    Ljqo_catalog.Query.make ~relations ~graph:(Ljqo_catalog.Join_graph.make ~n:1 [])
+  in
+  let r = Optimizer.optimize ~method_:Methods.II ~model:mem ~ticks:100 ~seed:1 q in
+  Alcotest.(check (array int)) "trivial plan" [| 0 |] r.plan;
+  Alcotest.(check bool) "converged" true r.converged
+
+let test_ticks_validation () =
+  let q = Helpers.chain3 () in
+  match Optimizer.optimize ~method_:Methods.II ~model:mem ~ticks:0 ~seed:1 q with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero budget accepted"
+
+let test_disconnected_query () =
+  let q = Helpers.disconnected () in
+  let r = Optimizer.optimize ~method_:Methods.II ~model:mem ~ticks:10_000 ~seed:1 q in
+  Alcotest.(check bool) "plan is a permutation" true (Plan.is_permutation r.plan);
+  Alcotest.(check int) "full length" 3 (Array.length r.plan);
+  Helpers.check_approx "cost evaluated on full query"
+    (Ljqo_cost.Plan_cost.total mem q r.plan)
+    r.cost;
+  (* cross products postponed: the singleton component (C) comes last or
+     first depending on result sizes, but A-B must stay adjacent *)
+  let pos = Plan.inverse r.plan in
+  Alcotest.(check int) "A next to B" 1 (abs (pos.(0) - pos.(1)))
+
+let test_checkpoints_monotone () =
+  let q = Helpers.random_query ~n_joins:10 112 in
+  let ticks = 100_000 in
+  let checkpoints = [ 1000; 10_000; 50_000; 100_000 ] in
+  let r =
+    Optimizer.optimize ~checkpoints ~method_:Methods.IAI ~model:mem ~ticks ~seed:2 q
+  in
+  Alcotest.(check int) "all checkpoints present" 4 (List.length r.checkpoints);
+  let costs = List.map snd r.checkpoints in
+  let rec nonincreasing = function
+    | a :: (b :: _ as rest) -> a >= b -. 1e-9 && nonincreasing rest
+    | _ -> true
+  in
+  Alcotest.(check bool) "monotone improvement" true (nonincreasing costs);
+  (* the final checkpoint snapshot may precede the very last improvement *)
+  Alcotest.(check bool) "last checkpoint >= final cost" true
+    (List.nth costs 3 >= r.cost -. 1e-9)
+
+let test_deterministic () =
+  let q = Helpers.random_query ~n_joins:8 113 in
+  let run seed =
+    (Optimizer.optimize ~method_:Methods.AGI ~model:mem ~ticks:30_000 ~seed q).cost
+  in
+  Helpers.check_approx "same seed same result" (run 5) (run 5);
+  ignore (run 6)
+
+let test_time_limit_ticks () =
+  let q = Helpers.random_query ~n_joins:10 114 in
+  Alcotest.(check int) "9N^2 default"
+    (Budget.ticks_for_limit ~t_factor:9.0 ~n_joins:10 ())
+    (Optimizer.time_limit_ticks ~t_factor:9.0 ~query:q ())
+
+let test_more_time_no_worse () =
+  let q = Helpers.random_query ~n_joins:12 115 in
+  let cost ticks =
+    (Optimizer.optimize ~method_:Methods.II ~model:mem ~ticks ~seed:7 q).cost
+  in
+  Alcotest.(check bool) "10x budget helps or ties" true
+    (cost 200_000 <= cost 20_000 +. 1e-9)
+
+let prop_valid_plans_all_methods =
+  Helpers.qcheck_case ~count:20 ~name:"optimize always returns a valid full plan"
+    (fun (qseed, midx) ->
+      let q = Helpers.random_query ~n_joins:7 qseed in
+      let m = List.nth Methods.all (abs midx mod List.length Methods.all) in
+      let r = Optimizer.optimize ~method_:m ~model:mem ~ticks:20_000 ~seed:qseed q in
+      Plan.is_valid q r.plan && r.cost >= r.lower_bound -. 1e-9)
+    QCheck.(pair small_int small_int)
+
+let suite =
+  [
+    Alcotest.test_case "connected query" `Quick test_connected_query;
+    Alcotest.test_case "single relation" `Quick test_single_relation;
+    Alcotest.test_case "ticks validation" `Quick test_ticks_validation;
+    Alcotest.test_case "disconnected query" `Quick test_disconnected_query;
+    Alcotest.test_case "checkpoints monotone" `Quick test_checkpoints_monotone;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "time_limit_ticks" `Quick test_time_limit_ticks;
+    Alcotest.test_case "more time never hurts" `Quick test_more_time_no_worse;
+    prop_valid_plans_all_methods;
+  ]

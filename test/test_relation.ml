@@ -1,0 +1,73 @@
+open Ljqo_catalog
+
+let test_basic () =
+  let r = Helpers.rel ~id:0 ~card:1000 ~distinct:0.1 () in
+  Helpers.check_approx "cardinality" 1000.0 (Relation.cardinality r);
+  Helpers.check_approx "distinct" 100.0 (Relation.distinct_values r)
+
+let test_selections_shrink () =
+  let r = Helpers.rel ~id:0 ~card:1000 ~distinct:0.1 ~selections:[ 0.5; 0.2 ] () in
+  Helpers.check_approx "effective cardinality" 100.0 (Relation.cardinality r)
+
+let test_cardinality_floor () =
+  let r = Helpers.rel ~id:0 ~card:10 ~distinct:0.5 ~selections:[ 0.001 ] () in
+  Helpers.check_approx "at least one tuple" 1.0 (Relation.cardinality r)
+
+let test_distinct_capped_by_cardinality () =
+  let r = Helpers.rel ~id:0 ~card:1000 ~distinct:1.0 ~selections:[ 0.1 ] () in
+  let d = Relation.distinct_values r in
+  Alcotest.(check bool) "distinct <= cardinality" true
+    (d <= Relation.cardinality r)
+
+let test_distinct_floor () =
+  let r = Helpers.rel ~id:0 ~card:2 ~distinct:0.0001 () in
+  Helpers.check_approx "at least one distinct value" 1.0 (Relation.distinct_values r)
+
+let test_default_name () =
+  let r = Relation.make ~id:7 ~base_cardinality:5 ~distinct_fraction:0.5 () in
+  Alcotest.(check string) "default name" "R7" r.Relation.name
+
+let test_validation () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail msg
+  in
+  expect_invalid "negative id" (fun () ->
+      Relation.make ~id:(-1) ~base_cardinality:10 ~distinct_fraction:0.5 ());
+  expect_invalid "zero cardinality" (fun () ->
+      Relation.make ~id:0 ~base_cardinality:0 ~distinct_fraction:0.5 ());
+  expect_invalid "distinct fraction 0" (fun () ->
+      Relation.make ~id:0 ~base_cardinality:10 ~distinct_fraction:0.0 ());
+  expect_invalid "distinct fraction > 1" (fun () ->
+      Relation.make ~id:0 ~base_cardinality:10 ~distinct_fraction:1.5 ());
+  expect_invalid "bad selection" (fun () ->
+      Relation.make ~id:0 ~base_cardinality:10 ~selections:[ 0.0 ]
+        ~distinct_fraction:0.5 ())
+
+let prop_invariants =
+  Helpers.qcheck_case ~name:"cardinality and distinct invariants"
+    (fun (card, (dist, sels)) ->
+      let card = 1 + abs card mod 100000 in
+      let dist = 0.01 +. Float.abs (Float.rem dist 0.99) in
+      let sels =
+        List.map (fun s -> 0.01 +. Float.abs (Float.rem s 0.99)) sels
+      in
+      let r = Helpers.rel ~id:0 ~card ~distinct:dist ~selections:sels () in
+      let n = Relation.cardinality r and d = Relation.distinct_values r in
+      n >= 1.0 && d >= 1.0 && d <= n +. 1e-9
+      && n <= float_of_int card +. 1e-9)
+    QCheck.(pair int (pair float (small_list float)))
+
+let suite =
+  [
+    Alcotest.test_case "basic statistics" `Quick test_basic;
+    Alcotest.test_case "selections shrink cardinality" `Quick test_selections_shrink;
+    Alcotest.test_case "cardinality floor" `Quick test_cardinality_floor;
+    Alcotest.test_case "distinct capped by cardinality" `Quick
+      test_distinct_capped_by_cardinality;
+    Alcotest.test_case "distinct floor" `Quick test_distinct_floor;
+    Alcotest.test_case "default name" `Quick test_default_name;
+    Alcotest.test_case "validation" `Quick test_validation;
+    prop_invariants;
+  ]

@@ -1,0 +1,71 @@
+open Ljqo_report
+
+let test_table_render () =
+  let t = Table.create ~title:"Demo" ~columns:[ "a"; "bb" ] in
+  Table.add_row t ~label:"row1" ~cells:[ "1"; "2" ];
+  Table.add_float_row t ~label:"row2" [ 1.5; 2.25 ];
+  let s = Table.render t in
+  List.iter
+    (fun needle ->
+      if
+        not
+          (let n = String.length s and m = String.length needle in
+           let rec go i = i + m <= n && (String.sub s i m = needle || go (i + 1)) in
+           go 0)
+      then Alcotest.failf "missing %S in rendering:\n%s" needle s)
+    [ "Demo"; "row1"; "row2"; "1.50"; "2.25"; "bb" ]
+
+let test_table_row_mismatch () =
+  let t = Table.create ~title:"x" ~columns:[ "a" ] in
+  match Table.add_row t ~label:"r" ~cells:[ "1"; "2" ] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "mismatched row accepted"
+
+let test_csv () =
+  let t = Table.create ~title:"x" ~columns:[ "a"; "b" ] in
+  Table.add_row t ~label:"r,1" ~cells:[ "v"; "w\"x" ];
+  let csv = Table.to_csv t in
+  Alcotest.(check string) "csv escaping" "label,a,b\n\"r,1\",v,\"w\"\"x\"\n" csv
+
+let test_csv_save () =
+  let t = Table.create ~title:"x" ~columns:[ "a" ] in
+  Table.add_row t ~label:"r" ~cells:[ "1" ];
+  let path = Filename.temp_file "ljqo_test" ".csv" in
+  Table.save_csv t path;
+  let ic = open_in path in
+  let line = input_line ic in
+  close_in ic;
+  Sys.remove path;
+  Alcotest.(check string) "header" "label,a" line
+
+let test_chart_render () =
+  let series =
+    [
+      { Chart.name = "one"; points = [ (0.0, 1.0); (1.0, 2.0) ] };
+      { Chart.name = "two"; points = [ (0.0, 2.0); (1.0, 1.0) ] };
+    ]
+  in
+  let s = Chart.render ~title:"T" series in
+  let has needle =
+    let n = String.length s and m = String.length needle in
+    let rec go i = i + m <= n && (String.sub s i m = needle || go (i + 1)) in
+    go 0
+  in
+  Alcotest.(check bool) "title" true (has "T");
+  Alcotest.(check bool) "legend one" true (has "a = one");
+  Alcotest.(check bool) "legend two" true (has "b = two");
+  Alcotest.(check bool) "series letters plotted" true (has "a" && has "b")
+
+let test_chart_empty () =
+  let s = Chart.render ~title:"empty" [ { Chart.name = "x"; points = [] } ] in
+  Alcotest.(check bool) "degrades gracefully" true (String.length s > 0)
+
+let suite =
+  [
+    Alcotest.test_case "table render" `Quick test_table_render;
+    Alcotest.test_case "row mismatch" `Quick test_table_row_mismatch;
+    Alcotest.test_case "csv" `Quick test_csv;
+    Alcotest.test_case "csv save" `Quick test_csv_save;
+    Alcotest.test_case "chart render" `Quick test_chart_render;
+    Alcotest.test_case "chart empty" `Quick test_chart_empty;
+  ]

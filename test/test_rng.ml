@@ -1,0 +1,151 @@
+open Ljqo_stats
+
+let test_determinism () =
+  let a = Rng.create 42 and b = Rng.create 42 in
+  for _ = 1 to 100 do
+    Alcotest.(check int64) "same stream" (Rng.bits64 a) (Rng.bits64 b)
+  done
+
+let test_seed_sensitivity () =
+  let a = Rng.create 1 and b = Rng.create 2 in
+  let differs = ref false in
+  for _ = 1 to 10 do
+    if Rng.bits64 a <> Rng.bits64 b then differs := true
+  done;
+  Alcotest.(check bool) "different seeds differ" true !differs
+
+let test_copy_independent () =
+  let a = Rng.create 7 in
+  ignore (Rng.bits64 a);
+  let b = Rng.copy a in
+  let xa = Rng.bits64 a in
+  let xb = Rng.bits64 b in
+  Alcotest.(check int64) "copy continues identically" xa xb;
+  ignore (Rng.bits64 a);
+  (* b unaffected by a's advance *)
+  let xa2 = Rng.bits64 a and xb2 = Rng.bits64 b in
+  Alcotest.(check bool) "streams diverge after independent advance" true (xa2 <> xb2 || xa = xb)
+
+let test_split_at_stable () =
+  let a = Rng.create 9 in
+  let c1 = Rng.split_at a 5 in
+  let c2 = Rng.split_at a 5 in
+  Alcotest.(check int64) "same child stream" (Rng.bits64 c1) (Rng.bits64 c2);
+  let d = Rng.split_at a 6 in
+  Alcotest.(check bool) "different children differ" true
+    (Rng.bits64 (Rng.split_at a 5) <> Rng.bits64 d)
+
+let test_int_bounds () =
+  let rng = Rng.create 3 in
+  for _ = 1 to 10_000 do
+    let v = Rng.int rng 7 in
+    if v < 0 || v >= 7 then Alcotest.fail "int out of bounds"
+  done
+
+let test_int_covers () =
+  let rng = Rng.create 4 in
+  let seen = Array.make 5 false in
+  for _ = 1 to 1_000 do
+    seen.(Rng.int rng 5) <- true
+  done;
+  Array.iteri (fun i s -> Alcotest.(check bool) (Printf.sprintf "value %d seen" i) true s) seen
+
+let test_int_in () =
+  let rng = Rng.create 5 in
+  for _ = 1 to 1_000 do
+    let v = Rng.int_in rng (-3) 3 in
+    if v < -3 || v > 3 then Alcotest.fail "int_in out of bounds"
+  done;
+  Alcotest.(check int) "degenerate range" 9 (Rng.int_in rng 9 9)
+
+let test_float_bounds () =
+  let rng = Rng.create 6 in
+  for _ = 1 to 10_000 do
+    let v = Rng.float rng 2.5 in
+    if v < 0.0 || v >= 2.5 then Alcotest.fail "float out of bounds"
+  done
+
+let test_float_mean () =
+  let rng = Rng.create 8 in
+  let n = 50_000 in
+  let sum = ref 0.0 in
+  for _ = 1 to n do
+    sum := !sum +. Rng.float rng 1.0
+  done;
+  let mean = !sum /. float_of_int n in
+  if mean < 0.48 || mean > 0.52 then Alcotest.failf "uniform mean off: %f" mean
+
+let test_bernoulli () =
+  let rng = Rng.create 10 in
+  let n = 50_000 in
+  let hits = ref 0 in
+  for _ = 1 to n do
+    if Rng.bernoulli rng 0.3 then incr hits
+  done;
+  let p = float_of_int !hits /. float_of_int n in
+  if p < 0.28 || p > 0.32 then Alcotest.failf "bernoulli(0.3) off: %f" p
+
+let test_shuffle_is_permutation () =
+  let rng = Rng.create 11 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle_in_place rng a;
+  let sorted = Array.copy a in
+  Array.sort compare sorted;
+  Alcotest.(check (array int)) "shuffle preserves elements" (Array.init 50 Fun.id) sorted
+
+let test_shuffle_moves () =
+  let rng = Rng.create 12 in
+  let a = Array.init 50 (fun i -> i) in
+  Rng.shuffle_in_place rng a;
+  Alcotest.(check bool) "shuffle changed order" true (a <> Array.init 50 Fun.id)
+
+let test_choose () =
+  let rng = Rng.create 13 in
+  let a = [| 10; 20; 30 |] in
+  for _ = 1 to 100 do
+    let v = Rng.choose rng a in
+    if not (Array.mem v a) then Alcotest.fail "choose outside array"
+  done;
+  Alcotest.check_raises "empty list" (Invalid_argument "Rng.choose_list: empty list")
+    (fun () -> ignore (Rng.choose_list rng []))
+
+let prop_int_in_range =
+  Helpers.qcheck_case ~name:"int n is always in [0,n)"
+    (fun (seed, n) ->
+      let n = 1 + abs n mod 1000 in
+      let rng = Rng.create seed in
+      let v = Rng.int rng n in
+      v >= 0 && v < n)
+    QCheck.(pair small_int small_int)
+
+let prop_split_differs =
+  Helpers.qcheck_case ~name:"split child differs from parent continuation"
+    (fun seed ->
+      let a = Rng.create seed in
+      let child = Rng.split a in
+      (* Extremely unlikely to coincide for 4 draws. *)
+      let same = ref true in
+      for _ = 1 to 4 do
+        if Rng.bits64 child <> Rng.bits64 a then same := false
+      done;
+      not !same)
+    QCheck.small_int
+
+let suite =
+  [
+    Alcotest.test_case "determinism" `Quick test_determinism;
+    Alcotest.test_case "seed sensitivity" `Quick test_seed_sensitivity;
+    Alcotest.test_case "copy independence" `Quick test_copy_independent;
+    Alcotest.test_case "split_at stability" `Quick test_split_at_stable;
+    Alcotest.test_case "int bounds" `Quick test_int_bounds;
+    Alcotest.test_case "int covers range" `Quick test_int_covers;
+    Alcotest.test_case "int_in bounds" `Quick test_int_in;
+    Alcotest.test_case "float bounds" `Quick test_float_bounds;
+    Alcotest.test_case "float mean" `Slow test_float_mean;
+    Alcotest.test_case "bernoulli frequency" `Slow test_bernoulli;
+    Alcotest.test_case "shuffle is permutation" `Quick test_shuffle_is_permutation;
+    Alcotest.test_case "shuffle moves elements" `Quick test_shuffle_moves;
+    Alcotest.test_case "choose stays in array" `Quick test_choose;
+    prop_int_in_range;
+    prop_split_differs;
+  ]

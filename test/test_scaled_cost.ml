@@ -1,0 +1,56 @@
+open Ljqo_stats
+
+let test_scale () =
+  Helpers.check_approx "scale" 2.5 (Scaled_cost.scale ~best:4.0 10.0);
+  Alcotest.check_raises "non-positive best"
+    (Invalid_argument "Scaled_cost.scale: non-positive best") (fun () ->
+      ignore (Scaled_cost.scale ~best:0.0 1.0));
+  Alcotest.check_raises "negative cost"
+    (Invalid_argument "Scaled_cost.scale: negative cost") (fun () ->
+      ignore (Scaled_cost.scale ~best:1.0 (-1.0)))
+
+let test_coerce () =
+  Helpers.check_approx "below threshold untouched" 3.7 (Scaled_cost.coerce 3.7);
+  Helpers.check_approx "at threshold" 10.0 (Scaled_cost.coerce 10.0);
+  Helpers.check_approx "above threshold" 10.0 (Scaled_cost.coerce 1e9);
+  Helpers.check_approx "infinite outlier" 10.0 (Scaled_cost.coerce infinity);
+  Helpers.check_approx "custom threshold" 5.0 (Scaled_cost.coerce ~threshold:5.0 7.0)
+
+let test_average () =
+  (* The paper's intuition: a 100x plan counts the same as a 10x plan. *)
+  Helpers.check_approx "outliers capped" 4.9
+    (Scaled_cost.average [| 1.0; 1.0; 100.0; 10.0; 1000.0; 10.0; 1.0; 1.0; 1.0; 4.0 |]);
+  Helpers.check_approx "no outliers" 2.0 (Scaled_cost.average [| 1.0; 3.0 |]);
+  Alcotest.check_raises "empty" (Invalid_argument "Scaled_cost.average: empty input")
+    (fun () -> ignore (Scaled_cost.average [||]))
+
+let test_outlier_fraction () =
+  Helpers.check_approx "fraction" 0.25
+    (Scaled_cost.outlier_fraction [| 1.0; 2.0; 3.0; 11.0 |]);
+  Helpers.check_approx "none" 0.0 (Scaled_cost.outlier_fraction [| 1.0; 9.99 |])
+
+let prop_coerce_idempotent =
+  Helpers.qcheck_case ~name:"coerce is idempotent"
+    (fun x ->
+      let x = Float.abs x in
+      Scaled_cost.coerce (Scaled_cost.coerce x) = Scaled_cost.coerce x)
+    QCheck.float
+
+let prop_average_bounded =
+  Helpers.qcheck_case ~name:"average is within [min coerced, threshold]"
+    (fun l ->
+      QCheck.assume (l <> []);
+      let a = Array.of_list (List.map Float.abs l) in
+      let avg = Scaled_cost.average a in
+      avg <= Scaled_cost.default_outlier_threshold +. 1e-9 && avg >= 0.0)
+    QCheck.(list (float_bound_exclusive 1e6))
+
+let suite =
+  [
+    Alcotest.test_case "scale" `Quick test_scale;
+    Alcotest.test_case "coerce" `Quick test_coerce;
+    Alcotest.test_case "average with outliers" `Quick test_average;
+    Alcotest.test_case "outlier fraction" `Quick test_outlier_fraction;
+    prop_coerce_idempotent;
+    prop_average_bounded;
+  ]

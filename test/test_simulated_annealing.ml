@@ -1,0 +1,93 @@
+open Ljqo_core
+open Ljqo_cost
+
+let mem = Helpers.memory_model
+
+let test_anneal_improves_bad_start () =
+  let q = Helpers.random_query ~n_joins:10 51 in
+  (* pick the worst of a few random plans as start *)
+  let start =
+    List.fold_left
+      (fun acc seed ->
+        let p = Helpers.valid_random_plan q seed in
+        match acc with
+        | None -> Some p
+        | Some best ->
+          if Plan_cost.total mem q p > Plan_cost.total mem q best then Some p
+          else Some best)
+      None [ 1; 2; 3; 4; 5 ]
+    |> Option.get
+  in
+  let start_cost = Plan_cost.total mem q start in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:2_000_000 () in
+  (try Simulated_annealing.anneal_once ev (Ljqo_stats.Rng.create 52) ~start
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "annealing improved a bad start" true
+    (Evaluator.best_cost ev < start_cost)
+
+let test_incumbent_never_worse_than_start () =
+  let q = Helpers.random_query ~n_joins:8 53 in
+  let start = Helpers.valid_random_plan q 54 in
+  let start_cost = Plan_cost.total mem q start in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:300_000 () in
+  (try Simulated_annealing.anneal_once ev (Ljqo_stats.Rng.create 55) ~start
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "incumbent <= start" true
+    (Evaluator.best_cost ev <= start_cost +. 1e-9)
+
+let test_freezes_within_budget () =
+  (* With an ample budget the run must terminate by freezing, not by
+     exhaustion. *)
+  let q = Helpers.random_query ~n_joins:6 56 in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:50_000_000 () in
+  let start = Helpers.valid_random_plan q 57 in
+  (try Simulated_annealing.anneal_once ev (Ljqo_stats.Rng.create 58) ~start
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "did not exhaust the huge budget" true
+    (not (Evaluator.exhausted ev))
+
+let test_restarts_consumed () =
+  let q = Helpers.random_query ~n_joins:6 59 in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:50_000_000 () in
+  let remaining = ref 2 in
+  let restarts () =
+    if !remaining = 0 then None
+    else begin
+      decr remaining;
+      Some (Helpers.valid_random_plan q (60 + !remaining))
+    end
+  in
+  (try
+     Simulated_annealing.run ev (Ljqo_stats.Rng.create 61)
+       ~start:(Helpers.valid_random_plan q 62) ~restarts
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check int) "restarts drained" 0 !remaining
+
+let test_custom_params () =
+  (* A zero-cooling... rather, an aggressive cooling with tiny chains must
+     still terminate and produce a result. *)
+  let q = Helpers.random_query ~n_joins:6 63 in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
+  let params =
+    {
+      Simulated_annealing.default_params with
+      size_factor = 1;
+      cooling = 0.5;
+      frozen_chains = 2;
+    }
+  in
+  (try
+     Simulated_annealing.anneal_once ~params ev (Ljqo_stats.Rng.create 64)
+       ~start:(Helpers.valid_random_plan q 65)
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "result recorded" true (Evaluator.best ev <> None)
+
+let suite =
+  [
+    Alcotest.test_case "improves a bad start" `Slow test_anneal_improves_bad_start;
+    Alcotest.test_case "incumbent never worse than start" `Quick
+      test_incumbent_never_worse_than_start;
+    Alcotest.test_case "freezes within budget" `Slow test_freezes_within_budget;
+    Alcotest.test_case "restarts consumed" `Slow test_restarts_consumed;
+    Alcotest.test_case "custom params" `Quick test_custom_params;
+  ]

@@ -1,0 +1,68 @@
+open Ljqo_core
+
+let mem = Helpers.memory_model
+
+let test_sample_shapes () =
+  let q = Helpers.random_query ~n_joins:8 1001 in
+  let s = Space_stats.sample ~n_samples:50 ~n_descents:5 ~seed:1 mem q in
+  Alcotest.(check int) "random sample count" 50 (Array.length s.random_costs);
+  Alcotest.(check int) "descent count" 5 (Array.length s.minima_costs);
+  (* sorted ascending *)
+  let sorted a = Array.for_all2 (fun x y -> x <= y)
+      (Array.sub a 0 (Array.length a - 1))
+      (Array.sub a 1 (Array.length a - 1))
+  in
+  Alcotest.(check bool) "random sorted" true (sorted s.random_costs);
+  Alcotest.(check bool) "minima sorted" true (sorted s.minima_costs)
+
+let test_minima_dominate_random () =
+  let q = Helpers.random_query ~n_joins:10 1002 in
+  let s = Space_stats.sample ~n_samples:60 ~n_descents:8 ~seed:2 mem q in
+  (* descents start from the first samples, so the best minimum is at most
+     the best of those starting samples *)
+  Alcotest.(check bool) "best minimum <= median random" true
+    (s.minima_costs.(0) <= Ljqo_stats.Summary.median s.random_costs)
+
+let test_summarize () =
+  let s = Space_stats.summarize [| 1.0; 2.0; 3.0; 4.0; 100.0 |] in
+  Helpers.check_approx "min" 1.0 s.minimum;
+  Helpers.check_approx "median" 3.0 s.median;
+  Helpers.check_approx "max" 100.0 s.maximum;
+  Helpers.check_approx "spread" 3.0 s.spread;
+  match Space_stats.summarize [||] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "empty accepted"
+
+let test_local_minima_spread () =
+  let q = Helpers.random_query ~n_joins:8 1003 in
+  let s = Space_stats.sample ~n_samples:30 ~n_descents:6 ~seed:3 mem q in
+  (match Space_stats.local_minima_spread s with
+  | Some sp -> Alcotest.(check bool) "spread >= 1" true (sp >= 1.0)
+  | None -> Alcotest.fail "spread expected");
+  let s1 = Space_stats.sample ~n_samples:5 ~n_descents:1 ~seed:4 mem q in
+  Alcotest.(check bool) "one descent, no spread" true
+    (Space_stats.local_minima_spread s1 = None)
+
+let test_deterministic () =
+  let q = Helpers.random_query ~n_joins:8 1004 in
+  let a = Space_stats.sample ~n_samples:20 ~n_descents:3 ~seed:9 mem q in
+  let b = Space_stats.sample ~n_samples:20 ~n_descents:3 ~seed:9 mem q in
+  Alcotest.(check bool) "same seed same sample" true
+    (a.random_costs = b.random_costs && a.minima_costs = b.minima_costs)
+
+let test_pp () =
+  let q = Helpers.random_query ~n_joins:6 1005 in
+  let s = Space_stats.sample ~n_samples:10 ~n_descents:2 ~seed:5 mem q in
+  let out = Format.asprintf "%a" Space_stats.pp s in
+  Alcotest.(check bool) "mentions both distributions" true
+    (String.length out > 40)
+
+let suite =
+  [
+    Alcotest.test_case "sample shapes" `Quick test_sample_shapes;
+    Alcotest.test_case "minima dominate random" `Quick test_minima_dominate_random;
+    Alcotest.test_case "summarize" `Quick test_summarize;
+    Alcotest.test_case "local minima spread" `Quick test_local_minima_spread;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "pp" `Quick test_pp;
+  ]

@@ -1,0 +1,245 @@
+open Ljqo_sql
+
+(* --- lexer ------------------------------------------------------------- *)
+
+let test_lexer_tokens () =
+  match Sql_lexer.tokenize "SELECT * FROM t WHERE t.a >= 3.5;" with
+  | [ Sql_lexer.Select; Star; From; Ident "t"; Where; Ident "t"; Dot; Ident "a";
+      Cmp Ast.Ge; Number n; Semicolon; Eof ] ->
+    Helpers.check_approx "number" 3.5 n
+  | toks ->
+    Alcotest.failf "unexpected stream: %s"
+      (String.concat " " (List.map Sql_lexer.token_to_string toks))
+
+let test_lexer_case_insensitive_keywords () =
+  match Sql_lexer.tokenize "select From WHERE and" with
+  | [ Sql_lexer.Select; From; Where; And; Eof ] -> ()
+  | _ -> Alcotest.fail "keywords must be case-insensitive"
+
+let test_lexer_comparisons () =
+  match Sql_lexer.tokenize "= <> != < <= > >=" with
+  | [ Sql_lexer.Cmp Ast.Eq; Cmp Ast.Ne; Cmp Ast.Ne; Cmp Ast.Lt; Cmp Ast.Le;
+      Cmp Ast.Gt; Cmp Ast.Ge; Eof ] ->
+    ()
+  | _ -> Alcotest.fail "comparison lexing failed"
+
+let test_lexer_comments () =
+  match Sql_lexer.tokenize "select -- comment\nfrom" with
+  | [ Sql_lexer.Select; From; Eof ] -> ()
+  | _ -> Alcotest.fail "comments not skipped"
+
+let test_lexer_bad_char () =
+  match Sql_lexer.tokenize "select @" with
+  | exception Sql_lexer.Error _ -> ()
+  | _ -> Alcotest.fail "bad character accepted"
+
+(* --- parser ------------------------------------------------------------ *)
+
+let test_parse_simple () =
+  let q = Sql_parser.parse "SELECT * FROM a, b WHERE a.x = b.y" in
+  Alcotest.(check int) "two tables" 2 (List.length q.Ast.from);
+  Alcotest.(check int) "one predicate" 1 (List.length q.Ast.where)
+
+let test_parse_aliases () =
+  let q =
+    Sql_parser.parse "SELECT * FROM emp e, emp m WHERE e.boss = m.id AND e.sal > 100"
+  in
+  Alcotest.(check (list string)) "binders" [ "e"; "m" ]
+    (List.map Ast.binder q.Ast.from)
+
+let test_parse_projection_list () =
+  let q = Sql_parser.parse "SELECT a.x, b.y FROM a, b WHERE a.x = b.y" in
+  Alcotest.(check int) "projection ignored, tables kept" 2 (List.length q.Ast.from)
+
+let test_parse_no_where () =
+  let q = Sql_parser.parse "SELECT * FROM a, b;" in
+  Alcotest.(check int) "no predicates" 0 (List.length q.Ast.where)
+
+let test_parse_errors () =
+  let expect_err input =
+    match Sql_parser.parse input with
+    | exception Sql_parser.Error _ -> ()
+    | _ -> Alcotest.failf "accepted: %s" input
+  in
+  expect_err "FROM a";
+  expect_err "SELECT * FROM";
+  expect_err "SELECT * FROM a WHERE";
+  expect_err "SELECT * FROM a WHERE a.x";
+  expect_err "SELECT * FROM a WHERE x = 3";
+  (* unqualified *)
+  expect_err "SELECT * FROM a, a";
+  (* duplicate binder *)
+  expect_err "SELECT * FROM a b, c b"
+
+let test_parse_error_line () =
+  match Sql_parser.parse "SELECT *\nFROM a\nWHERE a.x ==" with
+  | exception Sql_parser.Error { line; _ } -> Alcotest.(check int) "line" 3 line
+  | _ -> Alcotest.fail "accepted"
+
+(* --- stats catalog ----------------------------------------------------- *)
+
+let catalog_text =
+  {|
+  # demo
+  table emp rows 1000;
+  column emp.id distinct 1000;
+  column emp.dept distinct 20;
+  column emp.sal distinct 400 range 1000 9000;
+  histogram emp.sal 1000 9000 counts 100 400 300 150 50;
+  table dept rows 20;
+  column dept.id distinct 20;
+  |}
+
+let test_catalog_parse () =
+  let c = Stats_catalog.parse catalog_text in
+  (match Stats_catalog.find_table c "emp" with
+  | Some ts -> Alcotest.(check int) "rows" 1000 ts.Stats_catalog.rows
+  | None -> Alcotest.fail "emp missing");
+  (match Stats_catalog.find_column c ~table:"EMP" ~column:"DEPT" with
+  | Some cs -> Alcotest.(check int) "case-insensitive lookup" 20 cs.Stats_catalog.distinct
+  | None -> Alcotest.fail "dept column missing");
+  match Stats_catalog.find_column c ~table:"emp" ~column:"sal" with
+  | Some cs ->
+    Alcotest.(check bool) "histogram attached" true (cs.Stats_catalog.histogram <> None);
+    Alcotest.(check (option (pair (float 0.0) (float 0.0)))) "range"
+      (Some (1000.0, 9000.0)) cs.Stats_catalog.range
+  | None -> Alcotest.fail "sal column missing"
+
+let test_catalog_errors () =
+  let expect_err input =
+    match Stats_catalog.parse input with
+    | exception Stats_catalog.Parse_error _ -> ()
+    | _ -> Alcotest.failf "accepted: %s" input
+  in
+  expect_err "table t rows 0;";
+  expect_err "table t rows 10; table t rows 5;";
+  expect_err "column t.x distinct 5;";
+  (* unknown table *)
+  expect_err "table t rows 10; column t.x distinct 0;";
+  expect_err "banana;";
+  expect_err "table t rows 10; histogram t.x 0 1 counts 1;"
+(* histogram before column *)
+
+let test_catalog_builder () =
+  let c =
+    Stats_catalog.empty
+    |> fun c ->
+    Stats_catalog.add_table c ~name:"t" ~rows:50
+    |> fun c -> Stats_catalog.add_column c ~table:"t" ~column:"x" ~distinct:5 ()
+  in
+  match Stats_catalog.find_column c ~table:"t" ~column:"x" with
+  | Some cs -> Alcotest.(check int) "distinct" 5 cs.Stats_catalog.distinct
+  | None -> Alcotest.fail "builder failed"
+
+(* --- translate ---------------------------------------------------------- *)
+
+let catalog = Stats_catalog.parse catalog_text
+
+let test_translate_join () =
+  let ast = Sql_parser.parse "SELECT * FROM emp, dept WHERE emp.dept = dept.id" in
+  let t = Translate.translate catalog ast in
+  let q = t.Translate.query in
+  Alcotest.(check int) "two relations" 2 (Ljqo_catalog.Query.n_relations q);
+  Alcotest.(check int) "one join" 1 (Ljqo_catalog.Query.n_joins q);
+  (* J = 1/max(20, 20) *)
+  Helpers.check_approx "join selectivity" 0.05
+    (Ljqo_catalog.Join_graph.selectivity_exn (Ljqo_catalog.Query.graph q) 0 1)
+
+let test_translate_selection_histogram () =
+  let ast = Sql_parser.parse "SELECT * FROM emp WHERE emp.sal < 2600" in
+  let t = Translate.translate catalog ast in
+  (* histogram: bucket width 1600; 2600 = bucket 1 (1000..2600 covers bucket 0
+     fully + none of bucket 1): P = 100/1000 = 0.1 *)
+  match t.Translate.selection_details with
+  | [ (_, _, s) ] -> Helpers.check_approx "histogram selectivity" 0.1 s
+  | _ -> Alcotest.fail "one selection expected"
+
+let test_translate_selection_defaults () =
+  let ast = Sql_parser.parse "SELECT * FROM emp WHERE emp.dept = 7" in
+  let t = Translate.translate catalog ast in
+  (match t.Translate.selection_details with
+  | [ (_, _, s) ] -> Helpers.check_approx "1/distinct" (1.0 /. 20.0) s
+  | _ -> Alcotest.fail "one selection expected");
+  let ast = Sql_parser.parse "SELECT * FROM emp WHERE emp.dept > 7" in
+  let t = Translate.translate catalog ast in
+  match t.Translate.selection_details with
+  | [ (_, _, s) ] ->
+    Helpers.check_approx "System-R third" Translate.default_inequality_selectivity s
+  | _ -> Alcotest.fail "one selection expected"
+
+let test_translate_const_on_left () =
+  let lt = Sql_parser.parse "SELECT * FROM emp WHERE emp.sal < 2600" in
+  let gt_flipped = Sql_parser.parse "SELECT * FROM emp WHERE 2600 > emp.sal" in
+  let s1 =
+    match (Translate.translate catalog lt).Translate.selection_details with
+    | [ (_, _, s) ] -> s
+    | _ -> Alcotest.fail "one selection"
+  in
+  let s2 =
+    match (Translate.translate catalog gt_flipped).Translate.selection_details with
+    | [ (_, _, s) ] -> s
+    | _ -> Alcotest.fail "one selection"
+  in
+  Helpers.check_approx "flipped comparison" s1 s2
+
+let test_translate_self_join () =
+  let ast =
+    Sql_parser.parse "SELECT * FROM emp e, emp m WHERE e.dept = m.dept AND m.sal > 8000"
+  in
+  let t = Translate.translate catalog ast in
+  Alcotest.(check int) "two bindings of the same table" 2
+    (List.length t.Translate.bindings);
+  Alcotest.(check int) "one join" 1 (Ljqo_catalog.Query.n_joins t.Translate.query)
+
+let test_translate_errors () =
+  let expect_err sql =
+    match Translate.translate catalog (Sql_parser.parse sql) with
+    | exception Translate.Error _ -> ()
+    | _ -> Alcotest.failf "accepted: %s" sql
+  in
+  expect_err "SELECT * FROM nosuch";
+  expect_err "SELECT * FROM emp WHERE emp.nosuch = 1";
+  expect_err "SELECT * FROM emp, dept WHERE emp.sal < dept.id";
+  (* theta join *)
+  expect_err "SELECT * FROM emp WHERE 1 = 2"
+
+let test_translate_end_to_end_optimize () =
+  let ast =
+    Sql_parser.parse
+      "SELECT * FROM emp e, emp m, dept d WHERE e.dept = d.id AND m.dept = d.id AND e.sal > 5000"
+  in
+  let t = Translate.translate catalog ast in
+  let model = Helpers.memory_model in
+  let r =
+    Ljqo_core.Optimizer.optimize ~method_:Ljqo_core.Methods.IAI ~model ~ticks:20_000
+      ~seed:1 t.Translate.query
+  in
+  Alcotest.(check bool) "optimizes" true (Ljqo_core.Plan.is_valid t.Translate.query r.plan)
+
+let suite =
+  [
+    Alcotest.test_case "lexer tokens" `Quick test_lexer_tokens;
+    Alcotest.test_case "lexer keywords case-insensitive" `Quick
+      test_lexer_case_insensitive_keywords;
+    Alcotest.test_case "lexer comparisons" `Quick test_lexer_comparisons;
+    Alcotest.test_case "lexer comments" `Quick test_lexer_comments;
+    Alcotest.test_case "lexer bad char" `Quick test_lexer_bad_char;
+    Alcotest.test_case "parse simple" `Quick test_parse_simple;
+    Alcotest.test_case "parse aliases" `Quick test_parse_aliases;
+    Alcotest.test_case "parse projection list" `Quick test_parse_projection_list;
+    Alcotest.test_case "parse without WHERE" `Quick test_parse_no_where;
+    Alcotest.test_case "parse errors" `Quick test_parse_errors;
+    Alcotest.test_case "parse error line" `Quick test_parse_error_line;
+    Alcotest.test_case "catalog parse" `Quick test_catalog_parse;
+    Alcotest.test_case "catalog errors" `Quick test_catalog_errors;
+    Alcotest.test_case "catalog builder" `Quick test_catalog_builder;
+    Alcotest.test_case "translate join" `Quick test_translate_join;
+    Alcotest.test_case "translate histogram selection" `Quick
+      test_translate_selection_histogram;
+    Alcotest.test_case "translate default selectivities" `Quick
+      test_translate_selection_defaults;
+    Alcotest.test_case "translate const on left" `Quick test_translate_const_on_left;
+    Alcotest.test_case "translate self-join" `Quick test_translate_self_join;
+    Alcotest.test_case "translate errors" `Quick test_translate_errors;
+    Alcotest.test_case "translate end to end" `Quick test_translate_end_to_end_optimize;
+  ]

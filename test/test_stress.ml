@@ -1,0 +1,141 @@
+(* Stress and adversarial-shape tests: degenerate statistics, extreme
+   graphs, and the paper's largest query size. *)
+
+open Ljqo_core
+open Ljqo_catalog
+
+let mem = Helpers.memory_model
+
+let complete_graph_query n =
+  let relations =
+    Array.init n (fun id -> Helpers.rel ~id ~card:100 ~distinct:0.5 ())
+  in
+  let edges = ref [] in
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      edges := { Join_graph.u; v; selectivity = 0.02 } :: !edges
+    done
+  done;
+  Query.make ~relations ~graph:(Join_graph.make ~n !edges)
+
+let test_complete_graph () =
+  let q = complete_graph_query 10 in
+  (* every permutation is valid on a complete graph *)
+  let rng = Ljqo_stats.Rng.create 1 in
+  let p = Array.init 10 Fun.id in
+  Ljqo_stats.Rng.shuffle_in_place rng p;
+  Alcotest.(check bool) "any permutation valid" true (Plan.is_valid q p);
+  let r = Optimizer.optimize ~method_:Methods.IAI ~model:mem ~ticks:50_000 ~seed:2 q in
+  Alcotest.(check bool) "optimizes" true (Plan.is_valid q r.plan)
+
+let test_identical_relations () =
+  (* fully symmetric query: all plans cost the same; nothing should crash
+     and the methods must still terminate *)
+  let relations =
+    Array.init 8 (fun id -> Helpers.rel ~id ~card:500 ~distinct:0.5 ())
+  in
+  let edges =
+    List.init 7 (fun i -> { Join_graph.u = i; v = i + 1; selectivity = 0.004 })
+  in
+  let q = Query.make ~relations ~graph:(Join_graph.make ~n:8 edges) in
+  List.iter
+    (fun m ->
+      let r = Optimizer.optimize ~method_:m ~model:mem ~ticks:20_000 ~seed:3 q in
+      Alcotest.(check bool) (Methods.name m) true (Plan.is_valid q r.plan))
+    Methods.[ II; SA; IAI; AGI ]
+
+let test_selectivity_one_edges () =
+  (* join predicates that filter nothing *)
+  let relations =
+    Array.init 5 (fun id -> Helpers.rel ~id ~card:20 ~distinct:1.0 ())
+  in
+  let edges =
+    List.init 4 (fun i -> { Join_graph.u = i; v = i + 1; selectivity = 1.0 })
+  in
+  let q = Query.make ~relations ~graph:(Join_graph.make ~n:5 edges) in
+  let r = Optimizer.optimize ~method_:Methods.II ~model:mem ~ticks:10_000 ~seed:4 q in
+  Alcotest.(check bool) "cost finite" true (Float.is_finite r.cost);
+  (* the full cross-growth product: 20^5 tuples at the end *)
+  let e = Ljqo_cost.Plan_cost.eval mem q r.plan in
+  Helpers.check_approx ~rel:1e-9 "final size 20^5" (20.0 ** 5.0) e.cards.(4)
+
+let test_tiny_selectivities () =
+  (* joins so selective every intermediate collapses to the floor of 1 *)
+  let relations =
+    Array.init 6 (fun id -> Helpers.rel ~id ~card:1000 ~distinct:1.0 ())
+  in
+  let edges =
+    List.init 5 (fun i -> { Join_graph.u = i; v = i + 1; selectivity = 1e-9 })
+  in
+  let q = Query.make ~relations ~graph:(Join_graph.make ~n:6 edges) in
+  let r = Optimizer.optimize ~method_:Methods.IAI ~model:mem ~ticks:10_000 ~seed:5 q in
+  let e = Ljqo_cost.Plan_cost.eval mem q r.plan in
+  Array.iteri
+    (fun i c -> if i > 0 && c < 1.0 then Alcotest.fail "card below floor")
+    e.cards
+
+let test_n100_end_to_end () =
+  (* the paper's largest size at a small budget: must stay fast and sane *)
+  let q = Helpers.random_query ~n_joins:100 77 in
+  Alcotest.(check int) "101 relations" 101 (Query.n_relations q);
+  let ticks = Budget.ticks_for_limit ~t_factor:0.3 ~n_joins:100 () in
+  let t0 = Sys.time () in
+  let r = Optimizer.optimize ~method_:Methods.IAI ~model:mem ~ticks ~seed:6 q in
+  let elapsed = Sys.time () -. t0 in
+  Alcotest.(check bool) "valid" true (Plan.is_valid q r.plan);
+  Alcotest.(check bool) "cost finite" true (Float.is_finite r.cost);
+  if elapsed > 30.0 then Alcotest.failf "too slow: %.1fs" elapsed
+
+let test_single_tuple_relations () =
+  let relations =
+    Array.init 4 (fun id -> Helpers.rel ~id ~card:1 ~distinct:1.0 ())
+  in
+  let edges =
+    List.init 3 (fun i -> { Join_graph.u = i; v = i + 1; selectivity = 1.0 })
+  in
+  let q = Query.make ~relations ~graph:(Join_graph.make ~n:4 edges) in
+  let r = Optimizer.optimize ~method_:Methods.AGI ~model:mem ~ticks:5_000 ~seed:7 q in
+  Alcotest.(check bool) "valid on 1-tuple relations" true (Plan.is_valid q r.plan)
+
+let test_two_relations () =
+  let q =
+    Query.make
+      ~relations:
+        [|
+          Helpers.rel ~id:0 ~card:100 ~distinct:0.5 ();
+          Helpers.rel ~id:1 ~card:200 ~distinct:0.5 ();
+        |]
+      ~graph:
+        (Join_graph.make ~n:2 [ { Join_graph.u = 0; v = 1; selectivity = 0.01 } ])
+  in
+  List.iter
+    (fun m ->
+      let r = Optimizer.optimize ~method_:m ~model:mem ~ticks:2_000 ~seed:8 q in
+      Alcotest.(check bool) (Methods.name m) true (Plan.is_valid q r.plan))
+    Methods.all
+
+let test_star_hub_100 () =
+  (* a 60-spoke star: the shape that blows up naive search spaces *)
+  let n = 61 in
+  let relations =
+    Array.init n (fun id -> Helpers.rel ~id ~card:(10 + id) ~distinct:0.5 ())
+  in
+  let edges =
+    List.init (n - 1) (fun i -> { Join_graph.u = 0; v = i + 1; selectivity = 0.01 })
+  in
+  let q = Query.make ~relations ~graph:(Join_graph.make ~n edges) in
+  let ticks = Budget.ticks_for_limit ~t_factor:0.5 ~n_joins:(n - 1) () in
+  let r = Optimizer.optimize ~method_:Methods.AGI ~model:mem ~ticks ~seed:9 q in
+  Alcotest.(check bool) "valid star plan" true (Plan.is_valid q r.plan)
+
+let suite =
+  [
+    Alcotest.test_case "complete graph" `Quick test_complete_graph;
+    Alcotest.test_case "identical relations" `Quick test_identical_relations;
+    Alcotest.test_case "selectivity-one edges" `Quick test_selectivity_one_edges;
+    Alcotest.test_case "tiny selectivities" `Quick test_tiny_selectivities;
+    Alcotest.test_case "N=100 end to end" `Slow test_n100_end_to_end;
+    Alcotest.test_case "single-tuple relations" `Quick test_single_tuple_relations;
+    Alcotest.test_case "two relations, all methods" `Quick test_two_relations;
+    Alcotest.test_case "60-spoke star" `Slow test_star_hub_100;
+  ]

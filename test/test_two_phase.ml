@@ -1,0 +1,80 @@
+open Ljqo_core
+
+let mem = Helpers.memory_model
+
+let run_2po ?params query ~ticks ~seed =
+  let ev = Evaluator.create ~query ~model:mem ~ticks () in
+  Two_phase.run ?params ev (Ljqo_stats.Rng.create seed);
+  ev
+
+let test_produces_valid_result () =
+  let q = Helpers.random_query ~n_joins:10 1601 in
+  let ev = run_2po q ~ticks:50_000 ~seed:1 in
+  match Evaluator.best ev with
+  | Some (cost, plan) ->
+    Alcotest.(check bool) "valid" true (Plan.is_valid q plan);
+    Alcotest.(check bool) "positive" true (cost > 0.0)
+  | None -> Alcotest.fail "no result"
+
+let test_uses_budget () =
+  let q = Helpers.random_query ~n_joins:10 1602 in
+  let ticks = 30_000 in
+  let ev = run_2po q ~ticks ~seed:2 in
+  Alcotest.(check bool) "budget consumed" true (Evaluator.used ev >= ticks * 9 / 10)
+
+let test_never_worse_than_phase_one_alone () =
+  (* 2PO's phase two starts from phase one's incumbent and the evaluator is
+     monotone, so with the same stream prefix it cannot end worse than a
+     pure phase-one run of the same start count. *)
+  let q = Helpers.random_query ~n_joins:10 1603 in
+  let params = { Two_phase.default_params with phase_one_starts = 4 } in
+  let two = run_2po ~params q ~ticks:100_000 ~seed:3 in
+  (* phase one alone: II limited to 4 random starts, same seed *)
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:100_000 () in
+  let rng = Ljqo_stats.Rng.create 3 in
+  let remaining = ref 4 in
+  (try
+     Iterative_improvement.run ev rng ~starts:(fun () ->
+         if !remaining = 0 then None
+         else begin
+           decr remaining;
+           Some (Random_plan.generate_charged ev rng)
+         end)
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "2PO <= phase one alone" true
+    (Evaluator.best_cost two <= Evaluator.best_cost ev +. 1e-9)
+
+let test_deterministic () =
+  let q = Helpers.random_query ~n_joins:8 1604 in
+  let a = Evaluator.best_cost (run_2po q ~ticks:30_000 ~seed:7) in
+  let b = Evaluator.best_cost (run_2po q ~ticks:30_000 ~seed:7) in
+  Helpers.check_approx "same seed same result" a b
+
+let test_competitive_with_sa () =
+  (* The point of 2PO: it should dominate plain SA on aggregate. *)
+  let total driver =
+    List.fold_left
+      (fun acc seed ->
+        let q = Helpers.random_query ~n_joins:12 (1700 + seed) in
+        let ticks = Budget.ticks_for_limit ~t_factor:3.0 ~n_joins:12 () in
+        let ev = Evaluator.create ~query:q ~model:mem ~ticks () in
+        driver ev (Ljqo_stats.Rng.create (1800 + seed));
+        acc +. Float.min 10.0 (Evaluator.best_cost ev /. Evaluator.lower_bound ev))
+      0.0
+      [ 1; 2; 3; 4; 5 ]
+  in
+  let tpo = total (fun ev rng -> Two_phase.run ev rng) in
+  let sa = total (Methods.run Methods.SA) in
+  Alcotest.(check bool)
+    (Printf.sprintf "2PO (%.2f) <= SA (%.2f)" tpo sa)
+    true (tpo <= sa)
+
+let suite =
+  [
+    Alcotest.test_case "produces valid result" `Quick test_produces_valid_result;
+    Alcotest.test_case "uses budget" `Quick test_uses_budget;
+    Alcotest.test_case "never worse than phase one" `Quick
+      test_never_worse_than_phase_one_alone;
+    Alcotest.test_case "deterministic" `Quick test_deterministic;
+    Alcotest.test_case "competitive with SA" `Slow test_competitive_with_sa;
+  ]

@@ -1,0 +1,72 @@
+open Ljqo_querygen
+
+let test_sizes () =
+  let w = Workload.make ~per_n:3 Benchmark.default in
+  Alcotest.(check int) "standard suite size" 15 (Workload.size w);
+  let large = Workload.make ~ns:Workload.large_ns ~per_n:2 Benchmark.default in
+  Alcotest.(check int) "large suite size" 20 (Workload.size large)
+
+let test_ns_constants () =
+  Alcotest.(check (list int)) "standard" [ 10; 20; 30; 40; 50 ] Workload.standard_ns;
+  Alcotest.(check int) "large count" 10 (List.length Workload.large_ns);
+  Alcotest.(check bool) "large reaches 100" true (List.mem 100 Workload.large_ns)
+
+let test_entries_match_n () =
+  let w = Workload.make ~per_n:2 Benchmark.default in
+  Array.iter
+    (fun (e : Workload.entry) ->
+      Alcotest.(check int) "relation count" (e.n_joins + 1)
+        (Ljqo_catalog.Query.n_relations e.query))
+    w.entries
+
+let test_reproducible () =
+  let w1 = Workload.make ~per_n:2 ~seed:9 Benchmark.default in
+  let w2 = Workload.make ~per_n:2 ~seed:9 Benchmark.default in
+  Array.iteri
+    (fun i (e1 : Workload.entry) ->
+      let e2 = w2.entries.(i) in
+      Alcotest.(check int) "same seeds" e1.seed e2.seed;
+      Alcotest.(check int) "same join counts"
+        (Ljqo_catalog.Query.n_joins e1.query)
+        (Ljqo_catalog.Query.n_joins e2.query))
+    w1.entries
+
+let test_different_seed_differs () =
+  let w1 = Workload.make ~per_n:2 ~seed:1 Benchmark.default in
+  let w2 = Workload.make ~per_n:2 ~seed:2 Benchmark.default in
+  let some_diff =
+    Array.exists2
+      (fun (e1 : Workload.entry) (e2 : Workload.entry) ->
+        Ljqo_catalog.Query.n_joins e1.query <> Ljqo_catalog.Query.n_joins e2.query
+        || Ljqo_catalog.Query.total_base_tuples e1.query
+           <> Ljqo_catalog.Query.total_base_tuples e2.query)
+      w1.entries w2.entries
+  in
+  Alcotest.(check bool) "different populations" true some_diff
+
+let test_prefix_sharing () =
+  (* The same (N, k) coordinate yields the same query in suites of
+     different shapes — the paper's 250-query suite is a prefix of the
+     500-query one. *)
+  let small = Workload.make ~per_n:2 ~seed:4 Benchmark.default in
+  let big = Workload.make ~ns:Workload.large_ns ~per_n:2 ~seed:4 Benchmark.default in
+  let key (e : Workload.entry) = (e.n_joins, e.seed) in
+  Array.iter
+    (fun (e : Workload.entry) ->
+      match Array.find_opt (fun e' -> key e' = key e) big.entries with
+      | Some e' ->
+        Helpers.check_approx "same query statistics"
+          (Ljqo_catalog.Query.total_base_tuples e.query)
+          (Ljqo_catalog.Query.total_base_tuples e'.query)
+      | None -> Alcotest.fail "query missing from the larger suite")
+    small.entries
+
+let suite =
+  [
+    Alcotest.test_case "sizes" `Quick test_sizes;
+    Alcotest.test_case "ns constants" `Quick test_ns_constants;
+    Alcotest.test_case "entries match n" `Quick test_entries_match_n;
+    Alcotest.test_case "reproducible" `Quick test_reproducible;
+    Alcotest.test_case "seed changes population" `Quick test_different_seed_differs;
+    Alcotest.test_case "prefix sharing across suite shapes" `Quick test_prefix_sharing;
+  ]
