@@ -19,12 +19,16 @@ let mixes =
 
 let patience_factors = [ 2; 4; 8 ]
 
-let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
+let run ?kappa ?deadline ?checkpoint ~(scale : Ljqo_harness.Driver.scale) ~seed
+    ~csv_dir () =
   let per_n = max 2 (scale.per_n / 2) in
   let workload = Workload.make ~per_n ~seed Benchmark.default in
-  let run_with config model =
-    Ljqo_harness.Driver.run_experiment ?kappa ~config ~seed ~workload ~methods ~model ~tfactors
-      ~replicates:1 ()
+  (* Each call is its own checkpointable unit — the run_label keeps their
+     files apart even though they share the workload and seed. *)
+  let run_with ~run_label config model =
+    Ljqo_harness.Driver.run_experiment ?kappa ?deadline ?checkpoint
+      ~run_label:("ablation-" ^ run_label) ~config ~seed ~workload ~methods
+      ~model ~tfactors ~replicates:1 ()
   in
   let memory = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
   let adaptive = (module Ljqo_cost.Join_method.Adaptive_memory : Ljqo_cost.Cost_model.S) in
@@ -49,8 +53,8 @@ let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
     Ljqo_report.Table.create
       ~title:"Ablation: move-set locality (avg scaled cost)" ~columns
   in
-  List.iter
-    (fun (label, mix) ->
+  List.iteri
+    (fun i (label, mix) ->
       let config =
         {
           Methods.default_config with
@@ -58,7 +62,8 @@ let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
           sa_params = { Simulated_annealing.default_params with mix };
         }
       in
-      add_row t1 label (run_with config memory))
+      add_row t1 label
+        (run_with ~run_label:(Printf.sprintf "mix%d" i) config memory))
     mixes;
   Ljqo_report.Table.print t1;
   print_newline ();
@@ -76,7 +81,9 @@ let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
             { Iterative_improvement.default_params with patience_factor = pf };
         }
       in
-      add_row t2 (Printf.sprintf "patience %dN" pf) (run_with config memory))
+      add_row t2
+        (Printf.sprintf "patience %dN" pf)
+        (run_with ~run_label:(Printf.sprintf "patience%d" pf) config memory))
     patience_factors;
   Ljqo_report.Table.print t2;
   print_newline ();
@@ -86,8 +93,10 @@ let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
     Ljqo_report.Table.create
       ~title:"Ablation: hash-only vs adaptive join methods" ~columns
   in
-  add_row t3 "hash-only" (run_with Methods.default_config memory);
-  add_row t3 "adaptive" (run_with Methods.default_config adaptive);
+  add_row t3 "hash-only"
+    (run_with ~run_label:"model-hash" Methods.default_config memory);
+  add_row t3 "adaptive"
+    (run_with ~run_label:"model-adaptive" Methods.default_config adaptive);
   Ljqo_report.Table.print t3;
 
   Option.iter

@@ -6,11 +6,13 @@ open Ljqo_querygen
 
 let tfactors = [ 0.3; 0.75; 1.5; 3.0; 6.0; 9.0 ]
 
-let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
+let run ?kappa ?deadline ?checkpoint ~(scale : Ljqo_harness.Driver.scale) ~seed
+    ~csv_dir () =
   let workload = Workload.make ~per_n:scale.per_n ~seed Benchmark.default in
   let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
   let outcome =
-    Ljqo_harness.Driver.run_experiment ?kappa ~seed ~workload ~methods:Methods.all ~model ~tfactors
+    Ljqo_harness.Driver.run_experiment ?kappa ?deadline ?checkpoint
+      ~run_label:"fig4" ~seed ~workload ~methods:Methods.all ~model ~tfactors
       ~replicates:scale.replicates ()
   in
   let title =

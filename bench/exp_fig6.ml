@@ -8,13 +8,15 @@ let tfactors = [ 0.3; 0.6; 0.9; 1.2; 1.5; 1.8 ]
 
 let methods = Methods.[ IAI; AGI; II ]
 
-let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
+let run ?kappa ?deadline ?checkpoint ~(scale : Ljqo_harness.Driver.scale) ~seed
+    ~csv_dir () =
   let workload =
     Workload.make ~ns:Workload.large_ns ~per_n:scale.per_n ~seed Benchmark.default
   in
   let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
   let outcome =
-    Ljqo_harness.Driver.run_experiment ?kappa ~seed ~workload ~methods ~model ~tfactors
+    Ljqo_harness.Driver.run_experiment ?kappa ?deadline ?checkpoint
+      ~run_label:"fig6" ~seed ~workload ~methods ~model ~tfactors
       ~replicates:scale.replicates ()
   in
   let title =

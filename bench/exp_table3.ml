@@ -6,7 +6,8 @@ open Ljqo_querygen
 
 let methods = Methods.[ IAI; IAL; AGI; KBI; II ]
 
-let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
+let run ?kappa ?deadline ?checkpoint ~(scale : Ljqo_harness.Driver.scale) ~seed
+    ~csv_dir () =
   let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
   let queries = scale.per_n * List.length Workload.standard_ns in
   (* The paper reports 9N^2 only.  With modern tick budgets all finalists
@@ -25,8 +26,9 @@ let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
     (fun bi spec ->
       let workload = Workload.make ~per_n:scale.per_n ~seed spec in
       let outcome =
-        Ljqo_harness.Driver.run_experiment ?kappa ~seed ~workload ~methods ~model
-          ~tfactors:[ 1.5; 9.0 ] ~replicates:scale.replicates ()
+        Ljqo_harness.Driver.run_experiment ?kappa ?deadline ?checkpoint
+          ~run_label:(Printf.sprintf "table3-v%d" (bi + 1)) ~seed ~workload
+          ~methods ~model ~tfactors:[ 1.5; 9.0 ] ~replicates:scale.replicates ()
       in
       let label = Printf.sprintf "%d (%s)" (bi + 1) spec.Benchmark.name in
       Ljqo_report.Table.add_float_row table_early ~label

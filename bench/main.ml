@@ -18,10 +18,17 @@ let usage () =
   prerr_endline
     "usage: main.exe [EXPERIMENT...] [--full] [--per-n K] [--replicates R]\n\
     \                [--seed S] [--kappa K] [--csv DIR] [--jobs J]\n\
+    \                [--deadline SECS] [--checkpoint-dir DIR] [--resume]\n\
      paper experiments:     table1 table2 table3 fig4 fig5 fig6 fig7 (or: all)\n\
      extension experiments: optgap space bushy ablation sg88 dp (or: extensions)\n\
-     micro-benchmarks:      micro";
+     micro-benchmarks:      micro\n\
+     --deadline SECS        abort any single method run after SECS wall-clock\n\
+     --checkpoint-dir DIR   persist per-query results under DIR as they finish\n\
+     --resume               skip queries already checkpointed (implies\n\
+    \                        checkpointing; default dir results/checkpoints)";
   exit 2
+
+let default_checkpoint_dir = Filename.concat "results" "checkpoints"
 
 type options = {
   mutable experiments : string list;
@@ -29,6 +36,9 @@ type options = {
   mutable seed : int;
   mutable kappa : int option;
   mutable csv_dir : string option;
+  mutable deadline : float option;
+  mutable checkpoint_dir : string option;
+  mutable resume : bool;
 }
 
 let parse_args () =
@@ -39,6 +49,9 @@ let parse_args () =
       seed = 42;
       kappa = None;
       csv_dir = None;
+      deadline = None;
+      checkpoint_dir = None;
+      resume = false;
     }
   in
   let rec go = function
@@ -60,6 +73,19 @@ let parse_args () =
       go rest
     | "--csv" :: v :: rest ->
       o.csv_dir <- Some v;
+      go rest
+    | "--deadline" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s when s > 0.0 -> o.deadline <- Some s
+      | _ ->
+        prerr_endline ("--deadline wants a positive number of seconds, got: " ^ v);
+        usage ());
+      go rest
+    | "--checkpoint-dir" :: v :: rest ->
+      o.checkpoint_dir <- Some v;
+      go rest
+    | "--resume" :: rest ->
+      o.resume <- true;
       go rest
     | ("-j" | "--jobs") :: v :: rest ->
       Ljqo_harness.Parallel.set_jobs (int_of_string v);
@@ -83,27 +109,42 @@ let parse_args () =
   o
 
 let () =
+  Printexc.record_backtrace true;
+  Logs.set_reporter (Logs.format_reporter ());
+  Logs.set_level (Some Logs.Warning);
   let o = parse_args () in
   Option.iter
     (fun dir -> if not (Sys.file_exists dir) then Sys.mkdir dir 0o755)
     o.csv_dir;
   let scale = o.scale and seed = o.seed and csv_dir = o.csv_dir in
-  let kappa = o.kappa in
+  let kappa = o.kappa and deadline = o.deadline in
+  let checkpoint =
+    match (o.checkpoint_dir, o.resume) with
+    | None, false -> None
+    | dir, resume ->
+      Some
+        {
+          Ljqo_harness.Checkpoint.dir =
+            Option.value dir ~default:default_checkpoint_dir;
+          resume;
+        }
+  in
   List.iter
     (fun exp ->
       let t0 = Sys.time () in
       (match exp with
       | "table1" -> Exp_table1.run ?kappa ~scale ~seed ~csv_dir ()
       | "table2" -> Exp_table2.run ?kappa ~scale ~seed ~csv_dir ()
-      | "table3" -> Exp_table3.run ?kappa ~scale ~seed ~csv_dir ()
-      | "fig4" -> Exp_fig4.run ?kappa ~scale ~seed ~csv_dir ()
-      | "fig5" -> Exp_fig5.run ?kappa ~scale ~seed ~csv_dir ()
-      | "fig6" -> Exp_fig6.run ?kappa ~scale ~seed ~csv_dir ()
-      | "fig7" -> Exp_fig7.run ?kappa ~scale ~seed ~csv_dir ()
+      | "table3" -> Exp_table3.run ?kappa ?deadline ?checkpoint ~scale ~seed ~csv_dir ()
+      | "fig4" -> Exp_fig4.run ?kappa ?deadline ?checkpoint ~scale ~seed ~csv_dir ()
+      | "fig5" -> Exp_fig5.run ?kappa ?deadline ?checkpoint ~scale ~seed ~csv_dir ()
+      | "fig6" -> Exp_fig6.run ?kappa ?deadline ?checkpoint ~scale ~seed ~csv_dir ()
+      | "fig7" -> Exp_fig7.run ?kappa ?deadline ?checkpoint ~scale ~seed ~csv_dir ()
+      | "ablation" ->
+        Exp_ablation.run ?kappa ?deadline ?checkpoint ~scale ~seed ~csv_dir ()
       | "optgap" -> Exp_optgap.run ?kappa ~scale ~seed ~csv_dir ()
       | "space" -> Exp_space.run ?kappa ~scale ~seed ~csv_dir ()
       | "bushy" -> Exp_bushy.run ?kappa ~scale ~seed ~csv_dir ()
-      | "ablation" -> Exp_ablation.run ?kappa ~scale ~seed ~csv_dir ()
       | "sg88" -> Exp_sg88.run ?kappa ~scale ~seed ~csv_dir ()
       | "dp" -> Exp_dp.run ?kappa ~scale ~seed ~csv_dir ()
       | "micro" -> Micro.run ()

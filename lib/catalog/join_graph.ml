@@ -17,8 +17,11 @@ let make ~n edge_list =
       if e.u = e.v then invalid_arg "Join_graph.make: self loop";
       if e.u < 0 || e.u >= n || e.v < 0 || e.v >= n then
         invalid_arg "Join_graph.make: endpoint out of range";
-      if e.selectivity <= 0.0 || e.selectivity > 1.0 then
-        invalid_arg "Join_graph.make: selectivity outside (0,1]";
+      if Float.is_nan e.selectivity || e.selectivity < 0.0 || e.selectivity > 1.0
+      then
+        (* 0 is allowed: an always-false predicate is a legal, if degenerate,
+           join; the estimator floors intermediate sizes at one tuple. *)
+        invalid_arg "Join_graph.make: selectivity outside [0,1]";
       let e = normalize_edge e in
       let key = (e.u, e.v) in
       match Hashtbl.find_opt table key with

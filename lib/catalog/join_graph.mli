@@ -15,7 +15,7 @@ type t
 
 val make : n:int -> edge list -> t
 (** [make ~n edges] builds a graph on [n] vertices.  Edge endpoints must be
-    distinct and in range; selectivities in (0, 1].  Duplicate pairs are
+    distinct and in range; selectivities in [0, 1] (0 = always-false predicate).  Duplicate pairs are
     merged by multiplying their selectivities. *)
 
 val n : t -> int

@@ -6,15 +6,23 @@ type t = {
   distinct_fraction : float;
 }
 
+(* Degenerate statistics — empty relations, distinct fraction 0, selection
+   selectivity 0 — are accepted: real catalogs produce them (freshly
+   truncated tables, constant columns, contradictory predicates) and the
+   derived [cardinality]/[distinct_values] clamp them to at least one tuple
+   or value, so the optimizer stays total on such inputs. *)
 let make ~id ?name ~base_cardinality ?(selections = []) ~distinct_fraction () =
   if id < 0 then invalid_arg "Relation.make: negative id";
-  if base_cardinality < 1 then invalid_arg "Relation.make: cardinality < 1";
-  if distinct_fraction <= 0.0 || distinct_fraction > 1.0 then
-    invalid_arg "Relation.make: distinct_fraction outside (0,1]";
+  if base_cardinality < 0 then invalid_arg "Relation.make: negative cardinality";
+  if
+    Float.is_nan distinct_fraction
+    || distinct_fraction < 0.0
+    || distinct_fraction > 1.0
+  then invalid_arg "Relation.make: distinct_fraction outside [0,1]";
   List.iter
     (fun s ->
-      if s <= 0.0 || s > 1.0 then
-        invalid_arg "Relation.make: selection selectivity outside (0,1]")
+      if Float.is_nan s || s < 0.0 || s > 1.0 then
+        invalid_arg "Relation.make: selection selectivity outside [0,1]")
     selections;
   let name = match name with Some n -> n | None -> "R" ^ string_of_int id in
   { id; name; base_cardinality; selection_selectivities = selections; distinct_fraction }

@@ -11,8 +11,8 @@ type t = private {
   id : int;  (** index of the relation within its query, 0-based *)
   name : string;
   base_cardinality : int;  (** tuples before selections; >= 1 *)
-  selection_selectivities : float list;  (** each in (0, 1] *)
-  distinct_fraction : float;  (** in (0, 1]; D_k as a fraction of N_k *)
+  selection_selectivities : float list;  (** each in [0, 1]; 0 floors to one tuple *)
+  distinct_fraction : float;  (** in [0, 1]; D_k as a fraction of N_k, floored at one value *)
 }
 
 val make :

@@ -1,20 +1,50 @@
 exception Exhausted
 
+exception Deadline_exceeded
+
+(* Wall-clock deadlines piggyback on the charge path: every
+   [deadline_check_stride]-th charge reads the clock.  The stride keeps the
+   hot loop free of syscalls while still bounding how long a runaway method
+   can overshoot its deadline (a few hundred estimation steps). *)
+let deadline_check_stride = 256
+
 type t = {
   limit : int;  (* 0 means unlimited *)
   mutable used : int;
   mutable pending_checkpoints : int list;  (* ascending *)
   mutable callback : int -> unit;
   mutable dead : bool;
+  deadline : float option;  (* absolute clock value; None = no deadline *)
+  clock : unit -> float;
+  mutable charges_until_check : int;
+  mutable deadline_hit : bool;
 }
 
-let create ?(checkpoints = []) ~ticks () =
+let wall_clock () = Unix.gettimeofday ()
+
+let create ?(checkpoints = []) ?deadline ?(clock = wall_clock) ~ticks () =
   let limit = if ticks <= 0 then 0 else ticks in
   let pending =
     List.sort_uniq compare
       (List.filter (fun c -> c > 0 && (limit = 0 || c <= limit)) checkpoints)
   in
-  { limit; used = 0; pending_checkpoints = pending; callback = ignore; dead = false }
+  let deadline =
+    match deadline with
+    | Some d when d >= 0.0 -> Some (clock () +. d)
+    | Some _ -> Some (clock ())  (* negative deadline: already expired *)
+    | None -> None
+  in
+  {
+    limit;
+    used = 0;
+    pending_checkpoints = pending;
+    callback = ignore;
+    dead = false;
+    deadline;
+    clock;
+    charges_until_check = deadline_check_stride;
+    deadline_hit = false;
+  }
 
 let unlimited () = create ~ticks:0 ()
 
@@ -31,10 +61,25 @@ let fire_crossed t =
   in
   loop ()
 
+let check_deadline t =
+  match t.deadline with
+  | None -> ()
+  | Some dl ->
+    t.charges_until_check <- t.charges_until_check - 1;
+    if t.charges_until_check <= 0 then begin
+      t.charges_until_check <- deadline_check_stride;
+      if t.clock () >= dl then begin
+        t.dead <- true;
+        t.deadline_hit <- true;
+        raise Deadline_exceeded
+      end
+    end
+
 let charge t k =
-  if t.dead then raise Exhausted;
+  if t.dead then raise (if t.deadline_hit then Deadline_exceeded else Exhausted);
   t.used <- t.used + k;
   fire_crossed t;
+  check_deadline t;
   if t.limit > 0 && t.used >= t.limit then begin
     t.dead <- true;
     raise Exhausted
@@ -48,6 +93,8 @@ let remaining t =
   match limit t with None -> None | Some l -> Some (max 0 (l - t.used))
 
 let exhausted t = t.dead
+
+let deadline_hit t = t.deadline_hit
 
 let default_ticks_per_unit = 60
 

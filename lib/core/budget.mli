@@ -20,10 +20,28 @@
 exception Exhausted
 (** Raised by [charge] when the budget is used up. *)
 
+exception Deadline_exceeded
+(** Raised by [charge] when the optional wall-clock deadline has passed.
+    Unlike tick exhaustion this is a defensive abort: it exists so a
+    pathological run can never hang a suite, and the harness records it as a
+    timeout rather than a normal completion. *)
+
 type t
 
-val create : ?checkpoints:int list -> ticks:int -> unit -> t
-(** [ticks <= 0] means unlimited. Checkpoints beyond [ticks] are ignored. *)
+val create :
+  ?checkpoints:int list ->
+  ?deadline:float ->
+  ?clock:(unit -> float) ->
+  ticks:int ->
+  unit ->
+  t
+(** [ticks <= 0] means unlimited. Checkpoints beyond [ticks] are ignored.
+
+    [deadline] is a wall-clock allowance in seconds, measured from [create];
+    when it elapses, [charge] raises [Deadline_exceeded].  The clock is read
+    only every {!deadline_check_stride} charges, so the deterministic tick
+    accounting stays syscall-free on the hot path.  [clock] (default
+    [Unix.gettimeofday]) exists for deterministic tests. *)
 
 val unlimited : unit -> t
 
@@ -33,9 +51,10 @@ val set_checkpoint_callback : t -> (int -> unit) -> unit
     order). *)
 
 val charge : t -> int -> unit
-(** Add ticks to the used count; fires crossed checkpoints, then raises
-    [Exhausted] if the limit is now exceeded.  Once exhausted, every further
-    [charge] raises. *)
+(** Add ticks to the used count; fires crossed checkpoints, then checks the
+    wall-clock deadline (raising [Deadline_exceeded]) and the tick limit
+    (raising [Exhausted]).  Once dead, every further [charge] raises the
+    exception that killed the budget. *)
 
 val used : t -> int
 
@@ -45,6 +64,13 @@ val remaining : t -> int option
 (** [None] when unlimited; otherwise [max 0 (limit - used)]. *)
 
 val exhausted : t -> bool
+
+val deadline_hit : t -> bool
+(** Whether the budget died from its wall-clock deadline (as opposed to tick
+    exhaustion). *)
+
+val deadline_check_stride : int
+(** Number of charges between wall-clock reads. *)
 
 val default_ticks_per_unit : int
 

@@ -73,7 +73,7 @@ let eval (model : Cost_model.t) query tree =
           1.0 edges
       in
       let is_cross = edges = [] in
-      let out = Float.min 1e120 (Float.max 1.0 (lcard *. rcard *. sel)) in
+      let out = Plan_cost.clamp_card (lcard *. rcard *. sel) in
       (* Inner distinct: the tightest clamped distinct count among the
          inner-side endpoints of the connecting edges. *)
       let inner_distinct =
@@ -91,7 +91,7 @@ let eval (model : Cost_model.t) query tree =
           is_cross;
         }
       in
-      (lcost +. rcost +. M.join_cost input, out, lrels @ rrels)
+      (lcost +. rcost +. Plan_cost.clamp_cost (M.join_cost input), out, lrels @ rrels)
   in
   let cost, card, _ = go tree in
   { cost; card }

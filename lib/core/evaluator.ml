@@ -14,8 +14,9 @@ type t = {
   mutable best : (float * Plan.t) option;
 }
 
-let create ?(epsilon = 0.01) ?(checkpoints = []) ~query ~model ~ticks () =
-  let budget = Budget.create ~checkpoints ~ticks () in
+let create ?(epsilon = 0.01) ?(checkpoints = []) ?deadline ?clock ~query ~model
+    ~ticks () =
+  let budget = Budget.create ~checkpoints ?deadline ?clock ~ticks () in
   let t =
     {
       query;
@@ -42,6 +43,7 @@ let charge t k = Budget.charge t.budget k
 let remaining t = Budget.remaining t.budget
 let used t = Budget.used t.budget
 let exhausted t = Budget.exhausted t.budget
+let deadline_hit t = Budget.deadline_hit t.budget
 
 let converged_cost t cost = cost <= (1.0 +. t.epsilon) *. t.lower_bound
 
@@ -56,9 +58,9 @@ let eval t perm =
      optimizer keeps the last solution computed within the limit. *)
   let result = Plan_cost.eval t.model t.query perm in
   (try Budget.charge t.budget result.est_steps
-   with Budget.Exhausted ->
+   with (Budget.Exhausted | Budget.Deadline_exceeded) as stop ->
      record t perm result.total;
-     raise Budget.Exhausted);
+     raise stop);
   record t perm result.total;
   result.total
 

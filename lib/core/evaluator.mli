@@ -19,12 +19,17 @@ type t
 val create :
   ?epsilon:float ->
   ?checkpoints:int list ->
+  ?deadline:float ->
+  ?clock:(unit -> float) ->
   query:Ljqo_catalog.Query.t ->
   model:Ljqo_cost.Cost_model.t ->
   ticks:int ->
   unit ->
   t
-(** [epsilon] defaults to 0.01; [ticks <= 0] means unlimited. *)
+(** [epsilon] defaults to 0.01; [ticks <= 0] means unlimited.  [deadline] and
+    [clock] are forwarded to {!Budget.create}: a run past its wall-clock
+    deadline dies with [Budget.Deadline_exceeded] from any charging
+    operation. *)
 
 val query : t -> Ljqo_catalog.Query.t
 val model : t -> Ljqo_cost.Cost_model.t
@@ -37,6 +42,9 @@ val charge : t -> int -> unit
 val remaining : t -> int option
 val used : t -> int
 val exhausted : t -> bool
+
+val deadline_hit : t -> bool
+(** Whether this run was killed by its wall-clock deadline. *)
 
 val eval : t -> Plan.t -> float
 (** Full plan evaluation: charges [n] ticks, records the plan as a candidate

@@ -105,7 +105,10 @@ let run_inner config method_ ev rng =
     ii (random_starts ev rng)
 
 let run ?(config = default_config) method_ ev rng =
+  (* A wall-clock deadline ends the run like tick exhaustion does — the
+     incumbent survives — but the evaluator remembers ([deadline_hit]) so the
+     harness can record the run as timed-out. *)
   try run_inner config method_ ev rng with
-  | Budget.Exhausted | Evaluator.Converged -> ()
+  | Budget.Exhausted | Evaluator.Converged | Budget.Deadline_exceeded -> ()
 
 let pp ppf m = Format.pp_print_string ppf (name m)

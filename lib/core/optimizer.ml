@@ -9,18 +9,19 @@ type result = {
   ticks_used : int;
   checkpoints : (int * float) list;
   converged : bool;
+  timed_out : bool;
 }
 
 let time_limit_ticks ?ticks_per_unit ~t_factor ~query () =
   let n_joins = max 1 (Query.n_relations query - 1) in
   Budget.ticks_for_limit ?ticks_per_unit ~t_factor ~n_joins ()
 
-let optimize_connected ?config ?(checkpoints = []) ?epsilon ~method_ ~model ~ticks
-    ~seed query =
-  let ev = Evaluator.create ?epsilon ~checkpoints ~query ~model ~ticks () in
+let optimize_connected ?config ?(checkpoints = []) ?epsilon ?deadline ?clock
+    ~method_ ~model ~ticks ~seed query =
+  let ev = Evaluator.create ?epsilon ~checkpoints ?deadline ?clock ~query ~model ~ticks () in
   let rng = Rng.create seed in
   let converged =
-    (* Methods.run swallows both stop exceptions; detect convergence from the
+    (* Methods.run swallows the stop exceptions; detect convergence from the
        incumbent afterwards. *)
     Methods.run ?config method_ ev rng;
     match Evaluator.best ev with
@@ -29,8 +30,13 @@ let optimize_connected ?config ?(checkpoints = []) ?epsilon ~method_ ~model ~tic
   in
   match Evaluator.best ev with
   | None ->
-    (* A positive budget always admits at least the first evaluation. *)
-    assert false
+    if Evaluator.deadline_hit ev then
+      (* The deadline fired before the method produced any plan at all; there
+         is nothing to salvage, so let the caller's guard record a timeout. *)
+      raise Budget.Deadline_exceeded
+    else
+      (* A positive budget always admits at least the first evaluation. *)
+      assert false
   | Some (cost, plan) ->
     {
       plan;
@@ -39,9 +45,11 @@ let optimize_connected ?config ?(checkpoints = []) ?epsilon ~method_ ~model ~tic
       ticks_used = Evaluator.used ev;
       checkpoints = Evaluator.checkpoint_costs ev;
       converged;
+      timed_out = Evaluator.deadline_hit ev;
     }
 
-let optimize ?config ?checkpoints ?epsilon ~method_ ~model ~ticks ~seed query =
+let optimize ?config ?checkpoints ?epsilon ?deadline ?clock ~method_ ~model
+    ~ticks ~seed query =
   if ticks <= 0 then invalid_arg "Optimizer.optimize: ticks must be positive";
   let n = Query.n_relations query in
   if n = 0 then invalid_arg "Optimizer.optimize: empty query";
@@ -53,10 +61,13 @@ let optimize ?config ?checkpoints ?epsilon ~method_ ~model ~ticks ~seed query =
       ticks_used = 0;
       checkpoints = [];
       converged = true;
+      timed_out = false;
     }
   else
     match Join_graph.components (Query.graph query) with
-    | [ _ ] -> optimize_connected ?config ?checkpoints ?epsilon ~method_ ~model ~ticks ~seed query
+    | [ _ ] ->
+      optimize_connected ?config ?checkpoints ?epsilon ?deadline ?clock ~method_
+        ~model ~ticks ~seed query
     | comps ->
       (* Budget share proportional to squared component size. *)
       let sq c = let k = List.length c in k * k in
@@ -67,27 +78,28 @@ let optimize ?config ?checkpoints ?epsilon ~method_ ~model ~ticks ~seed query =
             let sub, back = Query.induced query comp in
             let share = max 1 (ticks * sq comp / max 1 total_sq) in
             if List.length comp = 1 then
-              (Plan_cost.reference_final_cardinality sub, [| back.(0) |], 0)
+              (Plan_cost.reference_final_cardinality sub, [| back.(0) |], 0, false)
             else begin
               let r =
-                optimize_connected ?config ?epsilon ~method_ ~model ~ticks:share
-                  ~seed:(seed + (i * 7919)) sub
+                optimize_connected ?config ?epsilon ?deadline ?clock ~method_
+                  ~model ~ticks:share ~seed:(seed + (i * 7919)) sub
               in
               let mapped = Array.map (fun id -> back.(id)) r.plan in
-              (Plan_cost.reference_final_cardinality sub, mapped, r.ticks_used)
+              (Plan_cost.reference_final_cardinality sub, mapped, r.ticks_used, r.timed_out)
             end)
           comps
       in
       let ordered =
-        List.sort (fun (a, _, _) (b, _, _) -> compare a b) parts
+        List.sort (fun (a, _, _, _) (b, _, _, _) -> compare a b) parts
       in
-      let plan = Plan.concat (List.map (fun (_, p, _) -> p) ordered) in
+      let plan = Plan.concat (List.map (fun (_, p, _, _) -> p) ordered) in
       let cost = Plan_cost.total model query plan in
       {
         plan;
         cost;
         lower_bound = Plan_cost.lower_bound model query;
-        ticks_used = List.fold_left (fun acc (_, _, t) -> acc + t) 0 parts;
+        ticks_used = List.fold_left (fun acc (_, _, t, _) -> acc + t) 0 parts;
         checkpoints = [];
         converged = false;
+        timed_out = List.exists (fun (_, _, _, to_) -> to_) parts;
       }

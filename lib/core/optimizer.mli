@@ -18,12 +18,17 @@ type result = {
       (** incumbent cost when each requested checkpoint tick was crossed
           (connected queries only; empty for disconnected queries) *)
   converged : bool;  (** stopped at the lower-bound stopping condition *)
+  timed_out : bool;
+      (** the run was cut short by its wall-clock deadline; [plan] is the
+          incumbent at that moment *)
 }
 
 val optimize :
   ?config:Methods.config ->
   ?checkpoints:int list ->
   ?epsilon:float ->
+  ?deadline:float ->
+  ?clock:(unit -> float) ->
   method_:Methods.t ->
   model:Ljqo_cost.Cost_model.t ->
   ticks:int ->
@@ -31,7 +36,14 @@ val optimize :
   Ljqo_catalog.Query.t ->
   result
 (** [ticks] must be positive: the iterative methods are defined relative to a
-    time limit.  Raises [Invalid_argument] otherwise or on an empty query. *)
+    time limit.  Raises [Invalid_argument] otherwise or on an empty query.
+
+    [deadline] (seconds of wall-clock time, checked from the budget's charge
+    path) bounds the run in real time on top of the deterministic tick
+    budget.  A run whose deadline fires after it has found at least one plan
+    returns that incumbent with [timed_out = true]; if the deadline fires
+    before any plan exists, [Budget.Deadline_exceeded] escapes so the caller
+    can record a structured timeout. *)
 
 val time_limit_ticks :
   ?ticks_per_unit:int -> t_factor:float -> query:Ljqo_catalog.Query.t -> unit -> int

@@ -42,15 +42,27 @@ let joins_before query ~perm ~pos i =
    threshold by the experiment methodology anyway). *)
 let card_ceiling = 1e120
 
+(* Ceiling on per-step costs, for the same reason — and a containment wall
+   against misbehaving cost models (overflow to infinity, NaN, negative
+   values).  A NaN or infinite step cost is pessimized to the ceiling, a
+   negative one floored at zero, so every search method always sees finite,
+   totally ordered costs and terminates with a valid plan even under fault
+   injection (see Chaos). *)
+let cost_ceiling = 1e150
+
+let clamp_card c =
+  if Float.is_nan c then 1.0 else Float.min card_ceiling (Float.max 1.0 c)
+
+let clamp_cost c =
+  if Float.is_nan c then cost_ceiling else Float.min cost_ceiling (Float.max 0.0 c)
+
 let step_cost (model : Cost_model.t) query ~perm ~pos ~i ~outer_card =
   let module M = (val model : Cost_model.S) in
   let r = perm.(i) in
   let inner_card = Query.cardinality query r in
   let sel = selectivity_before query ~perm ~pos ~outer_card i in
   let is_cross = not (joins_before query ~perm ~pos i) in
-  let output_card =
-    Float.min card_ceiling (Float.max 1.0 (outer_card *. inner_card *. sel))
-  in
+  let output_card = clamp_card (outer_card *. inner_card *. sel) in
   let input : Cost_model.join_input =
     {
       outer_card;
@@ -61,7 +73,7 @@ let step_cost (model : Cost_model.t) query ~perm ~pos ~i ~outer_card =
       is_cross;
     }
   in
-  (M.join_cost input, output_card)
+  (clamp_cost (M.join_cost input), output_card)
 
 let eval model query perm =
   let n = Array.length perm in
@@ -100,6 +112,6 @@ let lower_bound (model : Cost_model.t) query =
   let n = Query.n_relations query in
   let scans = ref 0.0 in
   for i = 0 to n - 1 do
-    scans := !scans +. M.scan_cost ~card:(Query.cardinality query i)
+    scans := !scans +. clamp_cost (M.scan_cost ~card:(Query.cardinality query i))
   done;
   !scans

@@ -46,6 +46,16 @@ val selectivity_before :
 val joins_before : Ljqo_catalog.Query.t -> perm:int array -> pos:int array -> int -> bool
 (** Whether [perm.(i)] is joined to at least one earlier relation. *)
 
+val clamp_card : float -> float
+(** Sanitize an estimated cardinality: NaN becomes 1, and the result is
+    clamped into [[1, 1e120]].  Keeps every downstream cost finite. *)
+
+val clamp_cost : float -> float
+(** Sanitize a model-produced cost: NaN and [+inf] are pessimized to the
+    [1e150] ceiling, negative values floored at 0.  This is the containment
+    wall that makes the search methods total even under a faulty
+    (e.g. fault-injecting) cost model. *)
+
 val step_cost :
   Cost_model.t ->
   Ljqo_catalog.Query.t ->

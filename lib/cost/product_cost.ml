@@ -62,7 +62,7 @@ let step_cost (model : Cost_model.t) query ~outer_card ~members r =
       is_cross;
     }
   in
-  (M.join_cost input, raw')
+  (Plan_cost.clamp_cost (M.join_cost input), raw')
 
 let eval model query perm =
   let n = Array.length perm in

@@ -14,8 +14,23 @@ val set_jobs : int -> unit
     at 1). *)
 
 val default_jobs : unit -> int
-(** The configured job count: [set_jobs] value, else [LJQO_JOBS], else 1. *)
+(** The configured job count: [set_jobs] value, else [LJQO_JOBS], else 1.
+    An unparsable or non-positive [LJQO_JOBS] logs a warning (once) and falls
+    back to sequential. *)
+
+type 'a slot =
+  | Done of 'a
+  | Raised of { exn : exn; backtrace : Printexc.raw_backtrace }
+      (** the item's function raised; the backtrace is from the raise site *)
+
+val map_array_result : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b slot array
+(** Fallible [Array.map]: elements are processed by [jobs] domains pulling
+    from a shared counter, and each element's outcome — value or exception —
+    is recorded in its own slot.  One crashing element never affects the
+    others, and all spawned domains are joined before this returns. *)
 
 val map_array : ?jobs:int -> ('a -> 'b) -> 'a array -> 'b array
-(** Like [Array.map], with elements processed by [jobs] domains pulling
-    from a shared counter.  Worker exceptions propagate to the caller. *)
+(** Like [Array.map], with elements processed by [jobs] domains pulling from
+    a shared counter.  If any element raised, the first failure (in input
+    order) is re-raised with its original backtrace — but only after every
+    spawned domain has been joined, so no domain outlives the call. *)

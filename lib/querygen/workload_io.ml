@@ -22,36 +22,81 @@ type loaded_entry = {
   query : Ljqo_catalog.Query.t;
 }
 
-let load ~dir =
+type error = { file : string; line : int; reason : string }
+
+exception Error of error
+
+let error_to_string { file; line; reason } =
+  if line > 0 then Printf.sprintf "%s:%d: %s" file line reason
+  else Printf.sprintf "%s: %s" file reason
+
+let () =
+  Printexc.register_printer (function
+    | Error e -> Some ("Workload_io.Error: " ^ error_to_string e)
+    | _ -> None)
+
+let load_result ~dir =
   let path = manifest_path dir in
-  if not (Sys.file_exists path) then
-    failwith (Printf.sprintf "Workload_io.load: no manifest at %s" path);
-  let ic = open_in path in
-  let lines =
-    Fun.protect
-      ~finally:(fun () -> close_in ic)
-      (fun () ->
-        let rec go acc =
-          match input_line ic with
-          | line -> go (line :: acc)
-          | exception End_of_file -> List.rev acc
-        in
-        go [])
-  in
-  List.filter_map
-    (fun line ->
-      let line = String.trim line in
-      if line = "" || line.[0] = '#' then None
-      else
-        match String.split_on_char ' ' line with
-        | [ file; n; seed ] -> (
-          match (int_of_string_opt n, int_of_string_opt seed) with
-          | Some n_joins, Some seed ->
-            let query = Ljqo_qdl.Parser.parse_file (Filename.concat dir file) in
-            Some { file; n_joins; seed; query }
+  let fail ~line reason = Result.error { file = path; line; reason } in
+  if not (Sys.file_exists path) then fail ~line:0 "no manifest file"
+  else
+    match open_in path with
+    | exception Sys_error msg -> fail ~line:0 msg
+    | ic ->
+      let lines =
+        Fun.protect
+          ~finally:(fun () -> close_in_noerr ic)
+          (fun () ->
+            let rec go acc =
+              match input_line ic with
+              | line -> go (line :: acc)
+              | exception End_of_file -> List.rev acc
+            in
+            go [])
+      in
+      let parse_line lineno line =
+        let trimmed = String.trim line in
+        if trimmed = "" || trimmed.[0] = '#' then Ok None
+        else
+          match String.split_on_char ' ' trimmed with
+          | [ file; n; seed ] -> (
+            match (int_of_string_opt n, int_of_string_opt seed) with
+            | Some n_joins, Some seed -> (
+              let qdl = Filename.concat dir file in
+              match Ljqo_qdl.Parser.parse_file qdl with
+              | query -> Ok (Some { file; n_joins; seed; query })
+              | exception Ljqo_qdl.Parser.Error { line; message } ->
+                Error { file = qdl; line; reason = message }
+              | exception Sys_error msg -> Error { file = qdl; line = 0; reason = msg }
+              )
+            | _ ->
+              Error
+                {
+                  file = path;
+                  line = lineno;
+                  reason =
+                    Printf.sprintf "malformed manifest line %S (non-numeric field)"
+                      trimmed;
+                })
           | _ ->
-            failwith
-              (Printf.sprintf "Workload_io.load: malformed manifest line %S" line))
-        | _ ->
-          failwith (Printf.sprintf "Workload_io.load: malformed manifest line %S" line))
-    lines
+            Error
+              {
+                file = path;
+                line = lineno;
+                reason =
+                  Printf.sprintf
+                    "malformed manifest line %S (want: FILE N_JOINS SEED)" trimmed;
+              }
+      in
+      let rec go lineno acc = function
+        | [] -> Ok (List.rev acc)
+        | line :: rest -> (
+          match parse_line lineno line with
+          | Ok None -> go (lineno + 1) acc rest
+          | Ok (Some entry) -> go (lineno + 1) (entry :: acc) rest
+          | Error e -> Result.error e)
+      in
+      go 1 [] lines
+
+let load ~dir =
+  match load_result ~dir with Ok entries -> entries | Error e -> raise (Error e)

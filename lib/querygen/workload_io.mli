@@ -24,10 +24,27 @@ type loaded_entry = {
   query : Ljqo_catalog.Query.t;
 }
 
+type error = {
+  file : string;  (** the manifest or QDL file at fault *)
+  line : int;  (** 1-based; 0 when no line applies (e.g. missing file) *)
+  reason : string;
+}
+(** Structured description of why a workload failed to load — a truncated or
+    corrupt manifest, a malformed QDL file, an unreadable path — so a suite
+    runner can report the exact file and line instead of dying on a bare
+    parser exception. *)
+
+exception Error of error
+
+val error_to_string : error -> string
+(** ["file:line: reason"]. *)
+
+val load_result : dir:string -> (loaded_entry list, error) result
+(** Parses the manifest and every referenced QDL file; never raises on
+    malformed input. *)
+
 val load : dir:string -> loaded_entry list
-(** Parses the manifest and every referenced QDL file.  Raises [Failure]
-    with a descriptive message on a malformed manifest, or
-    {!Ljqo_qdl.Parser.Error} on a malformed query file. *)
+(** [load_result] or raises {!Error}. *)
 
 val manifest_path : string -> string
 (** [dir ^ "/MANIFEST"]. *)

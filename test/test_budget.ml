@@ -49,6 +49,59 @@ let test_checkpoints_beyond_limit_dropped () =
   (try Budget.charge b 10 with Budget.Exhausted -> ());
   Alcotest.(check (list int)) "only reachable checkpoints" [ 5 ] (List.rev !fired)
 
+(* The deadline is read through an injectable clock, and only every
+   [deadline_check_stride] charges, so the tests drive both knobs
+   explicitly. *)
+let test_deadline_fires () =
+  let now = ref 0.0 in
+  let b = Budget.create ~deadline:1.0 ~clock:(fun () -> !now) ~ticks:0 () in
+  for _ = 1 to 10 * Budget.deadline_check_stride do
+    Budget.charge b 1
+  done;
+  Alcotest.(check bool) "alive within the deadline" false (Budget.deadline_hit b);
+  now := 2.0;
+  let fire () =
+    for _ = 1 to Budget.deadline_check_stride do
+      Budget.charge b 1
+    done
+  in
+  (match fire () with
+  | exception Budget.Deadline_exceeded -> ()
+  | () -> Alcotest.fail "elapsed deadline not enforced");
+  Alcotest.(check bool) "deadline_hit" true (Budget.deadline_hit b);
+  match Budget.charge b 1 with
+  | exception Budget.Deadline_exceeded -> ()
+  | () -> Alcotest.fail "dead budget must keep raising Deadline_exceeded"
+
+let test_deadline_distinct_from_exhaustion () =
+  let b = Budget.create ~ticks:10 () in
+  (try Budget.charge b 10 with Budget.Exhausted -> ());
+  Alcotest.(check bool) "tick death is not a deadline hit" false
+    (Budget.deadline_hit b);
+  (* and with a generous deadline, ticks still exhaust first *)
+  let now = ref 0.0 in
+  let b = Budget.create ~deadline:1e9 ~clock:(fun () -> !now) ~ticks:5 () in
+  (match Budget.charge b 5 with
+  | exception Budget.Exhausted -> ()
+  | () -> Alcotest.fail "tick limit must still apply under a deadline");
+  Alcotest.(check bool) "exhausted, not timed out" false (Budget.deadline_hit b)
+
+let test_deadline_checked_on_stride_only () =
+  let reads = ref 0 in
+  let clock () =
+    incr reads;
+    0.0
+  in
+  let b = Budget.create ~deadline:1.0 ~clock ~ticks:0 () in
+  let reads_at_create = !reads in
+  for _ = 1 to Budget.deadline_check_stride - 1 do
+    Budget.charge b 1
+  done;
+  Alcotest.(check int) "no clock read before the stride" reads_at_create !reads;
+  Budget.charge b 1;
+  Alcotest.(check int) "one read at the stride boundary" (reads_at_create + 1)
+    !reads
+
 let test_ticks_for_limit () =
   Alcotest.(check int) "t*N^2*kappa"
     (int_of_float (1.5 *. 400.0 *. float_of_int Budget.default_ticks_per_unit))
@@ -67,5 +120,10 @@ let suite =
     Alcotest.test_case "checkpoint at the limit" `Quick test_checkpoint_at_limit;
     Alcotest.test_case "checkpoints beyond limit dropped" `Quick
       test_checkpoints_beyond_limit_dropped;
+    Alcotest.test_case "deadline fires" `Quick test_deadline_fires;
+    Alcotest.test_case "deadline distinct from exhaustion" `Quick
+      test_deadline_distinct_from_exhaustion;
+    Alcotest.test_case "deadline checked on stride only" `Quick
+      test_deadline_checked_on_stride_only;
     Alcotest.test_case "ticks_for_limit" `Quick test_ticks_for_limit;
   ]

@@ -34,9 +34,15 @@ let test_validation () =
   in
   expect_invalid "self loop" (fun () -> Join_graph.make ~n:2 [ edge 0 0 0.5 ]);
   expect_invalid "out of range" (fun () -> Join_graph.make ~n:2 [ edge 0 5 0.5 ]);
-  expect_invalid "bad selectivity" (fun () -> Join_graph.make ~n:2 [ edge 0 1 0.0 ]);
+  expect_invalid "negative selectivity" (fun () ->
+      Join_graph.make ~n:2 [ edge 0 1 (-0.5) ]);
+  expect_invalid "NaN selectivity" (fun () ->
+      Join_graph.make ~n:2 [ edge 0 1 Float.nan ]);
   expect_invalid "selectivity above 1" (fun () ->
-      Join_graph.make ~n:2 [ edge 0 1 1.5 ])
+      Join_graph.make ~n:2 [ edge 0 1 1.5 ]);
+  (* An always-false predicate (selectivity 0) is degenerate but legal. *)
+  Helpers.check_approx "zero selectivity accepted" 0.0
+    (Join_graph.selectivity_exn (Join_graph.make ~n:2 [ edge 0 1 0.0 ]) 0 1)
 
 let test_components () =
   let g = Join_graph.make ~n:5 [ edge 0 1 0.1; edge 3 4 0.1 ] in

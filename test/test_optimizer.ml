@@ -79,6 +79,82 @@ let test_more_time_no_worse () =
   Alcotest.(check bool) "10x budget helps or ties" true
     (cost 200_000 <= cost 20_000 +. 1e-9)
 
+let test_deadline_salvages_incumbent () =
+  let q = Helpers.random_query ~n_joins:8 116 in
+  (* every clock read advances a full second, so the deadline fires at the
+     first strided check — after enough charges to evaluate some plans *)
+  let now = ref 0.0 in
+  let clock () =
+    now := !now +. 1.0;
+    !now
+  in
+  let r =
+    Optimizer.optimize ~method_:Methods.II ~model:mem ~ticks:100_000_000
+      ~deadline:0.5 ~clock ~seed:1 q
+  in
+  Alcotest.(check bool) "timed out" true r.timed_out;
+  Alcotest.(check bool) "incumbent is a valid plan" true (Plan.is_valid q r.plan);
+  Alcotest.(check bool) "stopped far before the tick limit" true
+    (r.ticks_used < 1_000_000)
+
+(* Adversarial statistics: empty and single-tuple relations, constant and
+   all-distinct columns, impossible and vacuous predicates, disconnected
+   graphs, single relations.  The optimizer must return a valid plan with a
+   finite cost on all of them, under every method. *)
+let adversarial_query seed =
+  let open Ljqo_catalog in
+  let rng = Ljqo_stats.Rng.create seed in
+  let n = 1 + Ljqo_stats.Rng.int rng 7 in
+  let extreme rng =
+    match Ljqo_stats.Rng.int rng 4 with
+    | 0 -> 0.0
+    | 1 -> 1.0
+    | _ -> Ljqo_stats.Rng.float rng 1.0
+  in
+  let relations =
+    Array.init n (fun id ->
+        let card =
+          match Ljqo_stats.Rng.int rng 4 with
+          | 0 -> 0
+          | 1 -> 1
+          | _ -> Ljqo_stats.Rng.int rng 10_000
+        in
+        let selections = if Ljqo_stats.Rng.bool rng then [ extreme rng ] else [] in
+        Helpers.rel ~id ~card ~distinct:(extreme rng) ~selections ())
+  in
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    (* drop spanning edges sometimes: disconnected graphs included *)
+    if Ljqo_stats.Rng.bernoulli rng 0.75 then
+      edges :=
+        {
+          Join_graph.u = Ljqo_stats.Rng.int rng i;
+          v = i;
+          selectivity = extreme rng;
+        }
+        :: !edges
+  done;
+  Query.make ~relations ~graph:(Join_graph.make ~n !edges)
+
+let prop_adversarial_stats_never_raise =
+  Helpers.qcheck_case ~count:40
+    ~name:"optimize survives adversarial catalog statistics"
+    (fun (qseed, midx) ->
+      let q = adversarial_query qseed in
+      let m = List.nth Methods.all (abs midx mod List.length Methods.all) in
+      let r = Optimizer.optimize ~method_:m ~model:mem ~ticks:5_000 ~seed:qseed q in
+      (* cross products are unavoidable on disconnected graphs, where
+         [is_valid]'s no-cross-product prefix condition cannot hold *)
+      let well_formed =
+        if Ljqo_catalog.Join_graph.is_connected (Ljqo_catalog.Query.graph q) then
+          Plan.is_valid q r.plan
+        else
+          Plan.is_permutation r.plan
+          && Array.length r.plan = Ljqo_catalog.Query.n_relations q
+      in
+      well_formed && Float.is_finite r.cost && r.cost >= 0.0)
+    QCheck.(pair small_int small_int)
+
 let prop_valid_plans_all_methods =
   Helpers.qcheck_case ~count:20 ~name:"optimize always returns a valid full plan"
     (fun (qseed, midx) ->
@@ -98,5 +174,8 @@ let suite =
     Alcotest.test_case "deterministic" `Quick test_deterministic;
     Alcotest.test_case "time_limit_ticks" `Quick test_time_limit_ticks;
     Alcotest.test_case "more time never hurts" `Quick test_more_time_no_worse;
+    Alcotest.test_case "deadline salvages the incumbent" `Quick
+      test_deadline_salvages_incumbent;
+    prop_adversarial_stats_never_raise;
     prop_valid_plans_all_methods;
   ]

@@ -35,15 +35,33 @@ let test_validation () =
   in
   expect_invalid "negative id" (fun () ->
       Relation.make ~id:(-1) ~base_cardinality:10 ~distinct_fraction:0.5 ());
-  expect_invalid "zero cardinality" (fun () ->
-      Relation.make ~id:0 ~base_cardinality:0 ~distinct_fraction:0.5 ());
-  expect_invalid "distinct fraction 0" (fun () ->
-      Relation.make ~id:0 ~base_cardinality:10 ~distinct_fraction:0.0 ());
+  expect_invalid "negative cardinality" (fun () ->
+      Relation.make ~id:0 ~base_cardinality:(-1) ~distinct_fraction:0.5 ());
+  expect_invalid "distinct fraction < 0" (fun () ->
+      Relation.make ~id:0 ~base_cardinality:10 ~distinct_fraction:(-0.1) ());
   expect_invalid "distinct fraction > 1" (fun () ->
       Relation.make ~id:0 ~base_cardinality:10 ~distinct_fraction:1.5 ());
-  expect_invalid "bad selection" (fun () ->
-      Relation.make ~id:0 ~base_cardinality:10 ~selections:[ 0.0 ]
+  expect_invalid "NaN distinct fraction" (fun () ->
+      Relation.make ~id:0 ~base_cardinality:10 ~distinct_fraction:Float.nan ());
+  expect_invalid "negative selection" (fun () ->
+      Relation.make ~id:0 ~base_cardinality:10 ~selections:[ -0.5 ]
         ~distinct_fraction:0.5 ())
+
+(* Degenerate but real-world statistics must be representable: the derived
+   values clamp instead of the constructor rejecting. *)
+let test_degenerate_accepted () =
+  let empty = Relation.make ~id:0 ~base_cardinality:0 ~distinct_fraction:0.5 () in
+  Helpers.check_approx "empty relation floors at one tuple" 1.0
+    (Relation.cardinality empty);
+  let constant = Relation.make ~id:1 ~base_cardinality:10 ~distinct_fraction:0.0 () in
+  Helpers.check_approx "constant column floors at one value" 1.0
+    (Relation.distinct_values constant);
+  let contradiction =
+    Relation.make ~id:2 ~base_cardinality:10 ~selections:[ 0.0 ]
+      ~distinct_fraction:0.5 ()
+  in
+  Helpers.check_approx "always-false selection floors at one tuple" 1.0
+    (Relation.cardinality contradiction)
 
 let prop_invariants =
   Helpers.qcheck_case ~name:"cardinality and distinct invariants"
@@ -69,5 +87,6 @@ let suite =
     Alcotest.test_case "distinct floor" `Quick test_distinct_floor;
     Alcotest.test_case "default name" `Quick test_default_name;
     Alcotest.test_case "validation" `Quick test_validation;
+    Alcotest.test_case "degenerate stats accepted" `Quick test_degenerate_accepted;
     prop_invariants;
   ]

@@ -49,17 +49,63 @@ let test_manifest_format () =
 let test_missing_manifest () =
   with_temp_dir (fun dir ->
       match Workload_io.load ~dir with
-      | exception Failure _ -> ()
+      | exception Workload_io.Error { line = 0; _ } -> ()
+      | exception Workload_io.Error e ->
+        Alcotest.failf "unexpected error location: %s" (Workload_io.error_to_string e)
       | _ -> Alcotest.fail "missing manifest accepted")
 
 let test_malformed_manifest () =
   with_temp_dir (fun dir ->
       let oc = open_out (Workload_io.manifest_path dir) in
-      output_string oc "not a manifest line\n";
+      output_string oc "# header\nnot a manifest line\n";
       close_out oc;
-      match Workload_io.load ~dir with
-      | exception Failure _ -> ()
-      | _ -> Alcotest.fail "malformed manifest accepted")
+      match Workload_io.load_result ~dir with
+      | Error { file; line = 2; reason } ->
+        Alcotest.(check string) "manifest blamed" (Workload_io.manifest_path dir) file;
+        Alcotest.(check bool) "reason mentions the line" true
+          (String.length reason > 0)
+      | Error e ->
+        Alcotest.failf "wrong error location: %s" (Workload_io.error_to_string e)
+      | Ok _ -> Alcotest.fail "malformed manifest accepted")
+
+let test_truncated_manifest_line () =
+  with_temp_dir (fun dir ->
+      let oc = open_out (Workload_io.manifest_path dir) in
+      (* A kill mid-write leaves a torn final line. *)
+      output_string oc "q0001.qdl 10\n";
+      close_out oc;
+      match Workload_io.load_result ~dir with
+      | Error { line = 1; _ } -> ()
+      | Error e ->
+        Alcotest.failf "wrong error location: %s" (Workload_io.error_to_string e)
+      | Ok _ -> Alcotest.fail "truncated manifest line accepted")
+
+let test_corrupt_qdl_file () =
+  with_temp_dir (fun dir ->
+      let oc = open_out (Workload_io.manifest_path dir) in
+      output_string oc "q0001.qdl 5 123\n";
+      close_out oc;
+      let oc = open_out (Filename.concat dir "q0001.qdl") in
+      output_string oc "relation r cardinality\n";
+      close_out oc;
+      match Workload_io.load_result ~dir with
+      | Error { file; _ } ->
+        Alcotest.(check string) "QDL file blamed" (Filename.concat dir "q0001.qdl")
+          file
+      | Ok _ -> Alcotest.fail "corrupt QDL accepted")
+
+let test_missing_qdl_file () =
+  with_temp_dir (fun dir ->
+      let oc = open_out (Workload_io.manifest_path dir) in
+      output_string oc "missing.qdl 5 123\n";
+      close_out oc;
+      match Workload_io.load_result ~dir with
+      | Error { file; line = 0; _ } ->
+        Alcotest.(check string) "missing file blamed"
+          (Filename.concat dir "missing.qdl") file
+      | Error e ->
+        Alcotest.failf "wrong error location: %s" (Workload_io.error_to_string e)
+      | Ok _ -> Alcotest.fail "missing QDL accepted")
 
 let test_comments_and_blanks_skipped () =
   with_temp_dir (fun dir ->
@@ -74,5 +120,8 @@ let suite =
     Alcotest.test_case "manifest format" `Quick test_manifest_format;
     Alcotest.test_case "missing manifest" `Quick test_missing_manifest;
     Alcotest.test_case "malformed manifest" `Quick test_malformed_manifest;
+    Alcotest.test_case "truncated manifest line" `Quick test_truncated_manifest_line;
+    Alcotest.test_case "corrupt qdl file" `Quick test_corrupt_qdl_file;
+    Alcotest.test_case "missing qdl file" `Quick test_missing_qdl_file;
     Alcotest.test_case "comments skipped" `Quick test_comments_and_blanks_skipped;
   ]

@@ -1,0 +1,11 @@
+#!/bin/sh
+# CI entry point: build everything, run the test suites with backtraces on,
+# then the chaos (fault-injection) suite.  The dev profile makes warnings
+# fatal, so a clean run here is also a clean -w @a-ish build.
+set -eux
+
+cd "$(dirname "$0")/.."
+
+dune build @all
+OCAMLRUNPARAM=b dune runtest
+dune build @chaos
