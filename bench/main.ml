@@ -21,7 +21,7 @@ let usage () =
     \                [--deadline SECS] [--checkpoint-dir DIR] [--resume]\n\
      paper experiments:     table1 table2 table3 fig4 fig5 fig6 fig7 (or: all)\n\
      extension experiments: optgap space bushy ablation sg88 dp (or: extensions)\n\
-     micro-benchmarks:      micro\n\
+     micro-benchmarks:      micro [--micro-quota SECS] [--micro-out FILE]\n\
      --deadline SECS        abort any single method run after SECS wall-clock\n\
      --checkpoint-dir DIR   persist per-query results under DIR as they finish\n\
      --resume               skip queries already checkpointed (implies\n\
@@ -39,6 +39,8 @@ type options = {
   mutable deadline : float option;
   mutable checkpoint_dir : string option;
   mutable resume : bool;
+  mutable micro_quota : float option;
+  mutable micro_out : string option;
 }
 
 let parse_args () =
@@ -52,6 +54,8 @@ let parse_args () =
       deadline = None;
       checkpoint_dir = None;
       resume = false;
+      micro_quota = None;
+      micro_out = None;
     }
   in
   let rec go = function
@@ -86,6 +90,16 @@ let parse_args () =
       go rest
     | "--resume" :: rest ->
       o.resume <- true;
+      go rest
+    | "--micro-quota" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some s when s > 0.0 -> o.micro_quota <- Some s
+      | _ ->
+        prerr_endline ("--micro-quota wants a positive number of seconds, got: " ^ v);
+        usage ());
+      go rest
+    | "--micro-out" :: v :: rest ->
+      o.micro_out <- Some v;
       go rest
     | ("-j" | "--jobs") :: v :: rest ->
       Ljqo_harness.Parallel.set_jobs (int_of_string v);
@@ -147,7 +161,7 @@ let () =
       | "bushy" -> Exp_bushy.run ?kappa ~scale ~seed ~csv_dir ()
       | "sg88" -> Exp_sg88.run ?kappa ~scale ~seed ~csv_dir ()
       | "dp" -> Exp_dp.run ?kappa ~scale ~seed ~csv_dir ()
-      | "micro" -> Micro.run ()
+      | "micro" -> Micro.run ?quota:o.micro_quota ?out:o.micro_out ()
       | _ -> assert false);
       Printf.printf "[%s done in %.1fs]\n\n%!" exp (Sys.time () -. t0))
     o.experiments

@@ -1,10 +1,17 @@
 (* Bechamel micro-benchmarks of the optimizer's hot paths: one Test.make per
    reproduced table/figure's dominant kernel, so regressions in the pieces
-   that determine experiment wall-time are visible in isolation. *)
+   that determine experiment wall-time are visible in isolation.
+
+   The "kernel:*" group benchmarks each bitset-rewritten hot path against its
+   pre-bitset scan/list form on the same inputs (N = 50 joins), so the
+   speedup that justified the rewrite stays measured.  Results also go to
+   results/BENCH_micro.json (kernel name, ns/run, minor words/run) for
+   machine consumption. *)
 
 open Bechamel
 open Toolkit
 open Ljqo_core
+open Ljqo_catalog
 
 module Qgen = Ljqo_querygen.Benchmark
 
@@ -64,6 +71,198 @@ let test_generate =
          let rng = Ljqo_stats.Rng.create 11 in
          ignore (Qgen.generate_query Qgen.default ~n_joins:50 ~rng)))
 
+(* ------------------------------------------------------------------ *)
+(* Bitset kernels vs their pre-bitset scan forms (N = 50 joins).      *)
+
+let n = Query.n_relations query
+
+(* Move-validity: the full-plan validity sweep (every relation past the
+   first joins something earlier) that guards each candidate move.  The
+   reference is the pre-bitset array-marking form; the mask form is one
+   allocation-free pass of word-ANDs against the running prefix. *)
+let test_validity_scan =
+  Test.make ~name:"kernel:move-validity-scan"
+    (Staged.stage (fun () -> ignore (Plan.is_valid_reference query plan)))
+
+let test_validity_mask =
+  Test.make ~name:"kernel:move-validity-mask"
+    (Staged.stage (fun () -> ignore (Plan.is_valid query plan)))
+
+(* Random-plan generation.  The rewritten kernel is the candidate-set
+   maintenance (discover/membership/pick); the RNG is untouched by the
+   rewrite and consumed identically by both forms, yet its boxed-int64
+   arithmetic would dominate both sides of the measurement.  So the kernel
+   pair replays a pick sequence recorded once from the real generator, and a
+   second pair reports the full generator (RNG included) for the end-to-end
+   picture.  Both replay kernels are asserted to reproduce the production
+   generator's plan exactly. *)
+
+let picks =
+  (* The first relation, then each step's candidate index, recorded by
+     running the reference bookkeeping against the real RNG. *)
+  let rng = Ljqo_stats.Rng.create 3 in
+  let graph = Query.graph query in
+  let picks = Array.make n 0 in
+  let placed = Array.make n false in
+  let candidates = Array.make n 0 in
+  let cand_index = Array.make n (-1) in
+  let cand_count = ref 0 in
+  let place r =
+    placed.(r) <- true;
+    (let i = cand_index.(r) in
+     if i >= 0 then begin
+       let last = candidates.(!cand_count - 1) in
+       candidates.(i) <- last;
+       cand_index.(last) <- i;
+       cand_index.(r) <- -1;
+       decr cand_count
+     end);
+    List.iter
+      (fun (other, _) ->
+        if (not placed.(other)) && cand_index.(other) < 0 then begin
+          candidates.(!cand_count) <- other;
+          cand_index.(other) <- !cand_count;
+          incr cand_count
+        end)
+      (Join_graph.neighbors graph r)
+  in
+  picks.(0) <- Ljqo_stats.Rng.int rng n;
+  place picks.(0);
+  for i = 1 to n - 1 do
+    picks.(i) <- Ljqo_stats.Rng.int rng !cand_count;
+    place candidates.(picks.(i))
+  done;
+  picks
+
+(* Pre-bitset bookkeeping (generate_reference minus the RNG): placed and
+   candidate-index side tables, neighbor lists. *)
+let random_plan_scan_kernel () =
+  let graph = Query.graph query in
+  let perm = Array.make n (-1) in
+  let placed = Array.make n false in
+  let candidates = Array.make n 0 in
+  let cand_index = Array.make n (-1) in
+  let cand_count = ref 0 in
+  let add_candidate r =
+    if (not placed.(r)) && cand_index.(r) < 0 then begin
+      candidates.(!cand_count) <- r;
+      cand_index.(r) <- !cand_count;
+      incr cand_count
+    end
+  in
+  let remove_candidate r =
+    let i = cand_index.(r) in
+    if i >= 0 then begin
+      let last = candidates.(!cand_count - 1) in
+      candidates.(i) <- last;
+      cand_index.(last) <- i;
+      cand_index.(r) <- -1;
+      decr cand_count
+    end
+  in
+  let place i r =
+    perm.(i) <- r;
+    placed.(r) <- true;
+    remove_candidate r;
+    List.iter (fun (other, _) -> add_candidate other) (Join_graph.neighbors graph r)
+  in
+  place 0 picks.(0);
+  for i = 1 to n - 1 do
+    place i candidates.(picks.(i))
+  done;
+  perm
+
+(* Bitset bookkeeping (generate_masked minus the RNG): seen-set as two raw
+   words, candidate array only. *)
+let random_plan_mask_kernel () =
+  let adjacency = Join_graph.adjacency (Query.graph query) in
+  let perm = Array.make n (-1) in
+  let candidates = Array.make n 0 in
+  let cand_count = ref 0 in
+  let s0 = ref 0 and s1 = ref 0 in
+  let place i r =
+    Array.unsafe_set perm i r;
+    if r < 63 then s0 := !s0 lor (1 lsl r) else s1 := !s1 lor (1 lsl (r - 63));
+    let ids = Array.unsafe_get adjacency r in
+    for j = 0 to Array.length ids - 1 do
+      let w = Array.unsafe_get ids j in
+      if w < 63 then begin
+        let b = 1 lsl w in
+        if !s0 land b = 0 then begin
+          Array.unsafe_set candidates !cand_count w;
+          s0 := !s0 lor b;
+          incr cand_count
+        end
+      end
+      else begin
+        let b = 1 lsl (w - 63) in
+        if !s1 land b = 0 then begin
+          Array.unsafe_set candidates !cand_count w;
+          s1 := !s1 lor b;
+          incr cand_count
+        end
+      end
+    done
+  in
+  place 0 picks.(0);
+  for i = 1 to n - 1 do
+    let idx = picks.(i) in
+    let r = Array.unsafe_get candidates idx in
+    Array.unsafe_set candidates idx (Array.unsafe_get candidates (!cand_count - 1));
+    decr cand_count;
+    place i r
+  done;
+  perm
+
+let () =
+  (* Both replay kernels must reproduce the production generator's plan. *)
+  let expect = Random_plan.generate (Ljqo_stats.Rng.create 3) query in
+  assert (random_plan_scan_kernel () = expect);
+  assert (random_plan_mask_kernel () = expect)
+
+let test_random_plan_scan =
+  Test.make ~name:"kernel:random-plan-scan"
+    (Staged.stage (fun () -> ignore (random_plan_scan_kernel ())))
+
+let test_random_plan_mask =
+  Test.make ~name:"kernel:random-plan-mask"
+    (Staged.stage (fun () -> ignore (random_plan_mask_kernel ())))
+
+let test_random_plan_full_scan =
+  Test.make ~name:"kernel:random-plan-full-scan"
+    (Staged.stage (fun () ->
+         let rng = Ljqo_stats.Rng.create 3 in
+         ignore (Random_plan.generate_reference rng query)))
+
+let test_random_plan_full_mask =
+  Test.make ~name:"kernel:random-plan-full-mask"
+    (Staged.stage (fun () ->
+         let rng = Ljqo_stats.Rng.create 3 in
+         ignore (Random_plan.generate rng query)))
+
+(* Induced-subgraph connectivity on a half-plan window. *)
+let window_list = Array.to_list (Array.sub plan 0 (n / 2))
+
+let window_mask = Bitset.of_list window_list
+
+let test_connected_list =
+  Test.make ~name:"kernel:induced-connected-list"
+    (Staged.stage (fun () ->
+         ignore (Join_graph.induced_connected (Query.graph query) window_list)))
+
+let test_connected_mask =
+  Test.make ~name:"kernel:induced-connected-mask"
+    (Staged.stage (fun () ->
+         ignore
+           (Join_graph.induced_connected_mask (Query.graph query) window_mask)))
+
+(* The bitset DP baseline on a mid-size query — the whole per-size expansion
+   loop including subset hashing and reconstruction. *)
+let test_dp =
+  let q = query_of_size 12 in
+  Test.make ~name:"kernel:dp-bitset-n13"
+    (Staged.stage (fun () -> ignore (Dp.optimize ~jobs:1 model q)))
+
 let tests =
   Test.make_grouped ~name:"ljqo"
     [
@@ -73,20 +272,124 @@ let tests =
       test_eval_disk;
       test_iai_run;
       test_generate;
+      test_validity_scan;
+      test_validity_mask;
+      test_random_plan_scan;
+      test_random_plan_mask;
+      test_random_plan_full_scan;
+      test_random_plan_full_mask;
+      test_connected_list;
+      test_connected_mask;
+      test_dp;
     ]
 
-let run () =
-  let instances = Instance.[ monotonic_clock ] in
-  let cfg = Benchmark.cfg ~limit:2000 ~quota:(Time.second 0.5) ~kde:(Some 1000) () in
+(* ------------------------------------------------------------------ *)
+(* Measurement and reporting.                                          *)
+
+type row = { name : string; ns_per_run : float; minor_words_per_run : float }
+
+let estimate tbl name =
+  match Hashtbl.find_opt tbl name with
+  | Some result -> (
+    match Analyze.OLS.estimates result with Some [ est ] -> est | _ -> nan)
+  | None -> nan
+
+(* Scan/mask pairs whose ratio the JSON reports as the speedup evidence. *)
+let speedup_pairs =
+  [
+    ("move-validity", "ljqo/kernel:move-validity-scan", "ljqo/kernel:move-validity-mask");
+    ("random-plan", "ljqo/kernel:random-plan-scan", "ljqo/kernel:random-plan-mask");
+    ( "random-plan-full",
+      "ljqo/kernel:random-plan-full-scan",
+      "ljqo/kernel:random-plan-full-mask" );
+    ( "induced-connected",
+      "ljqo/kernel:induced-connected-list",
+      "ljqo/kernel:induced-connected-mask" );
+  ]
+
+let json_escape s =
+  let b = Buffer.create (String.length s) in
+  String.iter
+    (function
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let json_float x =
+  if Float.is_nan x then "null" else Printf.sprintf "%.3f" x
+
+let write_json ~out ~quota rows =
+  let dir = Filename.dirname out in
+  if dir <> "." && not (Sys.file_exists dir) then Sys.mkdir dir 0o755;
+  let oc = open_out out in
+  let speedups =
+    List.filter_map
+      (fun (label, scan, mask) ->
+        let s = List.find_opt (fun r -> r.name = scan) rows in
+        let m = List.find_opt (fun r -> r.name = mask) rows in
+        match (s, m) with
+        | Some s, Some m when m.ns_per_run > 0.0 ->
+          Some (label, s.ns_per_run /. m.ns_per_run)
+        | _ -> None)
+      speedup_pairs
+  in
+  Printf.fprintf oc "{\n  \"quota_seconds\": %s,\n  \"kernels\": [\n"
+    (json_float quota);
+  List.iteri
+    (fun i r ->
+      Printf.fprintf oc
+        "    {\"name\": \"%s\", \"ns_per_run\": %s, \"minor_words_per_run\": %s}%s\n"
+        (json_escape r.name) (json_float r.ns_per_run)
+        (json_float r.minor_words_per_run)
+        (if i = List.length rows - 1 then "" else ","))
+    rows;
+  Printf.fprintf oc "  ],\n  \"speedups\": {\n";
+  List.iteri
+    (fun i (label, ratio) ->
+      Printf.fprintf oc "    \"%s\": %s%s\n" (json_escape label)
+        (json_float ratio)
+        (if i = List.length speedups - 1 then "" else ","))
+    speedups;
+  Printf.fprintf oc "  }\n}\n";
+  close_out oc
+
+let default_out = Filename.concat "results" "BENCH_micro.json"
+
+let run ?(quota = 0.5) ?(out = default_out) () =
+  let instances = Instance.[ monotonic_clock; minor_allocated ] in
+  let cfg =
+    Benchmark.cfg ~limit:2000 ~quota:(Time.second quota) ~kde:(Some 1000) ()
+  in
   let raw = Benchmark.all cfg instances tests in
   let ols =
     Analyze.ols ~bootstrap:0 ~r_square:true ~predictors:[| Measure.run |]
   in
-  let results = Analyze.all ols Instance.monotonic_clock raw in
-  print_endline "Micro-benchmarks (monotonic clock, ns/run):";
-  Hashtbl.iter
-    (fun name result ->
-      match Analyze.OLS.estimates result with
-      | Some [ est ] -> Printf.printf "  %-32s %12.1f ns\n" name est
-      | _ -> Printf.printf "  %-32s (no estimate)\n" name)
-    results
+  let nanos = Analyze.all ols Instance.monotonic_clock raw in
+  let words = Analyze.all ols Instance.minor_allocated raw in
+  let rows =
+    Hashtbl.fold (fun name _ acc -> name :: acc) nanos []
+    |> List.sort String.compare
+    |> List.map (fun name ->
+           {
+             name;
+             ns_per_run = estimate nanos name;
+             minor_words_per_run = estimate words name;
+           })
+  in
+  print_endline "Micro-benchmarks (ns/run, minor words/run):";
+  List.iter
+    (fun r ->
+      Printf.printf "  %-40s %12.1f ns %12.1f w\n" r.name r.ns_per_run
+        r.minor_words_per_run)
+    rows;
+  List.iter
+    (fun (label, scan, mask) ->
+      let s = estimate nanos scan and m = estimate nanos mask in
+      if (not (Float.is_nan s)) && (not (Float.is_nan m)) && m > 0.0 then
+        Printf.printf "  speedup %-20s %.2fx\n" label (s /. m))
+    speedup_pairs;
+  write_json ~out ~quota rows;
+  Printf.printf "  [written to %s]\n%!" out

@@ -1,0 +1,123 @@
+type t = { w0 : int; w1 : int }
+
+(* Two 63-bit words need a 64-bit platform. *)
+let () = assert (Sys.int_size >= 63)
+
+let word_bits = 63
+
+let max_size = 2 * word_bits
+
+let empty = { w0 = 0; w1 = 0 }
+
+let word_mask = -1 lsr (Sys.int_size - word_bits)  (* 63 one bits *)
+
+let full n =
+  if n < 0 || n > max_size then invalid_arg "Bitset.full: size out of range";
+  if n <= word_bits then
+    { w0 = (if n = 0 then 0 else word_mask lsr (word_bits - n)); w1 = 0 }
+  else { w0 = word_mask; w1 = word_mask lsr (max_size - n) }
+
+let check i name =
+  if i < 0 || i >= max_size then invalid_arg ("Bitset." ^ name ^ ": id out of range")
+
+let singleton i =
+  check i "singleton";
+  if i < word_bits then { w0 = 1 lsl i; w1 = 0 } else { w0 = 0; w1 = 1 lsl (i - word_bits) }
+
+let add i s =
+  check i "add";
+  if i < word_bits then { s with w0 = s.w0 lor (1 lsl i) }
+  else { s with w1 = s.w1 lor (1 lsl (i - word_bits)) }
+
+let remove i s =
+  check i "remove";
+  if i < word_bits then { s with w0 = s.w0 land lnot (1 lsl i) }
+  else { s with w1 = s.w1 land lnot (1 lsl (i - word_bits)) }
+
+let mem i s =
+  check i "mem";
+  if i < word_bits then s.w0 land (1 lsl i) <> 0
+  else s.w1 land (1 lsl (i - word_bits)) <> 0
+
+let is_empty s = s.w0 = 0 && s.w1 = 0
+
+let of_words ~w0 ~w1 = { w0; w1 }
+
+let union a b = { w0 = a.w0 lor b.w0; w1 = a.w1 lor b.w1 }
+
+let inter a b = { w0 = a.w0 land b.w0; w1 = a.w1 land b.w1 }
+
+let diff a b = { w0 = a.w0 land lnot b.w0; w1 = a.w1 land lnot b.w1 }
+
+let intersects a b = a.w0 land b.w0 <> 0 || a.w1 land b.w1 <> 0
+
+let subset a b = a.w0 land lnot b.w0 = 0 && a.w1 land lnot b.w1 = 0
+
+let equal a b = a.w0 = b.w0 && a.w1 = b.w1
+
+let compare a b =
+  let c = Stdlib.compare a.w1 b.w1 in
+  if c <> 0 then c else Stdlib.compare a.w0 b.w0
+
+let hash s = (s.w0 * 486187739) lxor s.w1
+
+let popcount_word x =
+  let rec go acc x = if x = 0 then acc else go (acc + 1) (x land (x - 1)) in
+  go 0 x
+
+let cardinal s = popcount_word s.w0 + popcount_word s.w1
+
+(* Index of the lowest set bit of a non-zero word, by binary search. *)
+let ntz x =
+  let n = ref 0 and x = ref x in
+  if !x land 0x7FFFFFFF = 0 then begin
+    n := !n + 31;
+    x := !x lsr 31
+  end;
+  if !x land 0xFFFF = 0 then begin
+    n := !n + 16;
+    x := !x lsr 16
+  end;
+  if !x land 0xFF = 0 then begin
+    n := !n + 8;
+    x := !x lsr 8
+  end;
+  if !x land 0xF = 0 then begin
+    n := !n + 4;
+    x := !x lsr 4
+  end;
+  if !x land 0x3 = 0 then begin
+    n := !n + 2;
+    x := !x lsr 2
+  end;
+  if !x land 0x1 = 0 then incr n;
+  !n
+
+let iter_word f base w =
+  let w = ref w in
+  while !w <> 0 do
+    f (base + ntz !w);
+    w := !w land (!w - 1)
+  done
+
+let iter f s =
+  iter_word f 0 s.w0;
+  iter_word f word_bits s.w1
+
+let fold f s init =
+  let acc = ref init in
+  iter (fun i -> acc := f i !acc) s;
+  !acc
+
+let min_elt s =
+  if s.w0 <> 0 then ntz s.w0
+  else if s.w1 <> 0 then word_bits + ntz s.w1
+  else invalid_arg "Bitset.min_elt: empty set"
+
+let to_list s = List.rev (fold (fun i acc -> i :: acc) s [])
+
+let of_list l = List.fold_left (fun acc i -> add i acc) empty l
+
+let pp ppf s =
+  Format.fprintf ppf "{%s}"
+    (String.concat " " (List.map string_of_int (to_list s)))

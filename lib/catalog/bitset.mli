@@ -1,0 +1,80 @@
+(** Fixed-width bitsets over relation ids.
+
+    A relation set is two 63-bit words, covering ids [0 .. 125] — enough for
+    the paper's whole regime (queries up to [N = 100] joins) with headroom.
+    Values are immutable three-word records, so set algebra is a handful of
+    machine instructions and never allocates more than one small block; the
+    optimizer's hot paths (prefix-connectivity checks, move validity,
+    neighbor enumeration, DP table keys) are built on this module.
+
+    Element order everywhere is ascending id, matching the sorted adjacency
+    the rest of the catalog exposes, so replacing a list traversal by a
+    bitset iteration preserves float evaluation order bit-for-bit. *)
+
+type t = private { w0 : int; w1 : int }
+(** Bits [0 .. 62] live in [w0], bits [63 .. 125] in [w1].  The
+    representation is exposed read-only so that hot loops can test
+    membership without a function call; construct values only through this
+    interface. *)
+
+val max_size : int
+(** [126]: the largest representable id plus one. *)
+
+val empty : t
+
+val full : int -> t
+(** [full n] is [{0, ..., n-1}].  Raises [Invalid_argument] unless
+    [0 <= n <= max_size]. *)
+
+val singleton : int -> t
+(** Raises [Invalid_argument] unless [0 <= i < max_size] (as do [add],
+    [remove] and [mem]). *)
+
+val add : int -> t -> t
+val remove : int -> t -> t
+val mem : int -> t -> bool
+val is_empty : t -> bool
+val cardinal : t -> int
+
+val of_words : w0:int -> w1:int -> t
+(** Reassemble a set from raw words — the inverse of reading the [w0]/[w1]
+    fields.  Any two machine words form a valid set (bit [i] of [w0] is id
+    [i], bit [i] of [w1] is id [63 + i]), so this cannot break the
+    representation.  It exists for hot loops that track a running prefix as
+    two local ints (allocation-free) and only box it up at the point a
+    [t]-taking function is called. *)
+
+val union : t -> t -> t
+val inter : t -> t -> t
+val diff : t -> t -> t
+
+val intersects : t -> t -> bool
+(** [intersects a b] iff [inter a b] is non-empty — the O(1) form of "does
+    relation [r]'s neighborhood meet the placed prefix". *)
+
+val subset : t -> t -> bool
+(** [subset a b] iff every element of [a] is in [b]. *)
+
+val equal : t -> t -> bool
+
+val compare : t -> t -> int
+(** Deterministic total order (lexicographic on [(w1, w0)] by machine-word
+    comparison).  Used to sort DP frontiers deterministically. *)
+
+val hash : t -> int
+
+val min_elt : t -> int
+(** Smallest element.  Raises [Invalid_argument] on the empty set. *)
+
+val iter : (int -> unit) -> t -> unit
+(** Ascending id order. *)
+
+val fold : (int -> 'a -> 'a) -> t -> 'a -> 'a
+(** Ascending id order. *)
+
+val to_list : t -> int list
+(** Ascending. *)
+
+val of_list : int list -> t
+
+val pp : Format.formatter -> t -> unit

@@ -3,6 +3,9 @@ type edge = { u : int; v : int; selectivity : float }
 type t = {
   n : int;
   adj : (int * float) list array;  (* sorted by neighbor id *)
+  nbr_ids : int array array;  (* same adjacency as parallel arrays ... *)
+  nbr_sels : float array array;  (* ... sorted ascending by neighbor id *)
+  masks : Bitset.t array;  (* per-vertex neighbor bitsets; [||] if n > max *)
   edge_count : int;
 }
 
@@ -37,7 +40,16 @@ let make ~n edge_list =
   Array.iteri
     (fun i l -> adj.(i) <- List.sort (fun (a, _) (b, _) -> compare a b) l)
     adj;
-  { n; adj; edge_count = Hashtbl.length table }
+  let nbr_ids = Array.map (fun l -> Array.of_list (List.map fst l)) adj in
+  let nbr_sels = Array.map (fun l -> Array.of_list (List.map snd l)) adj in
+  let masks =
+    if n > Bitset.max_size then [||]
+    else
+      Array.map
+        (Array.fold_left (fun acc other -> Bitset.add other acc) Bitset.empty)
+        nbr_ids
+  in
+  { n; adj; nbr_ids; nbr_sels; masks; edge_count = Hashtbl.length table }
 
 let n g = g.n
 
@@ -47,7 +59,27 @@ let neighbors g v =
   if v < 0 || v >= g.n then invalid_arg "Join_graph.neighbors: out of range";
   g.adj.(v)
 
-let degree g v = List.length (neighbors g v)
+let neighbor_ids g v =
+  if v < 0 || v >= g.n then invalid_arg "Join_graph.neighbor_ids: out of range";
+  Array.unsafe_get g.nbr_ids v
+
+let adjacency g = g.nbr_ids
+
+let neighbor_sels g v =
+  if v < 0 || v >= g.n then invalid_arg "Join_graph.neighbor_sels: out of range";
+  Array.unsafe_get g.nbr_sels v
+
+let has_masks g = Array.length g.masks > 0 || g.n = 0
+
+let neighbor_mask g v =
+  if v < 0 || v >= Array.length g.masks then
+    invalid_arg
+      (if v >= 0 && v < g.n then
+         "Join_graph.neighbor_mask: graph too large for fixed-width bitsets"
+       else "Join_graph.neighbor_mask: out of range");
+  Array.unsafe_get g.masks v
+
+let degree g v = Array.length (neighbor_ids g v)
 
 let edges g =
   let acc = ref [] in
@@ -144,6 +176,34 @@ let induced_connected g vs =
     in
     drain ();
     !reached = !size
+
+let induced_connected_mask g vs =
+  if Array.length g.masks = 0 && g.n > 0 then
+    invalid_arg "Join_graph.induced_connected_mask: graph too large for bitsets";
+  if Bitset.is_empty vs then false
+  else begin
+    let start = Bitset.min_elt vs in
+    if start >= g.n then
+      invalid_arg "Join_graph.induced_connected_mask: id out of range";
+    (* Breadth-first mask growth: absorb, at each round, every vertex of [vs]
+       adjacent to the reached set.  Each round is a handful of word ops per
+       frontier vertex; no per-vertex allocation. *)
+    let reached = ref (Bitset.singleton start) in
+    let frontier = ref !reached in
+    while not (Bitset.is_empty !frontier) do
+      let grow = ref Bitset.empty in
+      Bitset.iter
+        (fun v ->
+          if v >= g.n then
+            invalid_arg "Join_graph.induced_connected_mask: id out of range";
+          grow := Bitset.union !grow g.masks.(v))
+        !frontier;
+      let fresh = Bitset.diff (Bitset.inter !grow vs) !reached in
+      reached := Bitset.union !reached fresh;
+      frontier := fresh
+    done;
+    Bitset.subset vs !reached
+  end
 
 let spanning_tree g ~weight =
   (* Prim's algorithm run from every unvisited vertex, so that a disconnected

@@ -27,7 +27,32 @@ val edges : t -> edge list
 (** Each undirected edge reported once, with [u < v], in ascending order. *)
 
 val neighbors : t -> int -> (int * float) list
-(** [(other, selectivity)] pairs, ascending by vertex. *)
+(** [(other, selectivity)] pairs, ascending by vertex.  Returns the cached
+    list — no allocation per call. *)
+
+val neighbor_ids : t -> int -> int array
+(** Neighbor vertex ids, ascending — the cached array itself, not a copy.
+    Callers must not mutate it.  This is the zero-allocation variant the
+    optimizer's inner loops use. *)
+
+val neighbor_sels : t -> int -> float array
+(** Selectivities parallel to {!neighbor_ids} (same order, same length);
+    also a cached array that must not be mutated. *)
+
+val adjacency : t -> int array array
+(** The whole neighbor-id table at once — [adjacency g].(v) is
+    [neighbor_ids g v].  The backing store itself, not a copy: callers must
+    not mutate it.  Fetching it once outside a loop saves the per-vertex
+    accessor call in the tightest kernels. *)
+
+val has_masks : t -> bool
+(** Whether the graph is small enough ([n <= Bitset.max_size]) for the
+    fixed-width bitset kernels; true for every graph in the paper's regime
+    ([N <= 100] joins). *)
+
+val neighbor_mask : t -> int -> Bitset.t
+(** The set of vertices adjacent to [v], as a bitset.  O(1): precomputed at
+    [make].  Raises [Invalid_argument] when [not (has_masks g)]. *)
 
 val degree : t -> int -> int
 
@@ -51,6 +76,11 @@ val is_tree : t -> bool
 val induced_connected : t -> int list -> bool
 (** [induced_connected g vs] tells whether the subgraph induced by [vs] is
     connected (true for singleton, false for empty). *)
+
+val induced_connected_mask : t -> Bitset.t -> bool
+(** Same predicate with the set given as a bitset — a few word operations
+    per BFS round instead of array-marking, for the hot paths.  All members
+    must be [< n g]; raises [Invalid_argument] when [not (has_masks g)]. *)
 
 val spanning_tree : t -> weight:(edge -> float) -> t
 (** Minimum spanning tree (forest on a disconnected graph) by Prim's

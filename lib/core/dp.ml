@@ -12,77 +12,134 @@ type result = {
 
 type entry = {
   cost : float;
-  card : float;
+  card : float;  (* raw running size product *)
   last : int;  (* relation added last *)
-  prev : int;  (* predecessor mask *)
+  prev : Bitset.t;  (* predecessor subset *)
+  ext : Bitset.t;  (* valid extensions: neighbors of the subset, minus it *)
 }
 
-let optimize ?(max_relations = 22) model query =
+let default_max_relations = 25
+
+(* Tie discipline everywhere: an incumbent survives an equal-cost candidate.
+   Combined with the fixed processing order (subsets ascending by
+   [Bitset.compare], extensions ascending by relation id, chunks merged in
+   input order), the winning entry for every subset is the first minimal one
+   in that order — independent of the job count. *)
+let consider tbl mask (entry : entry) =
+  match Hashtbl.find_opt tbl mask with
+  | Some e when e.cost <= entry.cost -> ()
+  | _ -> Hashtbl.replace tbl mask entry
+
+let expand_into model query graph acc (mask, (e : entry)) =
+  Bitset.iter
+    (fun r ->
+      let step, out =
+        Product_cost.step_cost_mask model query ~outer_card:e.card ~mask r
+      in
+      let mask' = Bitset.add r mask in
+      let entry' =
+        {
+          cost = e.cost +. step;
+          card = out;
+          last = r;
+          prev = mask;
+          ext = Bitset.diff (Bitset.union e.ext (Join_graph.neighbor_mask graph r)) mask';
+        }
+      in
+      consider acc mask' entry')
+    e.ext
+
+(* Contiguous slices of the (sorted) frontier.  Boundaries affect only the
+   work split, never the result: concatenating the chunks in order restores
+   the global processing order the tie discipline is defined over. *)
+let chunk_frontier frontier n_chunks =
+  let len = Array.length frontier in
+  let n_chunks = max 1 (min n_chunks len) in
+  let base = len / n_chunks and extra = len mod n_chunks in
+  Array.init n_chunks (fun c ->
+      let lo = (c * base) + min c extra in
+      let size = base + if c < extra then 1 else 0 in
+      Array.sub frontier lo size)
+
+let optimize ?(max_relations = default_max_relations) ?jobs model query =
   let n = Query.n_relations query in
   if n = 0 then invalid_arg "Dp.optimize: empty query";
   if not (Query.is_connected query) then
     invalid_arg "Dp.optimize: join graph is disconnected";
-  if n > max_relations then raise (Too_large n);
+  if n > max_relations || n > Bitset.max_size then raise (Too_large n);
   let graph = Query.graph query in
-  let neighbor_mask =
+  let jobs =
+    match jobs with
+    | Some j -> max 1 j
+    | None -> Ljqo_stats.Parallel.default_jobs ()
+  in
+  let table : (Bitset.t, entry) Hashtbl.t = Hashtbl.create 1024 in
+  let singletons =
     Array.init n (fun r ->
-        List.fold_left
-          (fun acc (other, _) -> acc lor (1 lsl other))
-          0
-          (Join_graph.neighbors graph r))
+        let mask = Bitset.singleton r in
+        let e =
+          {
+            cost = 0.0;
+            card = Query.cardinality query r;
+            last = r;
+            prev = Bitset.empty;
+            ext = Join_graph.neighbor_mask graph r;
+          }
+        in
+        Hashtbl.replace table mask e;
+        (mask, e))
   in
-  let table : (int, entry) Hashtbl.t = Hashtbl.create 1024 in
-  (* frontier per subset size, seeded with singletons *)
-  let current = ref [] in
-  for r = 0 to n - 1 do
-    let mask = 1 lsl r in
-    Hashtbl.replace table mask
-      { cost = 0.0; card = Query.cardinality query r; last = r; prev = 0 };
-    current := mask :: !current
-  done;
+  Array.sort (fun (a, _) (b, _) -> Bitset.compare a b) singletons;
+  let frontier = ref singletons in
   let explored = ref n in
-  let members_of mask =
-    let rec go r acc =
-      if r = n then acc
-      else go (r + 1) (if mask land (1 lsl r) <> 0 then r :: acc else acc)
-    in
-    go 0 []
-  in
   for _size = 2 to n do
-    let next = Hashtbl.create 256 in
-    List.iter
-      (fun mask ->
-        let e = Hashtbl.find table mask in
-        let members = members_of mask in
-        for r = 0 to n - 1 do
-          if mask land (1 lsl r) = 0 && neighbor_mask.(r) land mask <> 0 then begin
-            let step, out =
-              Product_cost.step_cost model query ~outer_card:e.card ~members r
-            in
-            let mask' = mask lor (1 lsl r) in
-            let cost' = e.cost +. step in
-            match Hashtbl.find_opt table mask' with
-            | Some existing when existing.cost <= cost' -> ()
-            | existing ->
-              if existing = None then Hashtbl.replace next mask' ();
-              Hashtbl.replace table mask'
-                { cost = cost'; card = out; last = r; prev = mask }
-          end
-        done)
-      !current;
-    current := Hashtbl.fold (fun m () acc -> m :: acc) next [];
-    explored := !explored + Hashtbl.length next
+    (* Expansion is embarrassingly parallel over the frontier: workers fill
+       chunk-local candidate tables from the read-only [table]; the ordered
+       sequential merge below keeps the outcome independent of [jobs]. *)
+    let chunks =
+      if jobs = 1 || Array.length !frontier < 128 then [| !frontier |]
+      else chunk_frontier !frontier (jobs * 4)
+    in
+    let locals =
+      Ljqo_stats.Parallel.map_array ~jobs
+        (fun slice ->
+          let local = Hashtbl.create (2 * Array.length slice) in
+          Array.iter (expand_into model query graph local) slice;
+          local)
+        chunks
+    in
+    let next : (Bitset.t, entry) Hashtbl.t =
+      match locals with
+      | [| only |] -> only
+      | _ ->
+        let next = Hashtbl.create (4 * Array.length !frontier) in
+        Array.iter
+          (fun local -> Hashtbl.iter (fun mask e -> consider next mask e) local)
+          locals;
+        next
+    in
+    let fresh = Array.make (Hashtbl.length next) (Bitset.empty, singletons.(0) |> snd) in
+    let i = ref 0 in
+    Hashtbl.iter
+      (fun mask e ->
+        Hashtbl.replace table mask e;
+        fresh.(!i) <- (mask, e);
+        incr i)
+      next;
+    Array.sort (fun (a, _) (b, _) -> Bitset.compare a b) fresh;
+    frontier := fresh;
+    explored := !explored + Array.length fresh
   done;
-  let full = (1 lsl n) - 1 in
+  let full = Bitset.full n in
   match Hashtbl.find_opt table full with
   | None -> assert false (* connected queries always admit a full plan *)
   | Some best ->
-    (* reconstruct the permutation from the parent pointers *)
+    (* reconstruct the permutation from the predecessor subsets *)
     let plan = Array.make n 0 in
     let rec walk mask i =
       let entry = Hashtbl.find table mask in
       plan.(i) <- entry.last;
-      if entry.prev <> 0 then walk entry.prev (i - 1)
+      if not (Bitset.is_empty entry.prev) then walk entry.prev (i - 1)
     in
     walk full (n - 1);
     {

@@ -1,11 +1,23 @@
-(** System-R-style dynamic programming over left-deep plans.
+(** System-R-style dynamic programming over left-deep plans, on bitset keys.
 
     The exact algorithm the paper's introduction rules out for large
     queries: enumerate connected relation subsets in increasing size,
     keeping for each subset the cheapest left-deep plan that produces it
     (no cross products).  Worst-case time and space are [O(2^N)] — running
     the [dp] bench shows the blowup empirically, which is the paper's
-    motivating observation.
+    motivating observation — but subsets are represented as fixed-width
+    bitsets ({!Ljqo_catalog.Bitset}) and only *connected* subsets are ever
+    materialized (each entry carries its valid-extension mask), so the
+    near-tree graphs the benchmark generates stay far below the worst case
+    and queries of 25 relations are practical where the list-based table
+    stopped at ~22.
+
+    Each subset-size round is expanded in parallel over OCaml domains
+    (reusing the harness pool, {!Ljqo_stats.Parallel}): workers fill
+    chunk-local candidate tables, which are then merged sequentially in
+    input order with a survives-on-tie discipline, so the chosen plan is
+    bit-identical whatever the job count ([LJQO_JOBS] is a pure speed
+    knob).
 
     Optimal substructure requires set-determined intermediate sizes, so the
     DP prices plans with the *product* estimator ({!Ljqo_cost.Product_cost}).
@@ -22,11 +34,18 @@ type result = {
   subsets_explored : int;
 }
 
+val default_max_relations : int
+(** 25. *)
+
 val optimize :
   ?max_relations:int ->
+  ?jobs:int ->
   Ljqo_cost.Cost_model.t ->
   Ljqo_catalog.Query.t ->
   result
-(** Connected queries only; [max_relations] defaults to 22 (beyond that the
-    table no longer fits in reasonable memory — which is the point).
-    Raises [Too_large] or [Invalid_argument]. *)
+(** Connected queries only; [max_relations] defaults to
+    {!default_max_relations} (beyond that the table may no longer fit in
+    reasonable memory for dense graphs — which is the point).  [jobs]
+    defaults to the configured {!Ljqo_stats.Parallel.default_jobs}; the
+    result does not depend on it.  Raises [Too_large] or
+    [Invalid_argument]. *)

@@ -44,7 +44,9 @@ let one_pass state ~c ~o =
   List.iter
     (fun (p, len) ->
       if len >= 2 then begin
-        let current = Array.sub (Search_state.perm state) p len in
+        (* perm_view: only the cluster window is copied, not the whole
+           permutation (this runs once per cluster per pass). *)
+        let current = Array.sub (Search_state.perm_view state) p len in
         let best = ref (Search_state.cost state) in
         let best_arrangement = ref None in
         iter_permutations

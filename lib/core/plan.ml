@@ -14,11 +14,10 @@ let is_permutation perm =
     true
   with Exit -> false
 
-let is_valid query perm =
-  Array.length perm = Query.n_relations query
-  && is_permutation perm
-  &&
-  let graph = Query.graph query in
+(* Array-marking connectivity walk — the pre-bitset form, kept as the
+   oversized-graph fallback and as the reference the mask form is tested and
+   benchmarked against. *)
+let connected_prefixes_scan graph perm =
   let placed = Array.make (Array.length perm) false in
   let ok = ref true in
   Array.iteri
@@ -32,6 +31,47 @@ let is_valid query perm =
       placed.(r) <- true)
     perm;
   !ok
+
+let is_valid_reference query perm =
+  Array.length perm = Query.n_relations query
+  && is_permutation perm
+  && connected_prefixes_scan (Query.graph query) perm
+
+(* One allocation-free pass: the placed-prefix mask, tracked as two raw
+   bitset words, doubles as the duplicate detector, so the permutation check
+   fuses into the connectivity walk.  Step [i] is valid iff the neighbor mask
+   of [perm.(i)] meets the prefix. *)
+let is_valid_masked graph perm =
+  let n = Array.length perm in
+  let p0 = ref 0 and p1 = ref 0 in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let r = Array.unsafe_get perm !i in
+    if r < 0 || r >= n then ok := false
+    else begin
+      let m = Join_graph.neighbor_mask graph r in
+      if !i > 0 && (m.Bitset.w0 land !p0) lor (m.Bitset.w1 land !p1) = 0 then
+        ok := false
+      else if r < 63 then begin
+        let b = 1 lsl r in
+        if !p0 land b <> 0 then ok := false else p0 := !p0 lor b
+      end
+      else begin
+        let b = 1 lsl (r - 63) in
+        if !p1 land b <> 0 then ok := false else p1 := !p1 lor b
+      end
+    end;
+    incr i
+  done;
+  !ok
+
+let is_valid query perm =
+  Array.length perm = Query.n_relations query
+  &&
+  let graph = Query.graph query in
+  if Join_graph.has_masks graph then is_valid_masked graph perm
+  else is_permutation perm && connected_prefixes_scan graph perm
 
 let inverse perm =
   let pos = Array.make (Array.length perm) 0 in

@@ -14,7 +14,15 @@ val is_permutation : t -> bool
 
 val is_valid : Ljqo_catalog.Query.t -> t -> bool
 (** [is_permutation] and every element past the first joins with at least one
-    earlier element. *)
+    earlier element.  When the graph fits the fixed-width bitsets
+    ([Join_graph.has_masks]) this is a single allocation-free pass: the
+    placed-prefix mask doubles as the duplicate detector. *)
+
+val is_valid_reference : Ljqo_catalog.Query.t -> t -> bool
+(** The pre-bitset array-marking form of {!is_valid} (also its fallback for
+    oversized graphs).  Same verdict on every input; kept as the equivalence
+    oracle for the property tests and the baseline the micro benchmark
+    measures the mask kernel against. *)
 
 val inverse : t -> int array
 (** [pos] array with [pos.(perm.(i)) = i]. *)

@@ -1,10 +1,12 @@
 open Ljqo_catalog
 open Ljqo_stats
 
-let generate rng query =
+(* Array-marking implementation, kept for graphs beyond the fixed bitset
+   width.  The mask form below replicates its candidate-array evolution
+   exactly, so both produce identical plans from identical RNG states. *)
+let generate_reference rng query =
   let n = Query.n_relations query in
   let graph = Query.graph query in
-  if n = 0 then invalid_arg "Random_plan.generate: empty query";
   let perm = Array.make n (-1) in
   let placed = Array.make n false in
   (* Candidate set: relations joined to the prefix, as a compact array with
@@ -42,6 +44,63 @@ let generate rng query =
     place i candidates.(Rng.int rng !cand_count)
   done;
   perm
+
+(* Hot form: membership bookkeeping collapses into one bitset, tracked as
+   two raw words so the whole generation allocates nothing beyond the two
+   arrays.  [seen] is placed-or-candidate — a relation enters it exactly
+   once, when first discovered — and because the picked candidate's position
+   is known at the pick, the index side-table disappears with it.  The
+   candidate array evolves exactly as in [generate_reference] (append at
+   discovery, swap-remove with the last element), so identical RNG states
+   yield identical plans. *)
+let generate_masked rng query =
+  let n = Query.n_relations query in
+  let graph = Query.graph query in
+  let adjacency = Join_graph.adjacency graph in
+  let perm = Array.make n (-1) in
+  let candidates = Array.make n 0 in
+  let cand_count = ref 0 in
+  let s0 = ref 0 and s1 = ref 0 in
+  let place i r =
+    Array.unsafe_set perm i r;
+    if r < 63 then s0 := !s0 lor (1 lsl r) else s1 := !s1 lor (1 lsl (r - 63));
+    let ids = Array.unsafe_get adjacency r in
+    for j = 0 to Array.length ids - 1 do
+      let w = Array.unsafe_get ids j in
+      if w < 63 then begin
+        let b = 1 lsl w in
+        if !s0 land b = 0 then begin
+          Array.unsafe_set candidates !cand_count w;
+          s0 := !s0 lor b;
+          incr cand_count
+        end
+      end
+      else begin
+        let b = 1 lsl (w - 63) in
+        if !s1 land b = 0 then begin
+          Array.unsafe_set candidates !cand_count w;
+          s1 := !s1 lor b;
+          incr cand_count
+        end
+      end
+    done
+  in
+  place 0 (Rng.int rng n);
+  for i = 1 to n - 1 do
+    if !cand_count = 0 then
+      invalid_arg "Random_plan.generate: join graph is disconnected";
+    let idx = Rng.int rng !cand_count in
+    let r = Array.unsafe_get candidates idx in
+    Array.unsafe_set candidates idx (Array.unsafe_get candidates (!cand_count - 1));
+    decr cand_count;
+    place i r
+  done;
+  perm
+
+let generate rng query =
+  if Query.n_relations query = 0 then invalid_arg "Random_plan.generate: empty query";
+  if Join_graph.has_masks (Query.graph query) then generate_masked rng query
+  else generate_reference rng query
 
 let generate_charged ev rng =
   let query = Evaluator.query ev in

@@ -38,6 +38,7 @@ let evaluator t = t.ev
 let n t = Array.length t.perm
 let cost t = t.total
 let perm t = Array.copy t.perm
+let perm_view t = t.perm
 
 let take_snapshot t ~lo ~hi =
   {
@@ -62,7 +63,14 @@ let rollback t snap =
 (* Recost join steps in [max lo 1, hi); returns false (leaving arrays partly
    updated — caller rolls back) if a step became a cross product.  Because
    selectivities are clamped by the running intermediate size, [hi] is
-   always the plan length: every step after a change can change cost. *)
+   always the plan length: every step after a change can change cost.
+
+   The walk carries the placed prefix as two raw bitset words: validity is
+   two word-ANDs per step and no [pos] lookups, and a rejected move costs no
+   allocation at all — the move-validity kernel the micro bench tracks.  The
+   prefix is boxed into a [Bitset.t] only at each surviving step's costing
+   call.  Graphs beyond the bitset width take the [pos]-array path; both
+   produce bit-identical costs. *)
 let recost t ~lo ~hi =
   let query = Evaluator.query t.ev and model = Evaluator.model t.ev in
   let first = max lo 1 in
@@ -71,19 +79,49 @@ let recost t ~lo ~hi =
     t.cards.(0) <- Ljqo_catalog.Query.cardinality query t.perm.(0);
   let ok = ref true in
   let i = ref first in
-  while !ok && !i < hi do
-    let idx = !i in
-    if not (Plan_cost.joins_before query ~perm:t.perm ~pos:t.pos idx) then ok := false
-    else begin
-      let cost, out =
-        Plan_cost.step_cost model query ~perm:t.perm ~pos:t.pos ~i:idx
-          ~outer_card:t.cards.(idx - 1)
-      in
-      t.cards.(idx) <- out;
-      t.step_costs.(idx) <- cost
-    end;
-    incr i
-  done;
+  let graph = Ljqo_catalog.Query.graph query in
+  if Ljqo_catalog.Join_graph.has_masks graph then begin
+    let p0 = ref 0 and p1 = ref 0 in
+    for k = 0 to first - 1 do
+      let r = t.perm.(k) in
+      if r < 63 then p0 := !p0 lor (1 lsl r) else p1 := !p1 lor (1 lsl (r - 63))
+    done;
+    while !ok && !i < hi do
+      let idx = !i in
+      let r = t.perm.(idx) in
+      let m = Ljqo_catalog.Join_graph.neighbor_mask graph r in
+      if
+        (m.Ljqo_catalog.Bitset.w0 land !p0) lor (m.Ljqo_catalog.Bitset.w1 land !p1)
+        = 0
+      then ok := false
+      else begin
+        let prefix = Ljqo_catalog.Bitset.of_words ~w0:!p0 ~w1:!p1 in
+        let cost, out =
+          Plan_cost.step_cost_prefix model query ~prefix ~r ~is_first:(idx = 1)
+            ~outer_card:t.cards.(idx - 1)
+        in
+        t.cards.(idx) <- out;
+        t.step_costs.(idx) <- cost;
+        if r < 63 then p0 := !p0 lor (1 lsl r)
+        else p1 := !p1 lor (1 lsl (r - 63))
+      end;
+      incr i
+    done
+  end
+  else
+    while !ok && !i < hi do
+      let idx = !i in
+      if not (Plan_cost.joins_before query ~perm:t.perm ~pos:t.pos idx) then ok := false
+      else begin
+        let cost, out =
+          Plan_cost.step_cost model query ~perm:t.perm ~pos:t.pos ~i:idx
+            ~outer_card:t.cards.(idx - 1)
+        in
+        t.cards.(idx) <- out;
+        t.step_costs.(idx) <- cost
+      end;
+      incr i
+    done;
   (* Recompute the total from scratch: incremental [-. old +. new] updates
      drift catastrophically when step costs span many orders of magnitude
      (1e20-scale uphill excursions would leave garbage residue in a 1e3

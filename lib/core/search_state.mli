@@ -26,6 +26,16 @@ val cost : t -> float
 val perm : t -> Plan.t
 (** A copy of the current permutation. *)
 
+val perm_view : t -> Plan.t
+(** The state's own permutation array, NOT a copy — an O(1) read for hot
+    loops that only inspect it.
+
+    Aliasing contract: the array is owned by the state and mutated in place
+    by [try_move]/[try_rewrite]/[rollback]; callers must not mutate it, must
+    not retain it across any state-mutating call, and must [Array.copy] (or
+    use {!perm}) before storing it anywhere.  Violations corrupt the search
+    state silently. *)
+
 val try_move : t -> Move.t -> (float * snapshot) option
 (** Apply the move and recost.  [Some (new_total, snap)]: the state now holds
     the moved permutation; pass [snap] to [rollback] to restore, or call

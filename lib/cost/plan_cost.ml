@@ -35,6 +35,26 @@ let joins_before query ~perm ~pos i =
     (fun (other, _) -> pos.(other) < i)
     (Join_graph.neighbors (Query.graph query) r)
 
+(* Bitset kernels: the placed prefix as a fixed-width mask instead of a
+   [pos] array.  [selectivity_prefix] visits neighbors in the same ascending
+   order as [selectivity_before], so the float products are bit-identical;
+   [joins_prefix] is two word-ANDs where the list version scans. *)
+
+let joins_prefix query ~prefix r =
+  Bitset.intersects (Join_graph.neighbor_mask (Query.graph query) r) prefix
+
+let selectivity_prefix query ~prefix ~outer_card r =
+  let graph = Query.graph query in
+  let ids = Join_graph.neighbor_ids graph r in
+  let sels = Join_graph.neighbor_sels graph r in
+  let acc = ref 1.0 in
+  for j = 0 to Array.length ids - 1 do
+    let k = Array.unsafe_get ids j in
+    if Bitset.mem k prefix then
+      acc := !acc *. edge_selectivity query ~outer_card ~k ~r (Array.unsafe_get sels j)
+  done;
+  !acc
+
 (* Ceiling on estimated cardinalities.  Terrible plans produce sizes beyond
    any float's useful range; capping keeps every cost finite so that
    incremental cost deltas never become [inf -. inf] (NaN), while leaving
@@ -75,21 +95,54 @@ let step_cost (model : Cost_model.t) query ~perm ~pos ~i ~outer_card =
   in
   (clamp_cost (M.join_cost input), output_card)
 
+let step_cost_prefix (model : Cost_model.t) query ~prefix ~r ~is_first ~outer_card =
+  let module M = (val model : Cost_model.S) in
+  let inner_card = Query.cardinality query r in
+  let sel = selectivity_prefix query ~prefix ~outer_card r in
+  let is_cross = not (joins_prefix query ~prefix r) in
+  let output_card = clamp_card (outer_card *. inner_card *. sel) in
+  let input : Cost_model.join_input =
+    {
+      outer_card;
+      inner_card;
+      inner_distinct = Query.distinct_values query r;
+      output_card;
+      is_first;
+      is_cross;
+    }
+  in
+  (clamp_cost (M.join_cost input), output_card)
+
 let eval model query perm =
   let n = Array.length perm in
   if n = 0 then invalid_arg "Plan_cost.eval: empty permutation";
-  let pos = Array.make n 0 in
-  Array.iteri (fun i r -> pos.(r) <- i) perm;
   let cards = Array.make n 0.0 in
   let step_costs = Array.make n 0.0 in
   cards.(0) <- Query.cardinality query perm.(0);
   let total = ref 0.0 in
-  for i = 1 to n - 1 do
-    let cost, out = step_cost model query ~perm ~pos ~i ~outer_card:cards.(i - 1) in
-    cards.(i) <- out;
-    step_costs.(i) <- cost;
-    total := !total +. cost
-  done;
+  if Join_graph.has_masks (Query.graph query) then begin
+    let prefix = ref (Bitset.singleton perm.(0)) in
+    for i = 1 to n - 1 do
+      let cost, out =
+        step_cost_prefix model query ~prefix:!prefix ~r:perm.(i) ~is_first:(i = 1)
+          ~outer_card:cards.(i - 1)
+      in
+      cards.(i) <- out;
+      step_costs.(i) <- cost;
+      total := !total +. cost;
+      prefix := Bitset.add perm.(i) !prefix
+    done
+  end
+  else begin
+    let pos = Array.make n 0 in
+    Array.iteri (fun i r -> pos.(r) <- i) perm;
+    for i = 1 to n - 1 do
+      let cost, out = step_cost model query ~perm ~pos ~i ~outer_card:cards.(i - 1) in
+      cards.(i) <- out;
+      step_costs.(i) <- cost;
+      total := !total +. cost
+    done
+  end;
   { cards; step_costs; total = !total; est_steps = n }
 
 let total model query perm = (eval model query perm).total

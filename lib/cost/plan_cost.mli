@@ -44,7 +44,23 @@ val selectivity_before :
     relations at earlier positions; [1.0] if none (cross product). *)
 
 val joins_before : Ljqo_catalog.Query.t -> perm:int array -> pos:int array -> int -> bool
-(** Whether [perm.(i)] is joined to at least one earlier relation. *)
+(** Whether [perm.(i)] is joined to at least one earlier relation.  List-scan
+    reference form; the hot paths use {!joins_prefix}. *)
+
+val joins_prefix :
+  Ljqo_catalog.Query.t -> prefix:Ljqo_catalog.Bitset.t -> int -> bool
+(** [joins_prefix q ~prefix r]: whether [r] is joined to any relation in the
+    placed-prefix mask — two word-ANDs against the precomputed neighbor
+    mask.  Requires [Join_graph.has_masks]. *)
+
+val selectivity_prefix :
+  Ljqo_catalog.Query.t ->
+  prefix:Ljqo_catalog.Bitset.t ->
+  outer_card:float ->
+  int ->
+  float
+(** {!selectivity_before} with the prefix as a mask; visits edges in the same
+    ascending order, so results are bit-identical to the [pos]-based form. *)
 
 val clamp_card : float -> float
 (** Sanitize an estimated cardinality: NaN becomes 1, and the result is
@@ -65,6 +81,19 @@ val step_cost :
   outer_card:float ->
   float * float
 (** [(cost, output_card)] of the join at position [i >= 1]. *)
+
+val step_cost_prefix :
+  Cost_model.t ->
+  Ljqo_catalog.Query.t ->
+  prefix:Ljqo_catalog.Bitset.t ->
+  r:int ->
+  is_first:bool ->
+  outer_card:float ->
+  float * float
+(** {!step_cost} with the placed prefix as a mask: [r] is the relation being
+    joined next, [is_first] whether this is the plan's first join step
+    (position 1).  Bit-identical to {!step_cost}; this is the form the
+    incremental search state and {!eval} use. *)
 
 val eval : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> eval
 

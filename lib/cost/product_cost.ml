@@ -43,6 +43,40 @@ let raw_extend query ~raw ~members r =
 let extend_cardinality query ~card ~members r =
   displayed (raw_extend query ~raw:card ~members r)
 
+(* Mask twins of [raw_extend]/[step_cost]: membership is a bitset test
+   instead of [List.mem], and neighbors come from the cached parallel
+   arrays.  Same ascending visit order, so the float products match the
+   list forms bit-for-bit (the DP equivalence property relies on this). *)
+
+let raw_extend_mask query ~raw ~mask r =
+  let graph = Query.graph query in
+  let ids = Join_graph.neighbor_ids graph r in
+  let sels = Join_graph.neighbor_sels graph r in
+  let sel = ref 1.0 in
+  for j = 0 to Array.length ids - 1 do
+    if Bitset.mem (Array.unsafe_get ids j) mask then
+      sel := !sel *. Array.unsafe_get sels j
+  done;
+  guard (raw *. Query.cardinality query r *. !sel)
+
+let step_cost_mask (model : Cost_model.t) query ~outer_card ~mask r =
+  let module M = (val model : Cost_model.S) in
+  let raw' = raw_extend_mask query ~raw:outer_card ~mask r in
+  let is_cross =
+    not (Bitset.intersects (Join_graph.neighbor_mask (Query.graph query) r) mask)
+  in
+  let input : Cost_model.join_input =
+    {
+      outer_card = displayed outer_card;
+      inner_card = Query.cardinality query r;
+      inner_distinct = Query.distinct_values query r;
+      output_card = displayed raw';
+      is_first = Bitset.is_empty mask;
+      is_cross;
+    }
+  in
+  (Plan_cost.clamp_cost (M.join_cost input), raw')
+
 let step_cost (model : Cost_model.t) query ~outer_card ~members r =
   let module M = (val model : Cost_model.S) in
   let raw' = raw_extend query ~raw:outer_card ~members r in

@@ -37,6 +37,21 @@ val step_cost :
 (** [(cost, raw_output_card)] of joining relation [r] next, under the given
     cost model; [outer_card] is the raw running product. *)
 
+val raw_extend_mask :
+  Ljqo_catalog.Query.t -> raw:float -> mask:Ljqo_catalog.Bitset.t -> int -> float
+(** [raw_extend] with the member set as a bitset; bit-identical result
+    (same ascending edge-visit order).  Requires [Join_graph.has_masks]. *)
+
+val step_cost_mask :
+  Cost_model.t ->
+  Ljqo_catalog.Query.t ->
+  outer_card:float ->
+  mask:Ljqo_catalog.Bitset.t ->
+  int ->
+  float * float
+(** [step_cost] with the member set as a bitset — the form the bitset DP's
+    expansion loop uses.  Bit-identical to the list form. *)
+
 val eval : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> Plan_cost.eval
 (** Permutation costing under the product estimator (same result shape as
     {!Plan_cost.eval}). *)

@@ -1,96 +1,7 @@
-(* Multicore work distribution for the experiment harness (OCaml 5
-   domains).  Every experiment is embarrassingly parallel across queries —
-   each query's runs are pure functions of their seeds — so a simple
-   work-stealing-free counter queue suffices.  Results are written each to
-   its own slot and folded in input order afterwards, so the output is
-   bit-identical whatever the job count.
+(* The implementation lives in [Ljqo_stats.Parallel] so that lower layers
+   (the bitset DP's per-size expansion in [Ljqo_core.Dp]) can share the same
+   worker pool configuration; this alias keeps the historical harness-level
+   name and, because the jobs setting is state inside the shared module,
+   [set_jobs]/[LJQO_JOBS] configure both layers at once. *)
 
-   Default is sequential: pass --jobs (or set LJQO_JOBS) on multi-core
-   hosts; on a single hardware thread extra domains only add scheduling
-   overhead. *)
-
-let log_src = Logs.Src.create "ljqo.parallel" ~doc:"harness work distribution"
-
-module Log = (val Logs.src_log log_src)
-
-let configured_jobs = ref None
-
-let set_jobs j = configured_jobs := Some (max 1 j)
-
-let warned_bad_env = ref false
-
-let default_jobs () =
-  match !configured_jobs with
-  | Some j -> j
-  | None -> (
-    match Sys.getenv_opt "LJQO_JOBS" with
-    | Some v -> (
-      match int_of_string_opt v with
-      | Some j when j >= 1 -> j
-      | _ ->
-        if not !warned_bad_env then begin
-          warned_bad_env := true;
-          Log.warn (fun m ->
-              m "LJQO_JOBS=%S is not a positive integer; running sequentially" v)
-        end;
-        1)
-    | None -> 1)
-
-type 'a slot =
-  | Done of 'a
-  | Raised of { exn : exn; backtrace : Printexc.raw_backtrace }
-
-(* Workers never let an exception escape: each item's outcome lands in its
-   own slot, so one crashing item can neither kill sibling domains nor leak
-   running domains past the join below. *)
-let map_array_result ?(jobs = default_jobs ()) f a =
-  let n = Array.length a in
-  let jobs = max 1 (min jobs n) in
-  let protect x =
-    try Done (f x)
-    with exn -> Raised { exn; backtrace = Printexc.get_raw_backtrace () }
-  in
-  if jobs = 1 || n = 0 then Array.map protect a
-  else begin
-    let results = Array.make n None in
-    let next = Atomic.make 0 in
-    let worker () =
-      let rec go () =
-        let i = Atomic.fetch_and_add next 1 in
-        if i < n then begin
-          results.(i) <- Some (protect a.(i));
-          go ()
-        end
-      in
-      go ()
-    in
-    let domains =
-      (* A failed spawn (resource exhaustion) just means fewer workers. *)
-      List.filter_map
-        (fun _ -> match Domain.spawn worker with d -> Some d | exception _ -> None)
-        (List.init (jobs - 1) Fun.id)
-    in
-    worker ();
-    List.iter Domain.join domains;
-    Array.map
-      (function
-        | Some r -> r
-        | None ->
-          (* Unreachable: every index is claimed exactly once and workers
-             cannot die mid-item; keep a structured slot rather than a crash
-             anyway. *)
-          Raised
-            {
-              exn = Failure "Parallel.map_array_result: unfilled slot";
-              backtrace = Printexc.get_callstack 0;
-            })
-      results
-  end
-
-let map_array ?jobs f a =
-  let slots = map_array_result ?jobs f a in
-  Array.map
-    (function
-      | Done v -> v
-      | Raised { exn; backtrace } -> Printexc.raise_with_backtrace exn backtrace)
-    slots
+include Ljqo_stats.Parallel

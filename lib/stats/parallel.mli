@@ -1,10 +1,13 @@
-(** Multicore work distribution (alias of {!Ljqo_stats.Parallel}).
+(** Multicore work distribution for the experiment harness (OCaml 5
+    domains).
 
-    The implementation moved to [lib/stats] so the optimizer core (the
-    parallel bitset DP) can reuse it without a dependency cycle; this module
-    re-exports it under the historical harness name.  The jobs
-    configuration ([set_jobs] / [LJQO_JOBS]) is shared state: setting it
-    here configures the DP's expansion pool too. *)
+    Experiments are embarrassingly parallel across queries — each query's
+    runs are pure functions of their seeds — and results are folded in
+    input order, so output is bit-identical whatever the job count.
+
+    The default is sequential; enable parallelism with [set_jobs], the
+    bench's [--jobs] flag, or the [LJQO_JOBS] environment variable.  On a
+    single hardware thread extra domains only add overhead. *)
 
 val set_jobs : int -> unit
 (** Override the job count for subsequent [map_array] calls (floored
@@ -15,7 +18,7 @@ val default_jobs : unit -> int
     An unparsable or non-positive [LJQO_JOBS] logs a warning (once) and falls
     back to sequential. *)
 
-type 'a slot = 'a Ljqo_stats.Parallel.slot =
+type 'a slot =
   | Done of 'a
   | Raised of { exn : exn; backtrace : Printexc.raw_backtrace }
       (** the item's function raised; the backtrace is from the raise site *)

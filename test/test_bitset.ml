@@ -1,0 +1,139 @@
+open Ljqo_catalog
+module IntSet = Set.Make (Int)
+
+(* Model-based checking: every Bitset operation must agree with Set.Make(Int)
+   on arbitrary id lists drawn from the full [0, max_size) range. *)
+
+let arb_ids =
+  QCheck.(list_of_size Gen.(int_bound 32) (int_bound (Bitset.max_size - 1)))
+
+let arb_ids2 = QCheck.pair arb_ids arb_ids
+
+let prop name = Helpers.qcheck_case ~count:200 ~name
+
+let prop_roundtrip =
+  prop "of_list/to_list agrees with IntSet"
+    (fun l -> Bitset.to_list (Bitset.of_list l) = IntSet.elements (IntSet.of_list l))
+    arb_ids
+
+let prop_mem =
+  prop "mem agrees with IntSet"
+    (fun l ->
+      let s = Bitset.of_list l and m = IntSet.of_list l in
+      List.for_all (fun i -> Bitset.mem i s = IntSet.mem i m)
+        (List.init Bitset.max_size Fun.id))
+    arb_ids
+
+let prop_add_remove =
+  prop "add/remove agree with IntSet"
+    (fun (l, extra) ->
+      let s = ref (Bitset.of_list l) and m = ref (IntSet.of_list l) in
+      List.for_all
+        (fun i ->
+          if i mod 2 = 0 then begin
+            s := Bitset.add i !s;
+            m := IntSet.add i !m
+          end
+          else begin
+            s := Bitset.remove i !s;
+            m := IntSet.remove i !m
+          end;
+          Bitset.to_list !s = IntSet.elements !m)
+        extra)
+    arb_ids2
+
+let prop_algebra =
+  prop "union/inter/diff agree with IntSet"
+    (fun (a, b) ->
+      let sa = Bitset.of_list a and sb = Bitset.of_list b in
+      let ma = IntSet.of_list a and mb = IntSet.of_list b in
+      Bitset.to_list (Bitset.union sa sb) = IntSet.elements (IntSet.union ma mb)
+      && Bitset.to_list (Bitset.inter sa sb) = IntSet.elements (IntSet.inter ma mb)
+      && Bitset.to_list (Bitset.diff sa sb) = IntSet.elements (IntSet.diff ma mb))
+    arb_ids2
+
+let prop_predicates =
+  prop "subset/intersects/equal/cardinal agree with IntSet"
+    (fun (a, b) ->
+      let sa = Bitset.of_list a and sb = Bitset.of_list b in
+      let ma = IntSet.of_list a and mb = IntSet.of_list b in
+      Bitset.subset sa sb = IntSet.subset ma mb
+      && Bitset.intersects sa sb = not (IntSet.is_empty (IntSet.inter ma mb))
+      && Bitset.equal sa sb = IntSet.equal ma mb
+      && Bitset.cardinal sa = IntSet.cardinal ma
+      && Bitset.is_empty sa = IntSet.is_empty ma)
+    arb_ids2
+
+let prop_min_elt_iter_fold =
+  prop "min_elt/iter/fold visit ascending like IntSet"
+    (fun l ->
+      let s = Bitset.of_list l and m = IntSet.of_list l in
+      let iter_order = ref [] in
+      Bitset.iter (fun i -> iter_order := i :: !iter_order) s;
+      let fold_order = List.rev (Bitset.fold (fun i acc -> i :: acc) s []) in
+      List.rev !iter_order = IntSet.elements m
+      && fold_order = IntSet.elements m
+      && (IntSet.is_empty m || Bitset.min_elt s = IntSet.min_elt m))
+    arb_ids
+
+let prop_compare_order =
+  prop "compare is a total order consistent with equal"
+    (fun (a, b) ->
+      let sa = Bitset.of_list a and sb = Bitset.of_list b in
+      (Bitset.compare sa sb = 0) = Bitset.equal sa sb
+      && Bitset.compare sa sb = -Bitset.compare sb sa)
+    arb_ids2
+
+let prop_of_words =
+  prop "of_words inverts the word fields"
+    (fun l ->
+      let s = Bitset.of_list l in
+      Bitset.equal s (Bitset.of_words ~w0:s.Bitset.w0 ~w1:s.Bitset.w1))
+    arb_ids
+
+let test_word_boundaries () =
+  (* ids straddling the 63-bit word boundary and the extremes *)
+  List.iter
+    (fun i ->
+      let s = Bitset.singleton i in
+      Alcotest.(check bool) "mem of singleton" true (Bitset.mem i s);
+      Alcotest.(check int) "cardinal 1" 1 (Bitset.cardinal s);
+      Alcotest.(check (list int)) "to_list" [ i ] (Bitset.to_list s);
+      Alcotest.(check int) "min_elt" i (Bitset.min_elt s))
+    [ 0; 1; 62; 63; 64; 124; 125 ]
+
+let test_full () =
+  Alcotest.(check (list int)) "full 0" [] (Bitset.to_list (Bitset.full 0));
+  Alcotest.(check (list int)) "full 5" [ 0; 1; 2; 3; 4 ]
+    (Bitset.to_list (Bitset.full 5));
+  Alcotest.(check int) "full 63 cardinal" 63 (Bitset.cardinal (Bitset.full 63));
+  Alcotest.(check int) "full 64 cardinal" 64 (Bitset.cardinal (Bitset.full 64));
+  Alcotest.(check int) "full max cardinal" Bitset.max_size
+    (Bitset.cardinal (Bitset.full Bitset.max_size))
+
+let test_out_of_range () =
+  let expect_invalid msg f =
+    match f () with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.fail msg
+  in
+  expect_invalid "singleton -1" (fun () -> Bitset.singleton (-1));
+  expect_invalid "singleton max" (fun () -> Bitset.singleton Bitset.max_size);
+  expect_invalid "add max" (fun () -> Bitset.add Bitset.max_size Bitset.empty);
+  expect_invalid "full oversize" (fun () -> Bitset.full (Bitset.max_size + 1));
+  expect_invalid "min_elt empty" (fun () -> Bitset.min_elt Bitset.empty)
+
+let suite =
+  [
+    Alcotest.test_case "word boundaries" `Quick test_word_boundaries;
+    Alcotest.test_case "full" `Quick test_full;
+    Alcotest.test_case "out of range" `Quick test_out_of_range;
+    prop_roundtrip;
+    prop_mem;
+    prop_add_remove;
+    prop_algebra;
+    prop_predicates;
+    prop_min_elt_iter_fold;
+    prop_compare_order;
+    prop_of_words;
+  ]

@@ -86,6 +86,120 @@ let test_subset_counts_grow () =
   in
   Alcotest.(check bool) "exponential-ish growth" true (count 12 > 2 * count 8)
 
+(* The pre-bitset DP (int masks, per-size frontier), kept as the equivalence
+   oracle for the bitset rewrite.  The frontier is sorted ascending so its
+   tie discipline (first-minimal in mask-ascending, r-ascending order, keep
+   the incumbent on equal cost) matches the rewritten DP's deterministic
+   order exactly — equal costs therefore yield equal plans, not just equal
+   optima. *)
+let reference_dp model query =
+  let open Ljqo_catalog in
+  let n = Query.n_relations query in
+  let graph = Query.graph query in
+  let neighbor_mask =
+    Array.init n (fun r ->
+        List.fold_left
+          (fun acc (other, _) -> acc lor (1 lsl other))
+          0
+          (Join_graph.neighbors graph r))
+  in
+  let table : (int, float * float * int * int) Hashtbl.t = Hashtbl.create 1024 in
+  let current = ref [] in
+  for r = 0 to n - 1 do
+    let mask = 1 lsl r in
+    Hashtbl.replace table mask (0.0, Query.cardinality query r, r, 0);
+    current := mask :: !current
+  done;
+  let explored = ref n in
+  let members_of mask =
+    let rec go r acc =
+      if r = n then acc
+      else go (r + 1) (if mask land (1 lsl r) <> 0 then r :: acc else acc)
+    in
+    go 0 []
+  in
+  for _size = 2 to n do
+    let next = Hashtbl.create 256 in
+    List.iter
+      (fun mask ->
+        let cost, card, _, _ = Hashtbl.find table mask in
+        let members = members_of mask in
+        for r = 0 to n - 1 do
+          if mask land (1 lsl r) = 0 && neighbor_mask.(r) land mask <> 0 then begin
+            let step, out =
+              Ljqo_cost.Product_cost.step_cost model query ~outer_card:card
+                ~members r
+            in
+            let mask' = mask lor (1 lsl r) in
+            let cost' = cost +. step in
+            match Hashtbl.find_opt table mask' with
+            | Some (existing, _, _, _) when existing <= cost' -> ()
+            | existing ->
+              if existing = None then Hashtbl.replace next mask' ();
+              Hashtbl.replace table mask' (cost', out, r, mask)
+          end
+        done)
+      (List.sort compare !current);
+    current := Hashtbl.fold (fun m () acc -> m :: acc) next [];
+    explored := !explored + Hashtbl.length next
+  done;
+  let full = (1 lsl n) - 1 in
+  let best_cost, _, _, _ = Hashtbl.find table full in
+  let plan = Array.make n 0 in
+  let rec walk mask i =
+    let _, _, last, prev = Hashtbl.find table mask in
+    plan.(i) <- last;
+    if prev <> 0 then walk prev (i - 1)
+  in
+  walk full (n - 1);
+  (plan, best_cost, !explored)
+
+let prop_matches_reference_dp =
+  Helpers.qcheck_case ~count:40
+    ~name:"bitset DP equals the pre-bitset DP (plan, both costs, counts)"
+    (fun (seed, size) ->
+      let n_joins = 2 + (size mod 10) in
+      let q = Helpers.random_query ~n_joins (1800 + seed) in
+      let dp = Dp.optimize mem q in
+      let ref_plan, ref_cost, ref_explored = reference_dp mem q in
+      dp.Dp.plan = ref_plan
+      && dp.Dp.product_cost = ref_cost
+      && dp.Dp.clamped_cost = Ljqo_cost.Plan_cost.total mem q ref_plan
+      && dp.Dp.subsets_explored = ref_explored)
+    QCheck.(pair small_int small_int)
+
+let test_jobs_deterministic () =
+  (* Same result whatever the worker count — chunk merges are ordered and
+     tie-stable, so parallelism is a pure speed knob. *)
+  let q = Helpers.random_query ~n_joins:12 1341 in
+  let r1 = Dp.optimize ~jobs:1 mem q in
+  List.iter
+    (fun jobs ->
+      let r = Dp.optimize ~jobs mem q in
+      Alcotest.(check (array int))
+        (Printf.sprintf "plan (jobs=%d)" jobs)
+        r1.Dp.plan r.Dp.plan;
+      Alcotest.(check bool)
+        (Printf.sprintf "costs bit-identical (jobs=%d)" jobs)
+        true
+        (r1.Dp.product_cost = r.Dp.product_cost
+        && r1.Dp.clamped_cost = r.Dp.clamped_cost);
+      Alcotest.(check int)
+        (Printf.sprintf "subsets (jobs=%d)" jobs)
+        r1.Dp.subsets_explored r.Dp.subsets_explored)
+    [ 2; 3; 7 ]
+
+let test_25_relations () =
+  (* The acceptance bar for the bitset DP: a connected 25-relation query under
+     default limits. *)
+  let q = Helpers.random_query ~n_joins:24 1351 in
+  let dp = Dp.optimize mem q in
+  Alcotest.(check bool) "plan valid" true (Plan.is_valid q dp.Dp.plan);
+  Alcotest.(check int) "plan length" 25 (Array.length dp.Dp.plan);
+  Helpers.check_approx "product cost matches its plan"
+    (Ljqo_cost.Product_cost.total mem q dp.Dp.plan)
+    dp.Dp.product_cost
+
 let prop_dp_optimal_vs_random =
   Helpers.qcheck_case ~count:20 ~name:"DP optimal under product estimator"
     (fun (qseed, pseed) ->
@@ -103,5 +217,9 @@ let suite =
     Alcotest.test_case "rejects disconnected" `Quick test_rejects_disconnected;
     Alcotest.test_case "single relation" `Quick test_single_relation;
     Alcotest.test_case "subset counts grow" `Quick test_subset_counts_grow;
+    Alcotest.test_case "jobs count is a pure speed knob" `Quick
+      test_jobs_deterministic;
+    Alcotest.test_case "25 relations" `Slow test_25_relations;
+    prop_matches_reference_dp;
     prop_dp_optimal_vs_random;
   ]

@@ -136,6 +136,60 @@ let prop_spanning_tree_minimal =
       Helpers.approx ~rel:1e-9 tw (brute_mst_weight g weight))
     QCheck.small_int
 
+(* Random connected graph on [n] vertices: spanning links plus extras. *)
+let random_connected_graph rng n =
+  let edges = ref [] in
+  for i = 1 to n - 1 do
+    let t = Ljqo_stats.Rng.int rng i in
+    edges := edge t i (0.01 +. Ljqo_stats.Rng.float rng 0.98) :: !edges
+  done;
+  for u = 0 to n - 2 do
+    for v = u + 1 to n - 1 do
+      if Ljqo_stats.Rng.bernoulli rng 0.2 then
+        edges := edge u v (0.01 +. Ljqo_stats.Rng.float rng 0.98) :: !edges
+    done
+  done;
+  Join_graph.make ~n !edges
+
+let prop_mask_adjacency_consistent =
+  Helpers.qcheck_case ~count:100
+    ~name:"neighbor ids/sels/mask/adjacency agree with the neighbor list"
+    (fun seed ->
+      let rng = Ljqo_stats.Rng.create (seed + 7000) in
+      let n = 1 + Ljqo_stats.Rng.int rng 12 in
+      let g = random_connected_graph rng n in
+      Join_graph.has_masks g
+      && List.for_all
+           (fun v ->
+             let nbrs = Join_graph.neighbors g v in
+             Array.to_list (Join_graph.neighbor_ids g v) = List.map fst nbrs
+             && Array.to_list (Join_graph.neighbor_sels g v) = List.map snd nbrs
+             && Join_graph.neighbor_ids g v == (Join_graph.adjacency g).(v)
+             && Bitset.to_list (Join_graph.neighbor_mask g v) = List.map fst nbrs)
+           (List.init n Fun.id))
+    QCheck.small_int
+
+let prop_induced_connected_mask_equiv =
+  Helpers.qcheck_case ~count:200
+    ~name:"induced_connected_mask equals list-based induced_connected"
+    (fun seed ->
+      let rng = Ljqo_stats.Rng.create (seed + 8000) in
+      let n = 1 + Ljqo_stats.Rng.int rng 12 in
+      let g = random_connected_graph rng n in
+      (* random subsets, including empty and full *)
+      let ok = ref true in
+      for _ = 1 to 20 do
+        let vs =
+          List.filter (fun _ -> Ljqo_stats.Rng.bool rng) (List.init n Fun.id)
+        in
+        if
+          Join_graph.induced_connected_mask g (Bitset.of_list vs)
+          <> Join_graph.induced_connected g vs
+        then ok := false
+      done;
+      !ok)
+    QCheck.small_int
+
 let prop_components_partition =
   Helpers.qcheck_case ~count:60 ~name:"components partition the vertices"
     (fun seed ->
@@ -165,5 +219,7 @@ let suite =
     Alcotest.test_case "spanning tree shape" `Quick test_spanning_tree_shape;
     Alcotest.test_case "spanning forest" `Quick test_spanning_tree_disconnected;
     prop_spanning_tree_minimal;
+    prop_mask_adjacency_consistent;
+    prop_induced_connected_mask_equiv;
     prop_components_partition;
   ]

@@ -8,6 +8,7 @@ let () =
       ("summary", Test_summary.suite);
       ("scaled-cost", Test_scaled_cost.suite);
       ("relation", Test_relation.suite);
+      ("bitset", Test_bitset.suite);
       ("join-graph", Test_join_graph.suite);
       ("query", Test_query.suite);
       ("cost-models", Test_cost_models.suite);

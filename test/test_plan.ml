@@ -32,6 +32,29 @@ let test_to_string () =
   Alcotest.(check bool) "equal" true (Plan.equal [| 1; 0 |] [| 1; 0 |]);
   Alcotest.(check bool) "not equal" false (Plan.equal [| 1; 0 |] [| 0; 1 |])
 
+let prop_is_valid_matches_reference =
+  Helpers.qcheck_case ~count:100
+    ~name:"mask is_valid equals the array-marking reference"
+    (fun (qseed, pseed) ->
+      let q = Helpers.random_query ~n_joins:(2 + (qseed mod 10)) (900 + qseed) in
+      let n = Ljqo_catalog.Query.n_relations q in
+      let rng = Ljqo_stats.Rng.create pseed in
+      let agrees p = Plan.is_valid q p = Plan.is_valid_reference q p in
+      (* valid plans, arbitrary permutations, and corrupted arrays *)
+      let valid = Random_plan.generate (Ljqo_stats.Rng.create pseed) q in
+      let shuffled = Array.init n Fun.id in
+      Ljqo_stats.Rng.shuffle_in_place rng shuffled;
+      let dup = Array.copy valid in
+      dup.(n - 1) <- dup.(0);
+      let oob = Array.copy valid in
+      oob.(n / 2) <- n + Ljqo_stats.Rng.int rng 5;
+      let neg = Array.copy valid in
+      neg.(n / 2) <- -1;
+      List.for_all agrees
+        [ valid; shuffled; dup; oob; neg; Array.sub valid 0 (n - 1); [||] ]
+      && Plan.is_valid q valid)
+    QCheck.(pair small_int small_int)
+
 let prop_inverse_roundtrip =
   Helpers.qcheck_case ~name:"inverse of inverse is the permutation"
     (fun seed ->
@@ -49,5 +72,6 @@ let suite =
     Alcotest.test_case "inverse" `Quick test_inverse;
     Alcotest.test_case "identity and concat" `Quick test_identity_concat;
     Alcotest.test_case "to_string/equal" `Quick test_to_string;
+    prop_is_valid_matches_reference;
     prop_inverse_roundtrip;
   ]

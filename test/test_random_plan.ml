@@ -42,6 +42,15 @@ let prop_always_valid =
       Plan.is_valid q p)
     QCheck.(pair small_int small_int)
 
+let prop_matches_reference =
+  Helpers.qcheck_case ~count:60
+    ~name:"mask generator equals the array-marking reference"
+    (fun (qseed, pseed) ->
+      let q = Helpers.random_query ~n_joins:(2 + (qseed mod 14)) (500 + qseed) in
+      Random_plan.generate (Ljqo_stats.Rng.create pseed) q
+      = Random_plan.generate_reference (Ljqo_stats.Rng.create pseed) q)
+    QCheck.(pair small_int small_int)
+
 let prop_deterministic =
   Helpers.qcheck_case ~count:30 ~name:"same seed, same plan"
     (fun seed ->
@@ -57,5 +66,6 @@ let suite =
     Alcotest.test_case "covers start relations" `Quick test_covers_start_relations;
     Alcotest.test_case "charged version" `Quick test_charged_version;
     prop_always_valid;
+    prop_matches_reference;
     prop_deterministic;
   ]

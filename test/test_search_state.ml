@@ -75,12 +75,17 @@ let test_try_rewrite () =
   let ev = Evaluator.create ~query:q ~model:mem ~ticks:100000 () in
   let st = Search_state.init ev [| 0; 1; 2 |] in
   (match Search_state.try_rewrite st ~lo:0 ~rels:[| 1; 0 |] with
-  | Some (total, _) ->
-    Helpers.check_approx "rewritten cost" (Plan_cost.total mem q [| 1; 0; 2 |]) total
+  | Some (total, snap) ->
+    Helpers.check_approx "rewritten cost" (Plan_cost.total mem q [| 1; 0; 2 |]) total;
+    (* restore [0; 1; 2] so the window below holds the relations we pass *)
+    Search_state.rollback st snap
   | None -> Alcotest.fail "valid rewrite rejected");
-  (* rewrite introducing a cross product must be rejected and rolled back *)
+  (* rewrite introducing a cross product ([0; 2; 1] starts with the A><C
+     cross) must be rejected and rolled back *)
   match Search_state.try_rewrite st ~lo:1 ~rels:[| 2; 1 |] with
-  | None -> ()
+  | None ->
+    Alcotest.(check (array int)) "state untouched after rejection" [| 0; 1; 2 |]
+      (Search_state.perm st)
   | Some _ -> Alcotest.fail "invalid rewrite accepted"
 
 let test_charges_recost_ticks () =

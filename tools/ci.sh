@@ -9,3 +9,11 @@ cd "$(dirname "$0")/.."
 dune build @all
 OCAMLRUNPARAM=b dune runtest
 dune build @chaos
+
+# Micro-bench smoke: one tiny-quota pass must complete and emit the JSON
+# (written next to, not over, the committed full-quota results).
+smoke_json=results/BENCH_micro.smoke.json
+rm -f "$smoke_json"
+dune exec bench/main.exe -- micro --micro-quota 0.05 --micro-out "$smoke_json"
+test -s "$smoke_json"
+rm -f "$smoke_json"
