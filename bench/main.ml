@@ -19,16 +19,21 @@ let usage () =
     "usage: main.exe [EXPERIMENT...] [--full] [--per-n K] [--replicates R]\n\
     \                [--seed S] [--kappa K] [--csv DIR] [--jobs J]\n\
     \                [--deadline SECS] [--checkpoint-dir DIR] [--resume]\n\
+    \                [--metrics] [--metrics-out FILE] [--trace FILE]\n\
+    \                [--trace-sample N]\n\
      paper experiments:     table1 table2 table3 fig4 fig5 fig6 fig7 (or: all)\n\
      extension experiments: optgap space bushy ablation sg88 dp (or: extensions)\n\
      micro-benchmarks:      micro [--micro-quota SECS] [--micro-out FILE]\n\
      --deadline SECS        abort any single method run after SECS wall-clock\n\
      --checkpoint-dir DIR   persist per-query results under DIR as they finish\n\
-     --resume               skip queries already checkpointed (implies\n\
-    \                        checkpointing; default dir results/checkpoints)";
+     --resume               skip queries already checkpointed (requires\n\
+    \                        --checkpoint-dir)\n\
+     --metrics              collect search counters; write them as JSON on exit\n\
+     --metrics-out FILE     where --metrics writes (default\n\
+    \                        results/METRICS_bench.json)\n\
+     --trace FILE           stream sampled trace events to FILE as JSONL\n\
+     --trace-sample N       keep every Nth event per event type (default 1)";
   exit 2
-
-let default_checkpoint_dir = Filename.concat "results" "checkpoints"
 
 type options = {
   mutable experiments : string list;
@@ -41,7 +46,25 @@ type options = {
   mutable resume : bool;
   mutable micro_quota : float option;
   mutable micro_out : string option;
+  mutable metrics : bool;
+  mutable metrics_out : string;
+  mutable trace : string option;
+  mutable trace_sample : int;
 }
+
+(* Option arguments are validated here, not at first use deep inside an
+   experiment: a typo'd flag must fail fast with a clear message, never
+   crash mid-run or get silently clamped. *)
+let int_arg ~flag ~min v =
+  match int_of_string_opt v with
+  | Some n when n >= min -> n
+  | Some _ ->
+    prerr_endline
+      (Printf.sprintf "%s wants an integer >= %d, got: %s" flag min v);
+    usage ()
+  | None ->
+    prerr_endline (Printf.sprintf "%s wants an integer, got: %s" flag v);
+    usage ()
 
 let parse_args () =
   let o =
@@ -56,6 +79,10 @@ let parse_args () =
       resume = false;
       micro_quota = None;
       micro_out = None;
+      metrics = false;
+      metrics_out = Filename.concat "results" "METRICS_bench.json";
+      trace = None;
+      trace_sample = 1;
     }
   in
   let rec go = function
@@ -64,16 +91,16 @@ let parse_args () =
       o.scale <- Ljqo_harness.Driver.paper_scale;
       go rest
     | "--per-n" :: v :: rest ->
-      o.scale <- { o.scale with per_n = int_of_string v };
+      o.scale <- { o.scale with per_n = int_arg ~flag:"--per-n" ~min:1 v };
       go rest
     | "--replicates" :: v :: rest ->
-      o.scale <- { o.scale with replicates = int_of_string v };
+      o.scale <- { o.scale with replicates = int_arg ~flag:"--replicates" ~min:1 v };
       go rest
     | "--seed" :: v :: rest ->
-      o.seed <- int_of_string v;
+      o.seed <- int_arg ~flag:"--seed" ~min:0 v;
       go rest
     | "--kappa" :: v :: rest ->
-      o.kappa <- Some (int_of_string v);
+      o.kappa <- Some (int_arg ~flag:"--kappa" ~min:1 v);
       go rest
     | "--csv" :: v :: rest ->
       o.csv_dir <- Some v;
@@ -101,8 +128,21 @@ let parse_args () =
     | "--micro-out" :: v :: rest ->
       o.micro_out <- Some v;
       go rest
+    | "--metrics" :: rest ->
+      o.metrics <- true;
+      go rest
+    | "--metrics-out" :: v :: rest ->
+      o.metrics <- true;
+      o.metrics_out <- v;
+      go rest
+    | "--trace" :: v :: rest ->
+      o.trace <- Some v;
+      go rest
+    | "--trace-sample" :: v :: rest ->
+      o.trace_sample <- int_arg ~flag:"--trace-sample" ~min:1 v;
+      go rest
     | ("-j" | "--jobs") :: v :: rest ->
-      Ljqo_harness.Parallel.set_jobs (int_of_string v);
+      Ljqo_harness.Parallel.set_jobs (int_arg ~flag:"--jobs" ~min:1 v);
       go rest
     | "all" :: rest ->
       o.experiments <- o.experiments @ all_experiments;
@@ -119,6 +159,10 @@ let parse_args () =
       usage ()
   in
   go (List.tl (Array.to_list Sys.argv));
+  if o.resume && o.checkpoint_dir = None then begin
+    prerr_endline "--resume requires --checkpoint-dir DIR (nothing to resume from)";
+    usage ()
+  end;
   if o.experiments = [] then o.experiments <- all_experiments;
   o
 
@@ -133,16 +177,17 @@ let () =
   let scale = o.scale and seed = o.seed and csv_dir = o.csv_dir in
   let kappa = o.kappa and deadline = o.deadline in
   let checkpoint =
-    match (o.checkpoint_dir, o.resume) with
-    | None, false -> None
-    | dir, resume ->
-      Some
-        {
-          Ljqo_harness.Checkpoint.dir =
-            Option.value dir ~default:default_checkpoint_dir;
-          resume;
-        }
+    Option.map
+      (fun dir -> { Ljqo_harness.Checkpoint.dir; resume = o.resume })
+      o.checkpoint_dir
   in
+  let module Obs = Ljqo_obs.Obs in
+  if o.metrics then Obs.set_enabled true;
+  Option.iter (fun path -> Obs.trace_to ~sample:o.trace_sample ~path ()) o.trace;
+  Fun.protect ~finally:(fun () ->
+      if o.metrics then Obs.write_metrics ~path:o.metrics_out;
+      Obs.trace_close ())
+  @@ fun () ->
   List.iter
     (fun exp ->
       let t0 = Sys.time () in

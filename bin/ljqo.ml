@@ -74,6 +74,62 @@ let kappa_arg =
     value & opt (some int) None
     & info [ "kappa" ] ~docv:"K" ~doc:"Ticks per time unit (calibration knob).")
 
+(* --- observability ------------------------------------------------------ *)
+
+module Obs = Ljqo_obs.Obs
+
+let metrics_arg =
+  Arg.(
+    value
+    & opt ~vopt:(Some (Filename.concat "results" "METRICS_ljqo.json"))
+        (some string) None
+    & info [ "metrics" ] ~docv:"FILE"
+        ~doc:
+          "Collect search counters and write them to $(docv) as JSON on exit \
+           (default results/METRICS_ljqo.json when $(docv) is omitted).")
+
+let trace_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "trace" ] ~docv:"FILE"
+        ~doc:"Stream sampled search trace events to $(docv) as JSON lines.")
+
+let trace_sample_arg =
+  Arg.(
+    value & opt int 1
+    & info [ "trace-sample" ] ~docv:"N"
+        ~doc:"Keep every $(docv)th trace event per event type.")
+
+let fail_usage fmt =
+  Printf.ksprintf
+    (fun msg ->
+      prerr_endline ("ljqo: " ^ msg);
+      exit 2)
+    fmt
+
+(* Knobs shared by the optimizing subcommands, validated before any work:
+   a bad value must exit 2 with a message, not surface later as a confusing
+   Invalid_argument from deep inside the budget. *)
+let check_knobs ~t_factor ~kappa ~trace_sample =
+  if not (t_factor > 0.0) then
+    fail_usage "--t-factor must be a positive number, got %g" t_factor;
+  (match kappa with
+  | Some k when k < 1 -> fail_usage "--kappa must be a positive integer, got %d" k
+  | _ -> ());
+  if trace_sample < 1 then
+    fail_usage "--trace-sample must be a positive integer, got %d" trace_sample
+
+(* Run [f] with metrics/tracing configured, flushing both on the way out
+   (including on exceptions, so a crashed run still leaves its trace). *)
+let with_obs ~metrics ~trace ~trace_sample f =
+  if Option.is_some metrics then Obs.set_enabled true;
+  Option.iter (fun path -> Obs.trace_to ~sample:trace_sample ~path ()) trace;
+  Fun.protect
+    ~finally:(fun () ->
+      Option.iter (fun path -> Obs.write_metrics ~path) metrics;
+      Obs.trace_close ())
+    f
+
 let query_file_arg =
   Arg.(
     required & pos 0 (some file) None & info [] ~docv:"QUERY.qdl" ~doc:"Query file.")
@@ -135,7 +191,9 @@ let print_plan query plan =
   in
   Printf.printf "plan: %s\n" (String.concat " |><| " names)
 
-let optimize file method_ model t_factor kappa seed =
+let optimize file method_ model t_factor kappa seed metrics trace trace_sample =
+  check_knobs ~t_factor ~kappa ~trace_sample;
+  with_obs ~metrics ~trace ~trace_sample @@ fun () ->
   let query = load_query file in
   let ticks = ticks_for query t_factor kappa in
   let r = Optimizer.optimize ~method_ ~model ~ticks ~seed query in
@@ -153,7 +211,7 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Choose a join order for a query")
     Term.(
       const optimize $ query_file_arg $ method_arg $ model_arg $ t_factor_arg
-      $ kappa_arg $ seed_arg)
+      $ kappa_arg $ seed_arg $ metrics_arg $ trace_arg $ trace_sample_arg)
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -216,7 +274,10 @@ let explain_cmd =
 
 (* --- run --------------------------------------------------------------- *)
 
-let run_query file method_ model t_factor kappa seed max_rows =
+let run_query file method_ model t_factor kappa seed max_rows metrics trace
+    trace_sample =
+  check_knobs ~t_factor ~kappa ~trace_sample;
+  with_obs ~metrics ~trace ~trace_sample @@ fun () ->
   let query = load_query file in
   let ticks = ticks_for query t_factor kappa in
   let r = Optimizer.optimize ~method_ ~model ~ticks ~seed query in
@@ -246,7 +307,8 @@ let run_cmd =
     (Cmd.info "run" ~doc:"Optimize a query, then execute it on synthetic data")
     Term.(
       const run_query $ query_file_arg $ method_arg $ model_arg $ t_factor_arg
-      $ kappa_arg $ seed_arg $ max_rows)
+      $ kappa_arg $ seed_arg $ max_rows $ metrics_arg $ trace_arg
+      $ trace_sample_arg)
 
 (* --- exact ------------------------------------------------------------- *)
 
@@ -328,7 +390,9 @@ let bushy_cmd =
 
 (* --- compare ----------------------------------------------------------- *)
 
-let compare_methods file model t_factor kappa seed =
+let compare_methods file model t_factor kappa seed metrics trace trace_sample =
+  check_knobs ~t_factor ~kappa ~trace_sample;
+  with_obs ~metrics ~trace ~trace_sample @@ fun () ->
   let query = load_query file in
   let ticks = ticks_for query t_factor kappa in
   let results =
@@ -356,7 +420,7 @@ let compare_cmd =
     (Cmd.info "compare" ~doc:"Run all nine methods on one query")
     Term.(
       const compare_methods $ query_file_arg $ model_arg $ t_factor_arg $ kappa_arg
-      $ seed_arg)
+      $ seed_arg $ metrics_arg $ trace_arg $ trace_sample_arg)
 
 (* --- sql --------------------------------------------------------------- *)
 

@@ -2,10 +2,13 @@ exception Exhausted
 
 exception Deadline_exceeded
 
-(* Wall-clock deadlines piggyback on the charge path: every
-   [deadline_check_stride]-th charge reads the clock.  The stride keeps the
-   hot loop free of syscalls while still bounding how long a runaway method
-   can overshoot its deadline (a few hundred estimation steps). *)
+(* Wall-clock deadlines piggyback on the charge path: the *first* charge
+   after creation reads the clock (so a deadline that is already expired —
+   zero, negative, or elapsed during setup — kills the run immediately
+   instead of up to a stride later), then every [deadline_check_stride]-th
+   charge does.  The stride keeps the hot loop free of syscalls while still
+   bounding how long a runaway method can overshoot its deadline (a few
+   hundred estimation steps). *)
 let deadline_check_stride = 256
 
 type t = {
@@ -42,7 +45,7 @@ let create ?(checkpoints = []) ?deadline ?(clock = wall_clock) ~ticks () =
     dead = false;
     deadline;
     clock;
-    charges_until_check = deadline_check_stride;
+    charges_until_check = (match deadline with Some _ -> 1 | None -> deadline_check_stride);
     deadline_hit = false;
   }
 
@@ -68,6 +71,7 @@ let check_deadline t =
     t.charges_until_check <- t.charges_until_check - 1;
     if t.charges_until_check <= 0 then begin
       t.charges_until_check <- deadline_check_stride;
+      Ljqo_obs.Obs.bump Ljqo_obs.Obs.Deadline_reads;
       if t.clock () >= dl then begin
         t.dead <- true;
         t.deadline_hit <- true;
@@ -77,6 +81,7 @@ let check_deadline t =
 
 let charge t k =
   if t.dead then raise (if t.deadline_hit then Deadline_exceeded else Exhausted);
+  Ljqo_obs.Obs.charged k;
   t.used <- t.used + k;
   fire_crossed t;
   check_deadline t;

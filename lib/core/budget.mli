@@ -39,9 +39,12 @@ val create :
 
     [deadline] is a wall-clock allowance in seconds, measured from [create];
     when it elapses, [charge] raises [Deadline_exceeded].  The clock is read
-    only every {!deadline_check_stride} charges, so the deterministic tick
-    accounting stays syscall-free on the hot path.  [clock] (default
-    [Unix.gettimeofday]) exists for deterministic tests. *)
+    on the {e first} charge (so an already-expired deadline — zero, negative,
+    or elapsed during setup — aborts immediately rather than up to a stride
+    later) and then only every {!deadline_check_stride} charges, so the
+    deterministic tick accounting stays essentially syscall-free on the hot
+    path.  [clock] (default [Unix.gettimeofday]) exists for deterministic
+    tests. *)
 
 val unlimited : unit -> t
 
@@ -70,7 +73,8 @@ val deadline_hit : t -> bool
     exhaustion). *)
 
 val deadline_check_stride : int
-(** Number of charges between wall-clock reads. *)
+(** Number of charges between wall-clock reads (after the first charge,
+    which always checks when a deadline is set). *)
 
 val default_ticks_per_unit : int
 

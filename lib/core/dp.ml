@@ -67,6 +67,7 @@ let optimize ?(max_relations = default_max_relations) ?jobs model query =
   if not (Query.is_connected query) then
     invalid_arg "Dp.optimize: join graph is disconnected";
   if n > max_relations || n > Bitset.max_size then raise (Too_large n);
+  Ljqo_obs.Obs.with_phase Ljqo_obs.Obs.Dp (fun () ->
   let graph = Query.graph query in
   let jobs =
     match jobs with
@@ -92,7 +93,8 @@ let optimize ?(max_relations = default_max_relations) ?jobs model query =
   Array.sort (fun (a, _) (b, _) -> Bitset.compare a b) singletons;
   let frontier = ref singletons in
   let explored = ref n in
-  for _size = 2 to n do
+  Ljqo_obs.Obs.add Ljqo_obs.Obs.Dp_subsets n;
+  for size = 2 to n do
     (* Expansion is embarrassingly parallel over the frontier: workers fill
        chunk-local candidate tables from the read-only [table]; the ordered
        sequential merge below keeps the outcome independent of [jobs]. *)
@@ -128,6 +130,15 @@ let optimize ?(max_relations = default_max_relations) ?jobs model query =
       next;
     Array.sort (fun (a, _) (b, _) -> Bitset.compare a b) fresh;
     frontier := fresh;
+    (* Counted once in the sequential merge, so the total is independent of
+       how the frontier was chunked across workers. *)
+    Ljqo_obs.Obs.add Ljqo_obs.Obs.Dp_subsets (Array.length fresh);
+    if Ljqo_obs.Obs.tracing () then begin
+      let frontier_len = Array.length fresh in
+      Ljqo_obs.Obs.trace_sampled "dp_size" (fun () ->
+          [ ("size", Ljqo_obs.Obs.I size);
+            ("frontier", Ljqo_obs.Obs.I frontier_len) ])
+    end;
     explored := !explored + Array.length fresh
   done;
   let full = Bitset.full n in
@@ -147,4 +158,4 @@ let optimize ?(max_relations = default_max_relations) ?jobs model query =
       product_cost = best.cost;
       clamped_cost = Plan_cost.total model query plan;
       subsets_explored = !explored;
-    }
+    })

@@ -49,11 +49,21 @@ let converged_cost t cost = cost <= (1.0 +. t.epsilon) *. t.lower_bound
 
 let record t perm cost =
   let better = match t.best with None -> true | Some (b, _) -> cost < b in
-  if better then t.best <- Some (cost, Array.copy perm);
+  if better then begin
+    t.best <- Some (cost, Array.copy perm);
+    (* Pure observation: counters and trace events never consume ticks or
+       RNG draws, so results are bit-identical with instrumentation off. *)
+    Ljqo_obs.Obs.bump Ljqo_obs.Obs.Incumbents;
+    if Ljqo_obs.Obs.tracing () then
+      Ljqo_obs.Obs.trace_sampled "incumbent" (fun () ->
+          [ ("ticks", Ljqo_obs.Obs.I (Budget.used t.budget));
+            ("cost", Ljqo_obs.Obs.F cost) ])
+  end;
   if converged_cost t cost then raise Converged
 
 let eval t perm =
   assert (Plan.is_valid t.query perm);
+  Ljqo_obs.Obs.bump Ljqo_obs.Obs.Cost_evals;
   (* Record the result even when this charge crosses the limit: the paper's
      optimizer keeps the last solution computed within the limit. *)
   let result = Plan_cost.eval t.model t.query perm in

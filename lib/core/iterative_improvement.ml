@@ -1,3 +1,5 @@
+module Obs = Ljqo_obs.Obs
+
 type params = { patience_factor : int; mix : Move.mix }
 
 let default_params = { patience_factor = 4; mix = Move.default_mix }
@@ -9,15 +11,21 @@ let descend ?(params = default_params) state rng =
     let failures = ref 0 in
     while !failures < patience do
       let move = Move.random ~mix:params.mix rng ~n in
+      let kind = Move.obs_kind move in
+      Obs.move kind Obs.Proposed;
       let before = Search_state.cost state in
       match Search_state.try_move state move with
-      | None -> incr failures
+      | None ->
+        Obs.move kind Obs.Invalid;
+        incr failures
       | Some (after, snap) ->
         if after < before then begin
+          Obs.move kind Obs.Accepted;
           Search_state.commit state;
           failures := 0
         end
         else begin
+          Obs.move kind Obs.Rejected;
           Search_state.rollback state snap;
           incr failures
         end
@@ -25,12 +33,14 @@ let descend ?(params = default_params) state rng =
   end
 
 let run ?(params = default_params) ev rng ~starts =
-  let rec loop () =
-    match starts () with
-    | None -> ()
-    | Some start ->
-      let state = Search_state.init ev start in
-      descend ~params state rng;
-      loop ()
-  in
-  loop ()
+  Obs.with_phase Obs.Ii (fun () ->
+      let rec loop () =
+        match starts () with
+        | None -> ()
+        | Some start ->
+          Obs.bump Obs.Starts;
+          let state = Search_state.init ev start in
+          descend ~params state rng;
+          loop ()
+      in
+      loop ())

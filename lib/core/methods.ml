@@ -43,6 +43,8 @@ let default_config =
     kbz_weighting = Kbz.default_weighting;
   }
 
+module Obs = Ljqo_obs.Obs
+
 (* An endless random-start source. *)
 let random_starts ev rng () = Some (Random_plan.generate_charged ev rng)
 
@@ -50,17 +52,22 @@ let random_starts ev rng () = Some (Random_plan.generate_charged ev rng)
 let chain_sources first second () =
   match first () with Some s -> Some s | None -> second ()
 
+(* Attribute a heuristic source's work (augmentation states, KBZ orderings)
+   to the [Heuristic] phase even when the pull happens inside an II loop. *)
+let heuristic_phase source () = Obs.with_phase Obs.Heuristic source
+
 (* Evaluate every state a source yields (used by AGI / KBI, where heuristic
    states compete directly with the local minima). *)
 let drain_and_eval ev source =
-  let rec go () =
-    match source () with
-    | None -> ()
-    | Some perm ->
-      ignore (Evaluator.eval ev perm);
-      go ()
-  in
-  go ()
+  Obs.with_phase Obs.Heuristic (fun () ->
+      let rec go () =
+        match source () with
+        | None -> ()
+        | Some perm ->
+          ignore (Evaluator.eval ev perm);
+          go ()
+      in
+      go ())
 
 let run_inner config method_ ev rng =
   let ii starts = Iterative_improvement.run ~params:config.ii_params ev rng ~starts in
@@ -69,9 +76,12 @@ let run_inner config method_ ev rng =
       ~restarts:(random_starts ev rng)
   in
   let augmentation_source () =
-    Augmentation.make_source ~criterion:config.augmentation_criterion ev
+    heuristic_phase
+      (Augmentation.make_source ~criterion:config.augmentation_criterion ev)
   in
-  let kbz_source () = Kbz.make_source ~weighting:config.kbz_weighting ev in
+  let kbz_source () =
+    heuristic_phase (Kbz.make_source ~weighting:config.kbz_weighting ev)
+  in
   match method_ with
   | II -> ii (random_starts ev rng)
   | SA -> sa (Random_plan.generate_charged ev rng)
@@ -93,8 +103,9 @@ let run_inner config method_ ev rng =
     ii (augmentation_source ());
     (match Evaluator.best ev with
     | Some (_, best_perm) ->
-      let state = Search_state.init ev best_perm in
-      Local_improvement.auto state
+      Obs.with_phase Obs.Local (fun () ->
+          let state = Search_state.init ev best_perm in
+          Local_improvement.auto state)
     | None -> ());
     ii (random_starts ev rng)
   | AGI ->

@@ -25,6 +25,11 @@ let random ?(mix = default_mix) rng ~n =
     Insert (src, dst)
   end
 
+let obs_kind = function
+  | Swap (i, j) when j = i + 1 -> Ljqo_obs.Obs.Adjacent_swap
+  | Swap _ -> Ljqo_obs.Obs.Swap
+  | Insert _ -> Ljqo_obs.Obs.Insert
+
 let affected_range = function
   | Swap (i, j) -> (min i j, max i j + 1)
   | Insert (src, dst) -> (min src dst, max src dst + 1)

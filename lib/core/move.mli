@@ -30,6 +30,10 @@ val random : ?mix:mix -> Ljqo_stats.Rng.t -> n:int -> t
 (** A random move over a permutation of [n >= 2] elements.  The two positions
     are always distinct. *)
 
+val obs_kind : t -> Ljqo_obs.Obs.move_kind
+(** The observability bucket a move is counted under ([Swap (i, i+1)] is
+    [Adjacent_swap]). *)
+
 val affected_range : t -> int * int
 (** [(lo, hi)] such that only join steps at positions [max lo 1 .. hi - 1]
     change cost, and intermediate cardinalities outside [lo .. hi - 2] are

@@ -22,6 +22,7 @@ let init ev start =
   let query = Evaluator.query ev and model = Evaluator.model ev in
   assert (Plan.is_valid query start);
   let perm = Array.copy start in
+  Ljqo_obs.Obs.bump Ljqo_obs.Obs.Cost_evals;
   let e = Plan_cost.eval model query perm in
   Evaluator.record ev perm e.total;
   Evaluator.charge ev e.est_steps;
@@ -74,6 +75,7 @@ let rollback t snap =
 let recost t ~lo ~hi =
   let query = Evaluator.query t.ev and model = Evaluator.model t.ev in
   let first = max lo 1 in
+  Ljqo_obs.Obs.add Ljqo_obs.Obs.Recost_steps (hi - first);
   Evaluator.charge t.ev (hi - first);
   if lo = 0 then
     t.cards.(0) <- Ljqo_catalog.Query.cardinality query t.perm.(0);

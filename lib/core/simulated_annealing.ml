@@ -1,4 +1,5 @@
 open Ljqo_stats
+module Obs = Ljqo_obs.Obs
 
 type params = {
   size_factor : int;
@@ -21,7 +22,8 @@ let default_params =
 
 (* Probe random moves from the start state to estimate the mean uphill cost
    delta, from which the initial temperature follows:
-   exp(-mean_delta / T0) = chi0. *)
+   exp(-mean_delta / T0) = chi0.  Probes are calibration, not search, so
+   they are not counted in the move-outcome matrix. *)
 let initial_temperature params state rng =
   let n = Search_state.n state in
   let probes = max 8 (2 * n) in
@@ -45,6 +47,7 @@ let initial_temperature params state rng =
     mean_delta /. -.log params.initial_acceptance
 
 let anneal_once ?(params = default_params) ev rng ~start =
+  Obs.bump Obs.Starts;
   let state = Search_state.init ev start in
   let n = Search_state.n state in
   if n >= 2 then begin
@@ -58,14 +61,17 @@ let anneal_once ?(params = default_params) ev rng ~start =
       for _ = 1 to chain_length do
         let before = Search_state.cost state in
         let move = Move.random ~mix:params.mix rng ~n in
+        let kind = Move.obs_kind move in
+        Obs.move kind Obs.Proposed;
         match Search_state.try_move state move with
-        | None -> ()
+        | None -> Obs.move kind Obs.Invalid
         | Some (after, snap) ->
           let delta = after -. before in
           let accept =
             delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temp)
           in
           if accept then begin
+            Obs.move kind Obs.Accepted;
             incr accepted;
             Search_state.commit state;
             if after < !best_seen then begin
@@ -73,8 +79,19 @@ let anneal_once ?(params = default_params) ev rng ~start =
               improved := true
             end
           end
-          else Search_state.rollback state snap
+          else begin
+            Obs.move kind Obs.Rejected;
+            Search_state.rollback state snap
+          end
       done;
+      Obs.bump Obs.Sa_chains;
+      if Obs.tracing () then begin
+        let accepted = !accepted and temp_now = !temp and best = !best_seen in
+        Obs.trace_sampled "sa_temp" (fun () ->
+            [ ("temp", Obs.F temp_now);
+              ("accept_ratio", Obs.F (float_of_int accepted /. float_of_int chain_length));
+              ("best", Obs.F best) ])
+      end;
       let ratio = float_of_int !accepted /. float_of_int chain_length in
       if ratio < params.frozen_acceptance && not !improved then incr cold_chains
       else cold_chains := 0;
@@ -83,12 +100,13 @@ let anneal_once ?(params = default_params) ev rng ~start =
   end
 
 let run ?(params = default_params) ev rng ~start ~restarts =
-  anneal_once ~params ev rng ~start;
-  let rec loop () =
-    match restarts () with
-    | None -> ()
-    | Some s ->
-      anneal_once ~params ev rng ~start:s;
-      loop ()
-  in
-  loop ()
+  Obs.with_phase Obs.Sa (fun () ->
+      anneal_once ~params ev rng ~start;
+      let rec loop () =
+        match restarts () with
+        | None -> ()
+        | Some s ->
+          anneal_once ~params ev rng ~start:s;
+          loop ()
+      in
+      loop ())

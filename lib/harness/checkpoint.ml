@@ -5,7 +5,16 @@
    Records are appended and flushed as each query finishes, so the file is
    valid after a kill at any instant (a torn final line is ignored on load).
    Floats are stored as IEEE-754 bit patterns in hex, so a resumed
-   experiment reproduces the uninterrupted outcome bit for bit. *)
+   experiment reproduces the uninterrupted outcome bit for bit.
+
+   Corruption discipline: a resumed record is trusted bit for bit, so
+   loading must never accept a line the writer could not have produced.
+   Tokens are parsed canonically (plain decimal / bare lowercase hex — no
+   [int_of_string] leniency like underscores or 0x/0o/0b prefixes, which
+   would let a garbled line parse into a plausible bogus record), and every
+   record line carries an MD5 checksum of its payload, so even a mutation
+   that maps one valid digit to another is rejected rather than silently
+   poisoning the resume. *)
 
 let log_src = Logs.Src.create "ljqo.checkpoint" ~doc:"experiment checkpointing"
 
@@ -22,39 +31,78 @@ type t = {
   loaded : (int, record) Hashtbl.t;
 }
 
-let header_magic = "# ljqo-checkpoint v1"
+let header_magic = "# ljqo-checkpoint v2"
 
 let float_to_hex v = Printf.sprintf "%Lx" (Int64.bits_of_float v)
 
-let float_of_hex s =
-  match Int64.of_string_opt ("0x" ^ s) with
-  | Some bits -> Some (Int64.float_of_bits bits)
-  | None -> None
+(* Canonical nonnegative decimal, exactly as [%d] prints it: digits only, no
+   sign, no leading zero (except "0" itself), no [int_of_string] extras
+   (underscores, 0x/0o/0b prefixes). *)
+let canonical_nat s =
+  let n = String.length s in
+  if n = 0 || n > 18 then None
+  else if n > 1 && s.[0] = '0' then None
+  else begin
+    let ok = ref true in
+    String.iter (fun c -> if c < '0' || c > '9' then ok := false) s;
+    if !ok then int_of_string_opt s else None
+  end
 
-(* "R <index> <timeouts> <rows> <cols> <hex>*" — returns None on any
-   malformation (torn writes show up as short or garbled lines). *)
+(* Canonical bare hex, exactly as [%Lx] prints it: 1-16 lowercase hex
+   digits, no prefix, no leading zero (except "0" itself). *)
+let float_of_hex s =
+  let n = String.length s in
+  if n = 0 || n > 16 then None
+  else if n > 1 && s.[0] = '0' then None
+  else begin
+    let ok = ref true in
+    String.iter
+      (fun c -> if not ((c >= '0' && c <= '9') || (c >= 'a' && c <= 'f')) then ok := false)
+      s;
+    if !ok then
+      match Int64.of_string_opt ("0x" ^ s) with
+      | Some bits -> Some (Int64.float_of_bits bits)
+      | None -> None
+    else None
+  end
+
+let checksum payload = Digest.to_hex (Digest.string payload)
+
+(* "R <index> <timeouts> <rows> <cols> <hex>* <md5>" — returns None on any
+   malformation: torn writes show up as short lines or a checksum mismatch,
+   and byte-level corruption of an otherwise well-formed line is caught by
+   the checksum even when every token still parses. *)
 let parse_record line =
-  match String.split_on_char ' ' (String.trim line) with
-  | "R" :: index :: timeouts :: rows :: cols :: cells -> (
-    match
-      ( int_of_string_opt index,
-        int_of_string_opt timeouts,
-        int_of_string_opt rows,
-        int_of_string_opt cols )
-    with
-    | Some index, Some timeouts, Some rows, Some cols
-      when index >= 0 && timeouts >= 0 && rows >= 0 && cols >= 0
-           && List.length cells = rows * cols -> (
-      match
-        List.map (fun c -> Option.to_list (float_of_hex c)) cells |> List.concat
-      with
-      | floats when List.length floats = rows * cols ->
-        let flat = Array.of_list floats in
-        let out = Array.init rows (fun r -> Array.sub flat (r * cols) cols) in
-        Some (index, { timeouts; out })
+  let line = String.trim line in
+  match String.rindex_opt line ' ' with
+  | None -> None
+  | Some i ->
+    let payload = String.sub line 0 i in
+    let digest = String.sub line (i + 1) (String.length line - i - 1) in
+    if String.length digest <> 32 || not (String.equal digest (checksum payload))
+    then None
+    else (
+      match String.split_on_char ' ' payload with
+      | "R" :: index :: timeouts :: rows :: cols :: cells -> (
+        match
+          ( canonical_nat index,
+            canonical_nat timeouts,
+            canonical_nat rows,
+            canonical_nat cols )
+        with
+        | Some index, Some timeouts, Some rows, Some cols
+          when rows >= 0 && cols >= 0 && List.length cells = rows * cols -> (
+          match
+            List.map (fun c -> Option.to_list (float_of_hex c)) cells
+            |> List.concat
+          with
+          | floats when List.length floats = rows * cols ->
+            let flat = Array.of_list floats in
+            let out = Array.init rows (fun r -> Array.sub flat (r * cols) cols) in
+            Some (index, { timeouts; out })
+          | _ -> None)
+        | _ -> None)
       | _ -> None)
-    | _ -> None)
-  | _ -> None
 
 let load_into table ~path ~fingerprint =
   let ic = open_in path in
@@ -71,11 +119,15 @@ let load_into table ~path ~fingerprint =
             | exception End_of_file -> ()
             | line ->
               (match parse_record line with
-              | Some (index, r) -> Hashtbl.replace table index r
+              | Some (index, r) ->
+                Ljqo_obs.Obs.bump Ljqo_obs.Obs.Ckpt_records_loaded;
+                Hashtbl.replace table index r
               | None ->
-                if String.trim line <> "" then
+                if String.trim line <> "" then begin
+                  Ljqo_obs.Obs.bump Ljqo_obs.Obs.Ckpt_lines_rejected;
                   Log.warn (fun m ->
-                      m "%s: ignoring malformed checkpoint line %S" path line));
+                      m "%s: ignoring malformed checkpoint line %S" path line)
+                end);
               go ()
           in
           go ();
@@ -115,8 +167,8 @@ let record_line index { timeouts; out } =
          Buffer.add_char buf ' ';
          Buffer.add_string buf (float_to_hex v)))
     out;
-  Buffer.add_char buf '\n';
-  Buffer.contents buf
+  let payload = Buffer.contents buf in
+  payload ^ " " ^ checksum payload ^ "\n"
 
 let rec mkdir_p dir =
   if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin

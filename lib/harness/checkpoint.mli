@@ -8,12 +8,19 @@
     at any instant leaves a loadable file; resuming skips the stored queries
     and reproduces the uninterrupted outcome bit for bit.
 
-    File format:
+    File format (v2 — each record line ends with the MD5 of everything
+    before the final space, so byte-level corruption is rejected rather
+    than resumed from):
 
     {v
-    # ljqo-checkpoint v1 <fingerprint>
-    R <index> <timeouts> <rows> <cols> <hex64> ... <hex64>
-    v} *)
+    # ljqo-checkpoint v2 <fingerprint>
+    R <index> <timeouts> <rows> <cols> <hex64> ... <hex64> <md5>
+    v}
+
+    Tokens are strictly canonical: decimals as [%d] prints them and bare
+    lowercase hex as [%Lx] prints it.  Leniencies of [int_of_string]
+    (underscores, [0x]/[0o]/[0b] prefixes, signs) are rejected, so a
+    garbled line can never parse into a plausible bogus record. *)
 
 type request = { dir : string; resume : bool }
 (** What the CLI hands to the driver: where checkpoint files live and
@@ -47,3 +54,12 @@ val close : t -> unit
 
 val flush_all : unit -> unit
 (** Flush every open store (what the SIGINT handler runs). *)
+
+(** {1 Wire format} — exposed for corruption tests. *)
+
+val record_line : int -> record -> string
+(** The exact line (newline included) written for a record. *)
+
+val parse_record : string -> (int * record) option
+(** Parse one record line; [None] on any malformation, including a
+    checksum mismatch or a non-canonical token. *)

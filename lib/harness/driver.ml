@@ -1,5 +1,6 @@
 open Ljqo_core
 open Ljqo_querygen
+module Obs = Ljqo_obs.Obs
 
 let log_src = Logs.Src.create "ljqo.driver" ~doc:"experiment driver"
 
@@ -121,10 +122,23 @@ let run_experiment ?kappa ?config ?(seed = 1) ?deadline ?checkpoint
     match Option.bind store (fun s -> Checkpoint.completed s entry.index) with
     | Some record -> Guard.Completed record
     | None ->
-      let g = Guard.run ~query_id:entry.index (fun () -> per_entry entry) in
+      let g =
+        Guard.run ~query_id:entry.index (fun () ->
+            Obs.with_phase Obs.Driver (fun () -> per_entry entry))
+      in
       (match (g, store) with
       | Guard.Completed record, Some s -> Checkpoint.record s ~index:entry.index record
       | _ -> ());
+      if Obs.tracing () then
+        Obs.trace "query"
+          [ ("index", Obs.I entry.index);
+            ("n_joins", Obs.I entry.n_joins);
+            ( "outcome",
+              Obs.S
+                (match g with
+                | Guard.Completed _ -> "completed"
+                | Guard.Crashed _ -> "crashed"
+                | Guard.Timed_out _ -> "timed_out") ) ];
       g
   in
   let results = Parallel.map_array guarded entries in
@@ -135,15 +149,20 @@ let run_experiment ?kappa ?config ?(seed = 1) ?deadline ?checkpoint
   Array.iter
     (function
       | Guard.Completed { Checkpoint.timeouts; out } ->
+        Obs.bump Obs.Queries_completed;
+        Obs.add Obs.Run_timeouts timeouts;
         n_run_timeouts := !n_run_timeouts + timeouts;
         Array.iteri
           (fun mi row ->
             Array.iteri (fun ti v -> scaled.(mi).(ti) <- v :: scaled.(mi).(ti)) row)
           out
       | Guard.Crashed failure ->
+        Obs.bump Obs.Queries_crashed;
         incr n_crashed;
         crashes := failure :: !crashes
-      | Guard.Timed_out _ -> incr n_timed_out)
+      | Guard.Timed_out _ ->
+        Obs.bump Obs.Queries_timed_out;
+        incr n_timed_out)
     results;
   List.iter
     (fun f -> Log.err (fun m -> m "%a" Guard.pp_failure f))

@@ -1,0 +1,402 @@
+(* Process-wide observability for the search loop.
+
+   Layout: one flat array of atomics holds every deterministic cell —
+   simple counters, the move kind x outcome matrix, and per-phase tick
+   accounts — plus a parallel block of wall-clock accumulators.  A single
+   boolean ref guards every write, so disabled instrumentation costs one
+   load and a predictable branch per site.  Counter updates are atomic
+   fetch-and-adds: totals are exact under any job count, and because the
+   instrumented work is itself deterministic per (query, method, replicate),
+   they are *identical* across job counts.
+
+   The trace sink is a mutex-protected JSONL channel.  Events are pure
+   observations (no RNG, no ticks), so tracing never changes optimizer
+   results; timestamps and domain ids make individual lines
+   non-deterministic, which is fine — determinism is claimed for optimizer
+   outputs and counter totals, not for trace bytes. *)
+
+let enabled_flag = ref false
+
+let set_enabled b = enabled_flag := b
+
+let enabled () = !enabled_flag
+
+(* ------------------------------------------------------------------ *)
+(* Cell layout.                                                        *)
+
+type counter =
+  | Cost_evals
+  | Recost_steps
+  | Incumbents
+  | Starts
+  | Sa_chains
+  | Budget_charges
+  | Budget_ticks
+  | Deadline_reads
+  | Dp_subsets
+  | Queries_completed
+  | Queries_crashed
+  | Queries_timed_out
+  | Run_timeouts
+  | Ckpt_records_loaded
+  | Ckpt_lines_rejected
+
+let counter_index = function
+  | Cost_evals -> 0
+  | Recost_steps -> 1
+  | Incumbents -> 2
+  | Starts -> 3
+  | Sa_chains -> 4
+  | Budget_charges -> 5
+  | Budget_ticks -> 6
+  | Deadline_reads -> 7
+  | Dp_subsets -> 8
+  | Queries_completed -> 9
+  | Queries_crashed -> 10
+  | Queries_timed_out -> 11
+  | Run_timeouts -> 12
+  | Ckpt_records_loaded -> 13
+  | Ckpt_lines_rejected -> 14
+
+let counter_names =
+  [|
+    "cost_evals";
+    "recost_steps";
+    "incumbents";
+    "starts";
+    "sa_chains";
+    "budget.charges";
+    "budget.ticks";
+    "budget.deadline_reads";
+    "dp.subsets";
+    "driver.queries_completed";
+    "driver.queries_crashed";
+    "driver.queries_timed_out";
+    "driver.run_timeouts";
+    "checkpoint.records_loaded";
+    "checkpoint.lines_rejected";
+  |]
+
+let n_counters = Array.length counter_names
+
+type move_kind = Adjacent_swap | Swap | Insert
+
+type move_outcome = Proposed | Accepted | Rejected | Invalid
+
+let kind_index = function Adjacent_swap -> 0 | Swap -> 1 | Insert -> 2
+
+let kind_names = [| "adjacent_swap"; "swap"; "insert" |]
+
+let outcome_index = function
+  | Proposed -> 0
+  | Accepted -> 1
+  | Rejected -> 2
+  | Invalid -> 3
+
+let outcome_names = [| "proposed"; "accepted"; "rejected"; "invalid" |]
+
+let n_kinds = Array.length kind_names
+
+let n_outcomes = Array.length outcome_names
+
+type phase = Ii | Sa | Heuristic | Local | Dp | Driver | Other
+
+let phase_index = function
+  | Ii -> 0
+  | Sa -> 1
+  | Heuristic -> 2
+  | Local -> 3
+  | Dp -> 4
+  | Driver -> 5
+  | Other -> 6
+
+let phase_names = [| "ii"; "sa"; "heuristic"; "local"; "dp"; "driver"; "other" |]
+
+let n_phases = Array.length phase_names
+
+let moves_base = n_counters
+
+let phase_ticks_base = moves_base + (n_kinds * n_outcomes)
+
+let n_cells = phase_ticks_base + n_phases
+
+let cells = Array.init n_cells (fun _ -> Atomic.make 0)
+
+let phase_wall = Array.init n_phases (fun _ -> Atomic.make 0)
+
+let bump_cell i k = ignore (Atomic.fetch_and_add cells.(i) k)
+
+let bump c = if !enabled_flag then bump_cell (counter_index c) 1
+
+let add c k = if !enabled_flag then bump_cell (counter_index c) k
+
+let move kind outcome =
+  if !enabled_flag then
+    bump_cell (moves_base + (kind_index kind * n_outcomes) + outcome_index outcome) 1
+
+(* ------------------------------------------------------------------ *)
+(* Phase attribution.                                                  *)
+
+let phase_key = Domain.DLS.new_key (fun () -> phase_index Other)
+
+let charged k =
+  if !enabled_flag then begin
+    bump_cell (counter_index Budget_charges) 1;
+    bump_cell (counter_index Budget_ticks) k;
+    bump_cell (phase_ticks_base + Domain.DLS.get phase_key) k
+  end
+
+let now () = Unix.gettimeofday ()
+
+(* ------------------------------------------------------------------ *)
+(* Trace sink.                                                         *)
+
+type field = I of int | F of float | S of string
+
+type sink = {
+  oc : out_channel;
+  mutex : Mutex.t;
+  sample : int;
+  sample_counts : (string, int ref) Hashtbl.t;
+  t0 : float;
+}
+
+let sink : sink option ref = ref None
+
+let rec mkdir_p dir =
+  if dir <> "" && dir <> "." && dir <> "/" && not (Sys.file_exists dir) then begin
+    mkdir_p (Filename.dirname dir);
+    try Sys.mkdir dir 0o755 with Sys_error _ when Sys.file_exists dir -> ()
+  end
+
+let trace_close () =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    sink := None;
+    (try flush s.oc with Sys_error _ -> ());
+    close_out_noerr s.oc
+
+let trace_to ?(sample = 1) ~path () =
+  trace_close ();
+  if sample < 1 then invalid_arg "Obs.trace_to: sample must be >= 1";
+  mkdir_p (Filename.dirname path);
+  sink :=
+    Some
+      {
+        oc = open_out path;
+        mutex = Mutex.create ();
+        sample;
+        sample_counts = Hashtbl.create 16;
+        t0 = now ();
+      }
+
+let tracing () = !sink <> None
+
+let json_escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* JSON has no NaN/infinity literals; a non-finite measurement serializes as
+   null so every emitted line stays machine-parseable. *)
+let json_float b v =
+  if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
+  else Buffer.add_string b "null"
+
+let add_field b (name, v) =
+  Buffer.add_string b ",\"";
+  json_escape b name;
+  Buffer.add_string b "\":";
+  match v with
+  | I i -> Buffer.add_string b (string_of_int i)
+  | F f -> json_float b f
+  | S s ->
+    Buffer.add_char b '"';
+    json_escape b s;
+    Buffer.add_char b '"'
+
+let emit s name fields =
+  let b = Buffer.create 128 in
+  Buffer.add_string b "{\"ev\":\"";
+  json_escape b name;
+  Buffer.add_string b "\",\"ts\":";
+  json_float b (now () -. s.t0);
+  Buffer.add_string b ",\"dom\":";
+  Buffer.add_string b (string_of_int (Domain.self () :> int));
+  List.iter (add_field b) fields;
+  Buffer.add_string b "}\n";
+  output_string s.oc (Buffer.contents b);
+  flush s.oc
+
+let trace name fields =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    Mutex.lock s.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.mutex)
+      (fun () -> emit s name fields)
+
+let trace_sampled name make_fields =
+  match !sink with
+  | None -> ()
+  | Some s ->
+    Mutex.lock s.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.mutex)
+      (fun () ->
+        let count =
+          match Hashtbl.find_opt s.sample_counts name with
+          | Some r -> r
+          | None ->
+            let r = ref 0 in
+            Hashtbl.add s.sample_counts name r;
+            r
+        in
+        let keep = !count mod s.sample = 0 in
+        incr count;
+        if keep then emit s name (make_fields ()))
+
+(* ------------------------------------------------------------------ *)
+(* Phase scope (needs the trace sink above for begin/end events).      *)
+
+let with_phase p f =
+  if (not !enabled_flag) && !sink = None then f ()
+  else begin
+    let idx = phase_index p in
+    let prev = Domain.DLS.get phase_key in
+    Domain.DLS.set phase_key idx;
+    if tracing () then trace "phase" [ ("phase", S phase_names.(idx)); ("dir", S "begin") ];
+    let t0 = if !enabled_flag then now () else 0.0 in
+    Fun.protect
+      ~finally:(fun () ->
+        if !enabled_flag then
+          ignore
+            (Atomic.fetch_and_add phase_wall.(idx)
+               (int_of_float ((now () -. t0) *. 1e9)));
+        Domain.DLS.set phase_key prev;
+        if tracing () then
+          trace "phase" [ ("phase", S phase_names.(idx)); ("dir", S "end") ])
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
+(* Snapshots.                                                          *)
+
+type move_stat = { proposed : int; accepted : int; rejected : int; invalid : int }
+
+type phase_stat = { wall_ns : int; ticks : int }
+
+type snapshot = {
+  counters : (string * int) list;
+  moves : (string * move_stat) list;
+  phases : (string * phase_stat) list;
+}
+
+let reset () =
+  Array.iter (fun c -> Atomic.set c 0) cells;
+  Array.iter (fun c -> Atomic.set c 0) phase_wall;
+  match !sink with
+  | None -> ()
+  | Some s ->
+    Mutex.lock s.mutex;
+    Fun.protect
+      ~finally:(fun () -> Mutex.unlock s.mutex)
+      (fun () -> Hashtbl.reset s.sample_counts)
+
+let snapshot () =
+  let counters =
+    List.sort compare
+      (List.init n_counters (fun i -> (counter_names.(i), Atomic.get cells.(i))))
+  in
+  let moves =
+    List.init n_kinds (fun k ->
+        let cell o = Atomic.get cells.(moves_base + (k * n_outcomes) + o) in
+        ( kind_names.(k),
+          { proposed = cell 0; accepted = cell 1; rejected = cell 2; invalid = cell 3 }
+        ))
+  in
+  let phases =
+    List.init n_phases (fun p ->
+        ( phase_names.(p),
+          {
+            wall_ns = Atomic.get phase_wall.(p);
+            ticks = Atomic.get cells.(phase_ticks_base + p);
+          } ))
+  in
+  { counters; moves; phases }
+
+let deterministic_view s =
+  let cells =
+    s.counters
+    @ List.concat_map
+        (fun (k, m) ->
+          [
+            ("moves." ^ k ^ ".proposed", m.proposed);
+            ("moves." ^ k ^ ".accepted", m.accepted);
+            ("moves." ^ k ^ ".rejected", m.rejected);
+            ("moves." ^ k ^ ".invalid", m.invalid);
+          ])
+        s.moves
+    @ List.map (fun (p, st) -> ("phases." ^ p ^ ".ticks", st.ticks)) s.phases
+  in
+  List.sort compare cells
+
+let to_json s =
+  let b = Buffer.create 1024 in
+  let entry ?(last = false) indent name body =
+    Buffer.add_string b indent;
+    Buffer.add_char b '"';
+    json_escape b name;
+    Buffer.add_string b "\": ";
+    Buffer.add_string b body;
+    if not last then Buffer.add_char b ',';
+    Buffer.add_char b '\n'
+  in
+  let rec entries indent = function
+    | [] -> ()
+    | [ (name, body) ] -> entry ~last:true indent name body
+    | (name, body) :: rest ->
+      entry indent name body;
+      entries indent rest
+  in
+  Buffer.add_string b "{\n";
+  entry "  " "schema" "\"ljqo-metrics/1\"";
+  Buffer.add_string b "  \"counters\": {\n";
+  entries "    " (List.map (fun (n, v) -> (n, string_of_int v)) s.counters);
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"moves\": {\n";
+  entries "    "
+    (List.map
+       (fun (k, m) ->
+         ( k,
+           Printf.sprintf
+             "{\"proposed\": %d, \"accepted\": %d, \"rejected\": %d, \"invalid\": %d}"
+             m.proposed m.accepted m.rejected m.invalid ))
+       s.moves);
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"phases\": {\n";
+  entries "    "
+    (List.map
+       (fun (p, st) ->
+         (p, Printf.sprintf "{\"wall_ns\": %d, \"ticks\": %d}" st.wall_ns st.ticks))
+       s.phases);
+  Buffer.add_string b "  }\n}\n";
+  Buffer.contents b
+
+let write_metrics ~path =
+  mkdir_p (Filename.dirname path);
+  let oc = open_out path in
+  Fun.protect
+    ~finally:(fun () -> close_out_noerr oc)
+    (fun () -> output_string oc (to_json (snapshot ())))

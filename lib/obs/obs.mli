@@ -1,0 +1,134 @@
+(** Search-loop observability: process-wide counters, per-phase tick/time
+    attribution, and a sampled JSONL trace-event sink.
+
+    The paper's methodology is trajectories — scaled cost as a function of
+    the time limit — yet the optimizer otherwise runs as a black box.  This
+    module makes the search loop visible without perturbing it: counters and
+    trace events are pure observations (no RNG draws, no tick charges), so
+    for a fixed seed the optimizer's plans and costs are bit-identical
+    whether instrumentation is on or off.
+
+    Everything is disabled by default.  Each instrumentation point is guarded
+    by one boolean load, so the hot paths pay a branch and nothing else when
+    observability is off ({!set_enabled}/{!trace_to} are expected before a
+    run starts, from the main domain, not mid-flight).  When enabled,
+    counters are atomics: totals are exact — and, because the work each
+    (query, method, replicate) run performs is deterministic, identical —
+    for any job count.
+
+    Tick attribution uses a domain-local current-phase mark maintained by
+    {!with_phase}: {!charged} adds to the innermost enclosing phase, so
+    "where do ticks go inside II / SA / the heuristics" has a deterministic
+    answer per run. *)
+
+(** {1 Global switch} *)
+
+val set_enabled : bool -> unit
+(** Turn counter/timer collection on or off.  Flip only between runs. *)
+
+val enabled : unit -> bool
+
+val reset : unit -> unit
+(** Zero all counters and phase accumulators (trace sampling state too).
+    Call only when no instrumented run is in flight. *)
+
+(** {1 Counters} *)
+
+type counter =
+  | Cost_evals  (** full plan costings (evaluator + search-state init) *)
+  | Recost_steps  (** incremental join-step recostings *)
+  | Incumbents  (** times the best-seen plan improved *)
+  | Starts  (** II start states and SA anneals begun *)
+  | Sa_chains  (** SA inner chains completed (= temperature steps) *)
+  | Budget_charges  (** calls to [Budget.charge] *)
+  | Budget_ticks  (** total ticks charged *)
+  | Deadline_reads  (** wall-clock reads for deadline checks *)
+  | Dp_subsets  (** DP connected subsets expanded *)
+  | Queries_completed
+  | Queries_crashed
+  | Queries_timed_out
+  | Run_timeouts  (** method runs cut at the wall-clock deadline *)
+  | Ckpt_records_loaded  (** checkpoint records accepted on resume *)
+  | Ckpt_lines_rejected  (** checkpoint lines rejected as torn/corrupt *)
+
+val bump : counter -> unit
+(** Add one.  A no-op (one boolean load) when disabled. *)
+
+val add : counter -> int -> unit
+
+val charged : int -> unit
+(** One [Budget.charge] of [k] ticks: bumps [Budget_charges], adds [k] to
+    [Budget_ticks] and to the current phase's tick account. *)
+
+(** {1 Moves} *)
+
+type move_kind = Adjacent_swap | Swap | Insert
+
+type move_outcome =
+  | Proposed
+  | Accepted
+  | Rejected  (** valid but declined (uphill in II, metropolis-rejected in SA) *)
+  | Invalid  (** introduced a cross product *)
+
+val move : move_kind -> move_outcome -> unit
+
+(** {1 Phases} *)
+
+type phase = Ii | Sa | Heuristic | Local | Dp | Driver | Other
+
+val with_phase : phase -> (unit -> 'a) -> 'a
+(** Run [f] with the domain-local current phase set to [p]: wall time is
+    accumulated against [p], and ticks {!charged} inside go to [p]'s
+    account.  Nested phases restore the enclosing one; exceptions pass
+    through.  When both counters and tracing are off this is just [f ()]. *)
+
+(** {1 Trace events (JSONL)} *)
+
+type field = I of int | F of float | S of string
+
+val trace_to : ?sample:int -> path:string -> unit -> unit
+(** Open a JSONL trace sink.  [sample] (default 1) keeps one in every
+    [sample] {!trace_sampled} events per event name; plain {!trace} events
+    are always written.  Any previously open sink is closed first. *)
+
+val trace_close : unit -> unit
+(** Flush and close the sink (idempotent). *)
+
+val tracing : unit -> bool
+
+val trace : string -> (string * field) list -> unit
+(** Emit one event unconditionally (when a sink is open).  Each line is one
+    JSON object: [{"ev":name,"ts":seconds-since-open,"dom":domain-id,...}].
+    Non-finite floats serialize as [null] so every line is valid JSON. *)
+
+val trace_sampled : string -> (unit -> (string * field) list) -> unit
+(** Like {!trace} but subject to the sink's sampling stride (per event
+    name); the field thunk runs only for emitted events. *)
+
+(** {1 Snapshots} *)
+
+type move_stat = { proposed : int; accepted : int; rejected : int; invalid : int }
+
+type phase_stat = { wall_ns : int; ticks : int }
+
+type snapshot = {
+  counters : (string * int) list;  (** sorted by name *)
+  moves : (string * move_stat) list;
+  phases : (string * phase_stat) list;
+}
+
+val snapshot : unit -> snapshot
+
+val deterministic_view : snapshot -> (string * int) list
+(** Every deterministic cell — counters, move cells, phase {e tick}
+    accounts — flattened to sorted (name, value) pairs; wall-clock values
+    are excluded.  Two runs of the same seeded work must produce equal
+    views whatever the job count. *)
+
+val to_json : snapshot -> string
+(** The metrics schema (["ljqo-metrics/1"]): counters, moves and phases as
+    nested objects, keys sorted, one trailing newline. *)
+
+val write_metrics : path:string -> unit
+(** Serialize {!snapshot} to [path] (creating parent directories), e.g.
+    [results/METRICS_bench.json]. *)

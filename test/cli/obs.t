@@ -1,0 +1,58 @@
+Metrics and tracing are pure observation: the optimizer output is
+bit-identical with and without them.
+
+  $ ljqo generate --n-joins 10 --seed 5 -o q.qdl
+  wrote q.qdl (11 relations, 10 joins)
+
+  $ ljqo optimize q.qdl --method IAI --seed 3 > plain.out
+  $ ljqo optimize q.qdl --method IAI --seed 3 \
+  >   --metrics m.json --trace t.jsonl > observed.out
+  $ cmp plain.out observed.out
+
+The trace is well-formed JSONL with at least one event, and the metrics
+snapshot is well-formed JSON:
+
+  $ ljqo-perf-gate --check-jsonl t.jsonl | sed 's/([0-9]* events)/(N events)/'
+  t.jsonl: valid JSONL (N events)
+  $ ljqo-perf-gate --check-json m.json
+  m.json: valid JSON
+  $ grep -c '"schema": "ljqo-metrics/1"' m.json
+  1
+
+Sampling thins the trace but never the metrics:
+
+  $ ljqo optimize q.qdl --method SA --seed 3 \
+  >   --trace full.jsonl > /dev/null
+  $ ljqo optimize q.qdl --method SA --seed 3 \
+  >   --trace sampled.jsonl --trace-sample 10 > /dev/null
+  $ test "$(wc -l < sampled.jsonl)" -le "$(wc -l < full.jsonl)"
+
+The perf gate passes a run against itself and fails on a regression:
+
+  $ cat > base.json <<'JSON'
+  > {"kernels": [{"name": "k1", "ns_per_run": 100.0}]}
+  > JSON
+  $ cat > slow.json <<'JSON'
+  > {"kernels": [{"name": "k1", "ns_per_run": 200.0}]}
+  > JSON
+  $ ljqo-perf-gate --baseline base.json --fresh base.json | tail -1
+  perf gate: all 1 kernels within tolerance
+  $ ljqo-perf-gate --baseline base.json --fresh slow.json | tail -1
+  perf gate: 1 kernel(s) regressed beyond +25%
+  $ ljqo-perf-gate --baseline base.json --fresh slow.json > /dev/null
+  [1]
+  $ LJQO_PERF_TOLERANCE=1.5 ljqo-perf-gate --baseline base.json --fresh slow.json | tail -1
+  perf gate: all 1 kernels within tolerance
+
+With repeated --fresh each kernel is judged on its fastest run, so a
+noise spike in one run does not fail the gate:
+
+  $ ljqo-perf-gate --baseline base.json --fresh slow.json --fresh base.json | tail -1
+  perf gate: all 1 kernels within tolerance
+
+Malformed JSONL is refused:
+
+  $ printf '{"ev":"ok"}\nnot json\n' > bad.jsonl
+  $ ljqo-perf-gate --check-jsonl bad.jsonl
+  bad.jsonl:2: offset 1: expected 'u'
+  [1]

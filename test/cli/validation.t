@@ -1,0 +1,50 @@
+Bad flag values must fail fast with a clear message and a nonzero exit,
+never crash mid-run or get silently clamped.
+
+--resume without a checkpoint directory has nothing to resume from:
+
+  $ ljqo-bench --resume table1 2>&1 | head -1
+  --resume requires --checkpoint-dir DIR (nothing to resume from)
+  $ ljqo-bench --resume table1 >/dev/null 2>&1
+  [2]
+
+A non-positive job count used to be silently clamped:
+
+  $ ljqo-bench --jobs 0 table1 2>&1 | head -1
+  --jobs wants an integer >= 1, got: 0
+  $ ljqo-bench --jobs 0 table1 >/dev/null 2>&1
+  [2]
+
+Non-numeric counts used to crash with an int_of_string backtrace:
+
+  $ ljqo-bench --per-n abc table1 2>&1 | head -1
+  --per-n wants an integer, got: abc
+  $ ljqo-bench --per-n abc table1 >/dev/null 2>&1
+  [2]
+
+  $ ljqo-bench --replicates 0 table1 2>&1 | head -1
+  --replicates wants an integer >= 1, got: 0
+
+A zero deadline means the run is already over:
+
+  $ ljqo-bench --deadline 0 table1 2>&1 | head -1
+  --deadline wants a positive number of seconds, got: 0
+  $ ljqo-bench --deadline 0 table1 >/dev/null 2>&1
+  [2]
+
+The ljqo tool validates its search knobs the same way:
+
+  $ ljqo generate --n-joins 4 --seed 7 -o q.qdl
+  wrote q.qdl (5 relations, 4 joins)
+
+  $ ljqo optimize q.qdl --t-factor 0
+  ljqo: --t-factor must be a positive number, got 0
+  [2]
+
+  $ ljqo optimize q.qdl --kappa 0
+  ljqo: --kappa must be a positive integer, got 0
+  [2]
+
+  $ ljqo optimize q.qdl --trace-sample 0
+  ljqo: --trace-sample must be a positive integer, got 0
+  [2]

@@ -94,13 +94,44 @@ let test_deadline_checked_on_stride_only () =
   in
   let b = Budget.create ~deadline:1.0 ~clock ~ticks:0 () in
   let reads_at_create = !reads in
+  (* The first charge always checks the clock, so an already-expired
+     deadline is caught immediately rather than a whole stride later. *)
+  Budget.charge b 1;
+  Alcotest.(check int) "first charge reads the clock" (reads_at_create + 1) !reads;
   for _ = 1 to Budget.deadline_check_stride - 1 do
     Budget.charge b 1
   done;
-  Alcotest.(check int) "no clock read before the stride" reads_at_create !reads;
+  Alcotest.(check int) "no clock read inside the stride" (reads_at_create + 1)
+    !reads;
   Budget.charge b 1;
-  Alcotest.(check int) "one read at the stride boundary" (reads_at_create + 1)
+  Alcotest.(check int) "next read at the stride boundary" (reads_at_create + 2)
     !reads
+
+(* Regression: an expired deadline (zero, negative, or elapsed during setup)
+   used to survive the first [deadline_check_stride - 1 = 255] charges
+   because the countdown started at the full stride.  It must fire on the
+   very first charge. *)
+let test_expired_deadline_fires_on_first_charge () =
+  List.iter
+    (fun deadline ->
+      let now = ref 5.0 in
+      let b = Budget.create ~deadline ~clock:(fun () -> !now) ~ticks:0 () in
+      (match Budget.charge b 1 with
+      | exception Budget.Deadline_exceeded -> ()
+      | () ->
+        Alcotest.failf "deadline %g must fire on the very first charge" deadline);
+      Alcotest.(check bool) "deadline_hit" true (Budget.deadline_hit b))
+    [ 0.0; -3.0 ]
+
+let test_deadline_elapsed_during_setup_fires_immediately () =
+  let now = ref 0.0 in
+  let b = Budget.create ~deadline:1.0 ~clock:(fun () -> !now) ~ticks:0 () in
+  (* The deadline passes between creation and the first charge (e.g. slow
+     query setup); the first charge must not run 255 estimation steps. *)
+  now := 2.0;
+  match Budget.charge b 1 with
+  | exception Budget.Deadline_exceeded -> ()
+  | () -> Alcotest.fail "deadline elapsed during setup not caught immediately"
 
 let test_ticks_for_limit () =
   Alcotest.(check int) "t*N^2*kappa"
@@ -125,5 +156,9 @@ let suite =
       test_deadline_distinct_from_exhaustion;
     Alcotest.test_case "deadline checked on stride only" `Quick
       test_deadline_checked_on_stride_only;
+    Alcotest.test_case "expired deadline fires on first charge" `Quick
+      test_expired_deadline_fires_on_first_charge;
+    Alcotest.test_case "deadline elapsed during setup fires immediately" `Quick
+      test_deadline_elapsed_during_setup_fires_immediately;
     Alcotest.test_case "ticks_for_limit" `Quick test_ticks_for_limit;
   ]

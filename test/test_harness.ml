@@ -224,6 +224,139 @@ let test_kill_and_resume_bit_identical () =
       Alcotest.(check bool) "and is still identical" true
         (o1.Driver.averages = o3.Driver.averages))
 
+(* --- checkpoint wire-format hardening ----------------------------------- *)
+
+let sample_record () =
+  {
+    Checkpoint.timeouts = 3;
+    out = [| [| 1.5; -0.0 |]; [| Float.pi; 6.02e23 |] |];
+  }
+
+let float_bits r = Array.map (Array.map Int64.bits_of_float) r.Checkpoint.out
+
+let with_checksum payload = payload ^ " " ^ Digest.to_hex (Digest.string payload)
+
+let test_record_line_roundtrip () =
+  let r = sample_record () in
+  match Checkpoint.parse_record (Checkpoint.record_line 7 r) with
+  | Some (7, r') ->
+    Alcotest.(check int) "timeouts" r.Checkpoint.timeouts r'.Checkpoint.timeouts;
+    Alcotest.(check bool) "bit-identical floats" true (float_bits r = float_bits r')
+  | _ -> Alcotest.fail "canonical line must parse"
+
+(* Every token spelling [int_of_string] would accept beyond the canonical
+   one — 0x/0o/0b prefixes, underscores, signs, leading zeros — must be
+   rejected even when the checksum is made to match, so a garbled line can
+   never parse into a plausible bogus record. *)
+let test_parse_rejects_lenient_tokens () =
+  let r = sample_record () in
+  let line = String.trim (Checkpoint.record_line 7 r) in
+  let payload = String.sub line 0 (String.rindex line ' ') in
+  Alcotest.(check bool) "canonical line accepted" true
+    (Checkpoint.parse_record (with_checksum payload) <> None);
+  let tokens = String.split_on_char ' ' payload in
+  let lenient tok =
+    let n = String.length tok in
+    [
+      "0x" ^ tok;
+      "0o17";
+      "0b101";
+      "+" ^ tok;
+      "-" ^ tok;
+      "0" ^ tok;
+      (if n >= 2 then String.sub tok 0 1 ^ "_" ^ String.sub tok 1 (n - 1)
+       else tok ^ "_");
+    ]
+  in
+  List.iteri
+    (fun i tok ->
+      if i > 0 (* token 0 is the "R" tag *) then
+        List.iter
+          (fun tok' ->
+            if tok' <> tok then
+              let payload' =
+                String.concat " "
+                  (List.mapi (fun j t -> if j = i then tok' else t) tokens)
+              in
+              match Checkpoint.parse_record (with_checksum payload') with
+              | None -> ()
+              | Some _ -> Alcotest.failf "lenient token %S accepted" tok')
+          (lenient tok))
+    tokens
+
+(* Torn writes: no strict prefix of a record line may parse. *)
+let test_truncation_never_yields_a_record () =
+  let r = sample_record () in
+  let line = String.trim (Checkpoint.record_line 12 r) in
+  for k = 0 to String.length line - 1 do
+    match Checkpoint.parse_record (String.sub line 0 k) with
+    | None -> ()
+    | Some _ -> Alcotest.failf "truncating at offset %d still parsed" k
+  done
+
+(* Bit rot: flipping any single byte to any plausible replacement must
+   either be refused (None) or leave the record bit-identical — a digit
+   mapped to another digit still parses token-wise, so only the per-line
+   checksum stands between corruption and a silently poisoned resume. *)
+let test_single_byte_mutation_rejected_or_identical () =
+  let r = sample_record () in
+  let orig = String.trim (Checkpoint.record_line 12 r) in
+  let obits = float_bits r in
+  String.iteri
+    (fun k c ->
+      List.iter
+        (fun c' ->
+          if c' <> c then begin
+            let b = Bytes.of_string orig in
+            Bytes.set b k c';
+            match Checkpoint.parse_record (Bytes.to_string b) with
+            | None -> ()
+            | Some (i, r') ->
+              if
+                not
+                  (i = 12
+                  && r'.Checkpoint.timeouts = r.Checkpoint.timeouts
+                  && float_bits r' = obits)
+              then
+                Alcotest.failf
+                  "mutating offset %d (%C -> %C) produced a different record" k c
+                  c'
+          end)
+        [ '0'; '1'; '9'; 'a'; 'f'; 'R'; ' '; 'x'; '_' ])
+    orig
+
+(* End to end: corrupt one digit of a stored record, resume, and the
+   experiment must recompute that query and still match the uninterrupted
+   outcome bit for bit. *)
+let test_corrupted_checkpoint_recomputed_not_trusted () =
+  with_temp_dir (fun dir ->
+      let workload = tiny_workload () in
+      let run ~resume model =
+        Driver.run_experiment ~workload ~methods:Methods.[ II ] ~model
+          ~tfactors:[ 9.0 ] ~replicates:1
+          ~checkpoint:{ Checkpoint.dir; resume }
+          ~run_label:"corrupt-test" ()
+      in
+      let calls_full = Atomic.make 0 in
+      let o1 = run ~resume:false (counting_model calls_full) in
+      let path = Filename.concat dir "corrupt-test.ckpt" in
+      (match read_lines path with
+      | header :: r1 :: rest ->
+        (* flip a hex digit inside the first record's payload (well clear of
+           the trailing 32-char digest) *)
+        let b = Bytes.of_string r1 in
+        let k = Bytes.length b - 40 in
+        Bytes.set b k (if Bytes.get b k = '0' then '1' else '0');
+        let oc = open_out path in
+        output_string oc (String.concat "\n" ((header :: Bytes.to_string b :: rest) @ [ "" ]));
+        close_out oc
+      | _ -> Alcotest.fail "expected a header and at least one record");
+      let calls = Atomic.make 0 in
+      let o2 = run ~resume:true (counting_model calls) in
+      Alcotest.(check bool) "corrupted record recomputed" true (Atomic.get calls > 0);
+      Alcotest.(check bool) "still bit-identical" true
+        (o1.Driver.averages = o2.Driver.averages))
+
 let test_resume_rejects_other_configuration () =
   with_temp_dir (fun dir ->
       let workload = tiny_workload () in
@@ -312,6 +445,15 @@ let suite =
       test_deadline_isolates_hung_run;
     Alcotest.test_case "kill and resume is bit-identical" `Quick
       test_kill_and_resume_bit_identical;
+    Alcotest.test_case "record line round-trips" `Quick test_record_line_roundtrip;
+    Alcotest.test_case "lenient tokens rejected" `Quick
+      test_parse_rejects_lenient_tokens;
+    Alcotest.test_case "truncation never yields a record" `Quick
+      test_truncation_never_yields_a_record;
+    Alcotest.test_case "single-byte mutation rejected or identical" `Quick
+      test_single_byte_mutation_rejected_or_identical;
+    Alcotest.test_case "corrupted checkpoint recomputed, not trusted" `Quick
+      test_corrupted_checkpoint_recomputed_not_trusted;
     Alcotest.test_case "resume rejects other configurations" `Quick
       test_resume_rejects_other_configuration;
     Alcotest.test_case "driver records crashes" `Quick test_driver_records_crashes;

@@ -48,4 +48,5 @@ let () =
       ("integration", Test_integration.suite);
       ("stress", Test_stress.suite);
       ("harness", Test_harness.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,157 @@
+(* Observability must be pure observation: turning metrics or tracing on
+   may never change a single bit of any optimizer output, and the counters
+   themselves must be independent of the parallel job count (the per-run
+   work is deterministic; only its scheduling varies). *)
+
+open Ljqo_core
+open Ljqo_harness
+module Obs = Ljqo_obs.Obs
+
+let mem = Helpers.memory_model
+
+(* Every test starts from a clean, disabled observer and leaves it that way:
+   the other suites in this binary rely on instrumentation being free. *)
+let with_clean_obs f =
+  Obs.set_enabled false;
+  Obs.trace_close ();
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.trace_close ();
+      Obs.reset ())
+    f
+
+let query ~seed =
+  let rng = Ljqo_stats.Rng.create seed in
+  Ljqo_querygen.Benchmark.generate_query Ljqo_querygen.Benchmark.default
+    ~n_joins:14 ~rng
+
+let optimize method_ q =
+  let r = Optimizer.optimize ~method_ ~model:mem ~ticks:30_000 ~seed:5 q in
+  (Array.to_list r.Optimizer.plan, Int64.bits_of_float r.Optimizer.cost, r.Optimizer.ticks_used)
+
+let with_temp_file f =
+  let path = Filename.temp_file "ljqo_obs" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+let test_metrics_do_not_change_results () =
+  with_clean_obs (fun () ->
+      let q = query ~seed:3 in
+      List.iter
+        (fun m ->
+          Obs.set_enabled false;
+          let off = optimize m q in
+          Obs.set_enabled true;
+          let on = optimize m q in
+          Alcotest.(check bool)
+            (Methods.name m ^ " bit-identical with metrics on") true (off = on))
+        Methods.[ IAI; SA; II ])
+
+let test_tracing_does_not_change_results () =
+  with_clean_obs (fun () ->
+      let q = query ~seed:4 in
+      let off = optimize Methods.SA q in
+      with_temp_file (fun path ->
+          Obs.trace_to ~sample:2 ~path ();
+          let on = optimize Methods.SA q in
+          Obs.trace_close ();
+          Alcotest.(check bool) "bit-identical with tracing on" true (off = on);
+          (* and the trace actually contains events *)
+          let ic = open_in path in
+          let n = ref 0 in
+          (try
+             while true do
+               let line = input_line ic in
+               if String.length line < 2 || line.[0] <> '{' then
+                 Alcotest.failf "malformed trace line: %s" line;
+               incr n
+             done
+           with End_of_file -> close_in_noerr ic);
+          Alcotest.(check bool) "trace nonempty" true (!n > 0)))
+
+let test_counters_nonzero_and_exact () =
+  with_clean_obs (fun () ->
+      let q = query ~seed:5 in
+      Obs.set_enabled true;
+      ignore (optimize Methods.IAI q);
+      let s = Obs.snapshot () in
+      let counter name =
+        match List.assoc_opt name s.Obs.counters with
+        | Some v -> v
+        | None -> Alcotest.failf "counter %s missing" name
+      in
+      Alcotest.(check bool) "cost_evals > 0" true (counter "cost_evals" > 0);
+      Alcotest.(check bool) "starts > 0" true (counter "starts" > 0);
+      Alcotest.(check bool) "charges > 0" true (counter "budget.charges" > 0);
+      let moved =
+        List.fold_left
+          (fun acc (_, m) -> acc + m.Obs.proposed)
+          0 s.Obs.moves
+      in
+      Alcotest.(check bool) "moves proposed > 0" true (moved > 0);
+      (* Outcomes partition proposals, except that the very last proposal of
+         a run can be truncated mid-evaluation by budget exhaustion (the
+         exception ends the run before its outcome is recorded). *)
+      List.iter
+        (fun (kind, m) ->
+          let outcomes = m.Obs.accepted + m.Obs.rejected + m.Obs.invalid in
+          if outcomes > m.Obs.proposed || m.Obs.proposed - outcomes > 1 then
+            Alcotest.failf "%s: %d proposals but %d outcomes" kind m.Obs.proposed
+              outcomes)
+        s.Obs.moves)
+
+let test_dp_counters_independent_of_jobs () =
+  with_clean_obs (fun () ->
+      let q = query ~seed:6 in
+      let run jobs =
+        Obs.reset ();
+        Obs.set_enabled true;
+        let r = Dp.optimize ~jobs mem q in
+        (Obs.deterministic_view (Obs.snapshot ()), r.Dp.subsets_explored)
+      in
+      let v1, explored1 = run 1 in
+      let v4, explored4 = run 4 in
+      Alcotest.(check bool) "counters identical for jobs 1 vs 4" true (v1 = v4);
+      Alcotest.(check int) "dp.subsets matches subsets_explored" explored1
+        (match List.assoc_opt "dp.subsets" v1 with Some v -> v | None -> -1);
+      Alcotest.(check int) "explored count itself agrees" explored1 explored4)
+
+let test_experiment_counters_independent_of_jobs () =
+  with_clean_obs (fun () ->
+      let workload =
+        Ljqo_querygen.Workload.make ~ns:[ 5; 8 ] ~per_n:2 ~seed:11
+          Ljqo_querygen.Benchmark.default
+      in
+      let run jobs =
+        Obs.reset ();
+        Obs.set_enabled true;
+        Parallel.set_jobs jobs;
+        let o =
+          Driver.run_experiment ~workload ~methods:Methods.[ II; IAI ] ~model:mem
+            ~tfactors:[ 0.5; 9.0 ] ~replicates:2 ()
+        in
+        Parallel.set_jobs 1;
+        (Obs.deterministic_view (Obs.snapshot ()), o.Driver.averages)
+      in
+      let v1, a1 = run 1 in
+      let v3, a3 = run 3 in
+      Alcotest.(check bool) "averages identical across job counts" true (a1 = a3);
+      Alcotest.(check bool) "counter totals identical across job counts" true
+        (v1 = v3))
+
+let suite =
+  [
+    Alcotest.test_case "metrics do not change results" `Quick
+      test_metrics_do_not_change_results;
+    Alcotest.test_case "tracing does not change results" `Quick
+      test_tracing_does_not_change_results;
+    Alcotest.test_case "counters nonzero and consistent" `Quick
+      test_counters_nonzero_and_exact;
+    Alcotest.test_case "dp counters independent of jobs" `Quick
+      test_dp_counters_independent_of_jobs;
+    Alcotest.test_case "experiment counters independent of jobs" `Quick
+      test_experiment_counters_independent_of_jobs;
+  ]

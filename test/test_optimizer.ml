@@ -81,11 +81,13 @@ let test_more_time_no_worse () =
 
 let test_deadline_salvages_incumbent () =
   let q = Helpers.random_query ~n_joins:8 116 in
-  (* every clock read advances a full second, so the deadline fires at the
-     first strided check — after enough charges to evaluate some plans *)
+  (* every clock read advances a tenth of a second, so the deadline fires a
+     few strided checks in — after enough charges to evaluate some plans
+     (the first charge also reads the clock, so a full-second step would
+     kill the run before any plan exists) *)
   let now = ref 0.0 in
   let clock () =
-    now := !now +. 1.0;
+    now := !now +. 0.1;
     !now
   in
   let r =

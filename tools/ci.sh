@@ -17,3 +17,32 @@ rm -f "$smoke_json"
 dune exec bench/main.exe -- micro --micro-quota 0.05 --micro-out "$smoke_json"
 test -s "$smoke_json"
 rm -f "$smoke_json"
+
+# Perf gate: a fresh micro run must stay within tolerance of the committed
+# baseline.  Two runs, each kernel judged on its faster time: OS jitter on
+# a loaded single-core machine only ever inflates a timing, so the min of
+# two runs filters spikes while a real regression still shows in both.
+# The gate's own default band is +-25%; CI widens it to 2x because even
+# the best-of-two smoke run right after the test suites stays noisy — the
+# gate is here to catch gross regressions (accidental quadratic loops,
+# instrumentation left enabled on the hot path), not single-digit drift.
+fresh_a=results/BENCH_micro.fresh-a.json
+fresh_b=results/BENCH_micro.fresh-b.json
+rm -f "$fresh_a" "$fresh_b"
+dune build bench tools
+sleep 3
+dune exec bench/main.exe -- micro --micro-quota 0.5 --micro-out "$fresh_a"
+dune exec bench/main.exe -- micro --micro-quota 0.5 --micro-out "$fresh_b"
+LJQO_PERF_TOLERANCE="${LJQO_PERF_TOLERANCE:-1.0}" dune exec tools/perf_gate.exe -- \
+  --baseline results/BENCH_micro.json --fresh "$fresh_a" --fresh "$fresh_b"
+rm -f "$fresh_a" "$fresh_b"
+
+# Trace smoke: an instrumented optimize run must emit well-formed JSONL
+# trace events and a well-formed metrics snapshot.
+trace_tmp=$(mktemp -d)
+dune exec bin/ljqo.exe -- generate --n-joins 15 --seed 7 -o "$trace_tmp/q.qdl"
+dune exec bin/ljqo.exe -- optimize "$trace_tmp/q.qdl" --method IAI \
+  --metrics "$trace_tmp/metrics.json" --trace "$trace_tmp/trace.jsonl"
+dune exec tools/perf_gate.exe -- --check-jsonl "$trace_tmp/trace.jsonl"
+dune exec tools/perf_gate.exe -- --check-json "$trace_tmp/metrics.json"
+rm -rf "$trace_tmp"

@@ -1,0 +1,324 @@
+(* Performance-regression gate over the micro-benchmark results.
+
+     perf_gate --baseline results/BENCH_micro.json --fresh fresh.json
+     perf_gate --check-jsonl trace.jsonl
+     perf_gate --check-json metrics.json
+
+   Compare mode reads BENCH_micro-style files and fails (exit 1) when any
+   baseline kernel is missing from the fresh run or slower than
+   baseline * (1 + tolerance).  --fresh may be repeated: each kernel is
+   then judged on its *fastest* time across the fresh runs, which filters
+   the one-sided noise of a loaded machine (an OS-jitter spike slows a run,
+   nothing speeds one up; a real regression shows in every run).  The
+   tolerance defaults to 0.25 — micro benchmarks on shared CI machines are
+   noisy — and can be overridden with --tolerance or the
+   LJQO_PERF_TOLERANCE environment variable.
+
+   The check modes validate observability output: --check-jsonl requires
+   every non-blank line to be a JSON object with an "ev" string field (and
+   at least one such event in the file); --check-json requires the whole
+   file to be one well-formed JSON value.
+
+   The JSON reader below is deliberately minimal (the toolchain has no JSON
+   library): full parser for objects/arrays/strings/numbers/literals, no
+   writer, no unicode escapes beyond pass-through. *)
+
+type json =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of json list
+  | Obj of (string * json) list
+
+exception Bad of string
+
+module Parse = struct
+  type state = { s : string; mutable pos : int }
+
+  let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+  let advance st = st.pos <- st.pos + 1
+
+  let fail st msg = raise (Bad (Printf.sprintf "offset %d: %s" st.pos msg))
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    match peek st with
+    | Some c' when c' = c -> advance st
+    | _ -> fail st (Printf.sprintf "expected %C" c)
+
+  let literal st word value =
+    String.iter (fun c -> expect st c) word;
+    value
+
+  let string_body st =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek st with
+      | None -> fail st "unterminated string"
+      | Some '"' -> advance st
+      | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+        | Some (('"' | '\\' | '/') as c) -> advance st; Buffer.add_char buf c; go ()
+        | Some 'u' ->
+          (* keep the escape verbatim; validation only needs well-formedness *)
+          advance st;
+          Buffer.add_string buf "\\u";
+          for _ = 1 to 4 do
+            match peek st with
+            | Some c -> advance st; Buffer.add_char buf c
+            | None -> fail st "truncated \\u escape"
+          done;
+          go ()
+        | _ -> fail st "bad escape")
+      | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let number st =
+    let start = st.pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let rec go () =
+      match peek st with
+      | Some c when is_num_char c -> advance st; go ()
+      | _ -> ()
+    in
+    go ();
+    let tok = String.sub st.s start (st.pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> fail st ("bad number " ^ tok)
+
+  let rec value st =
+    skip_ws st;
+    match peek st with
+    | None -> fail st "unexpected end of input"
+    | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then (advance st; Obj [])
+      else
+        let rec members acc =
+          skip_ws st;
+          expect st '"';
+          let key = string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> advance st; members ((key, v) :: acc)
+          | Some '}' -> advance st; Obj (List.rev ((key, v) :: acc))
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members []
+    | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then (advance st; List [])
+      else
+        let rec elements acc =
+          let v = value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> advance st; elements (v :: acc)
+          | Some ']' -> advance st; List (List.rev (v :: acc))
+          | _ -> fail st "expected ',' or ']'"
+        in
+        elements []
+    | Some '"' -> advance st; Str (string_body st)
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some _ -> number st
+
+  let full s =
+    let st = { s; pos = 0 } in
+    let v = value st in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage";
+    v
+end
+
+let read_file path =
+  let ic = open_in_bin path in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () -> really_input_string ic (in_channel_length ic))
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* --- compare mode ------------------------------------------------------- *)
+
+(* kernel name -> ns_per_run, from a BENCH_micro.json *)
+let kernels path =
+  let json =
+    try Parse.full (read_file path)
+    with Bad msg -> raise (Bad (path ^ ": " ^ msg))
+  in
+  match member "kernels" json with
+  | Some (List ks) ->
+    List.filter_map
+      (fun k ->
+        match (member "name" k, member "ns_per_run" k) with
+        | Some (Str name), Some (Num ns) -> Some (name, ns)
+        | _ -> None)
+      ks
+  | _ -> raise (Bad (path ^ ": no \"kernels\" array"))
+
+let compare_runs ~baseline ~fresh ~tolerance =
+  let base = kernels baseline in
+  (* best (minimum) ns per kernel across all fresh runs: noise only ever
+     inflates a timing, so the min is the least-perturbed measurement *)
+  let fresh_ks =
+    List.concat_map kernels fresh
+    |> List.fold_left
+         (fun acc (name, ns) ->
+           match List.assoc_opt name acc with
+           | Some best when best <= ns -> acc
+           | _ -> (name, ns) :: List.remove_assoc name acc)
+         []
+  in
+  if base = [] then raise (Bad (baseline ^ ": empty kernel list"));
+  Printf.printf "perf gate: %s vs %s (tolerance +%.0f%%)\n"
+    (String.concat "," fresh) baseline
+    (100.0 *. tolerance);
+  Printf.printf "%-40s %12s %12s %8s\n" "kernel" "baseline ns" "fresh ns" "ratio";
+  let failures = ref 0 in
+  List.iter
+    (fun (name, base_ns) ->
+      match List.assoc_opt name fresh_ks with
+      | None ->
+        incr failures;
+        Printf.printf "%-40s %12.1f %12s %8s  FAIL (missing)\n" name base_ns "-" "-"
+      | Some fresh_ns ->
+        let ratio = fresh_ns /. base_ns in
+        let ok = ratio <= 1.0 +. tolerance in
+        if not ok then incr failures;
+        Printf.printf "%-40s %12.1f %12.1f %7.2fx%s\n" name base_ns fresh_ns ratio
+          (if ok then "" else "  FAIL"))
+    base;
+  if !failures > 0 then begin
+    Printf.printf "perf gate: %d kernel(s) regressed beyond +%.0f%%\n" !failures
+      (100.0 *. tolerance);
+    exit 1
+  end;
+  Printf.printf "perf gate: all %d kernels within tolerance\n" (List.length base)
+
+(* --- check modes -------------------------------------------------------- *)
+
+let check_jsonl path =
+  let ic = open_in path in
+  let events = ref 0 and lineno = ref 0 in
+  Fun.protect
+    ~finally:(fun () -> close_in_noerr ic)
+    (fun () ->
+      try
+        while true do
+          let line = input_line ic in
+          incr lineno;
+          if String.trim line <> "" then begin
+            (match Parse.full line with
+            | Obj _ as obj -> (
+              match member "ev" obj with
+              | Some (Str _) -> incr events
+              | _ -> raise (Bad "object lacks an \"ev\" string field"))
+            | _ -> raise (Bad "line is not a JSON object")
+            | exception Bad msg -> raise (Bad msg))
+          end
+        done
+      with
+      | End_of_file -> ()
+      | Bad msg ->
+        Printf.eprintf "%s:%d: %s\n" path !lineno msg;
+        exit 1);
+  if !events = 0 then begin
+    Printf.eprintf "%s: no trace events\n" path;
+    exit 1
+  end;
+  Printf.printf "%s: valid JSONL (%d events)\n" path !events
+
+let check_json path =
+  (try ignore (Parse.full (read_file path))
+   with Bad msg ->
+     Printf.eprintf "%s: %s\n" path msg;
+     exit 1);
+  Printf.printf "%s: valid JSON\n" path
+
+(* --- CLI ---------------------------------------------------------------- *)
+
+let usage () =
+  prerr_endline
+    "usage: perf_gate --baseline FILE --fresh FILE [--fresh FILE]... [--tolerance T]\n\
+    \       perf_gate --check-jsonl FILE\n\
+    \       perf_gate --check-json FILE\n\
+     Tolerance is a fraction (0.25 = +25%); LJQO_PERF_TOLERANCE overrides\n\
+     the default.";
+  exit 2
+
+let () =
+  let baseline = ref None and fresh = ref [] in
+  let tolerance =
+    ref
+      (match Sys.getenv_opt "LJQO_PERF_TOLERANCE" with
+      | Some s -> (
+        match float_of_string_opt s with
+        | Some t when t >= 0.0 -> t
+        | _ ->
+          prerr_endline ("bad LJQO_PERF_TOLERANCE: " ^ s);
+          exit 2)
+      | None -> 0.25)
+  in
+  let jsonl = ref None and json = ref None in
+  let rec go = function
+    | [] -> ()
+    | "--baseline" :: v :: rest -> baseline := Some v; go rest
+    | "--fresh" :: v :: rest -> fresh := !fresh @ [ v ]; go rest
+    | "--tolerance" :: v :: rest ->
+      (match float_of_string_opt v with
+      | Some t when t >= 0.0 -> tolerance := t
+      | _ ->
+        prerr_endline ("--tolerance wants a nonnegative fraction, got: " ^ v);
+        usage ());
+      go rest
+    | "--check-jsonl" :: v :: rest -> jsonl := Some v; go rest
+    | "--check-json" :: v :: rest -> json := Some v; go rest
+    | arg :: _ ->
+      prerr_endline ("unknown argument: " ^ arg);
+      usage ()
+  in
+  go (List.tl (Array.to_list Sys.argv));
+  try
+    match (!baseline, !fresh, !jsonl, !json) with
+    | Some b, (_ :: _ as f), None, None ->
+      compare_runs ~baseline:b ~fresh:f ~tolerance:!tolerance
+    | None, [], Some path, None -> check_jsonl path
+    | None, [], None, Some path -> check_json path
+    | _ -> usage ()
+  with
+  | Bad msg ->
+    prerr_endline ("perf_gate: " ^ msg);
+    exit 1
+  | Sys_error msg ->
+    prerr_endline ("perf_gate: " ^ msg);
+    exit 1
