@@ -1,0 +1,121 @@
+(* Extension experiment: the plan-cache serving layer.  Two measurements:
+
+   (a) repeat traffic — serve one workload twice through the same cache; the
+       second pass must be (almost) entirely exact hits returning the very
+       same plans, at zero optimization ticks;
+
+   (b) warm starts — jitter the workload's statistics (same join graphs,
+       cardinalities nudged a few percent, so the coarse fingerprint usually
+       survives while the exact one does not) and serve the drifted queries
+       at a small tick budget, once through the warm cache and once cold.
+       Costs are compared with the paper's scaled-cost methodology against a
+       full-budget (9N^2) reference optimization per query. *)
+
+open Ljqo_core
+open Ljqo_querygen
+module Service = Ljqo_service.Service
+module Plan_cache = Ljqo_service.Plan_cache
+module Rng = Ljqo_stats.Rng
+module Scaled_cost = Ljqo_stats.Scaled_cost
+
+(* Same join graph, jittered base cardinalities: the kind of drift a live
+   system sees when statistics are refreshed between plannings. *)
+let perturb ~rng query =
+  let n = Ljqo_catalog.Query.n_relations query in
+  let relations =
+    Array.init n (fun i ->
+        let r = Ljqo_catalog.Query.relation query i in
+        let f = 0.92 +. Rng.float rng 0.16 in
+        Ljqo_catalog.Relation.make ~id:i ~name:r.name
+          ~base_cardinality:
+            (max 1
+               (int_of_float
+                  (Float.round (float_of_int r.base_cardinality *. f))))
+          ~selections:r.selection_selectivities
+          ~distinct_fraction:r.distinct_fraction ())
+  in
+  Ljqo_catalog.Query.make ~relations ~graph:(Ljqo_catalog.Query.graph query)
+
+let count served src =
+  Array.fold_left
+    (fun acc (s : Service.served) -> if s.source = src then acc + 1 else acc)
+    0 served
+
+let run ?kappa ~(scale : Ljqo_harness.Driver.scale) ~seed ~csv_dir () =
+  let model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S) in
+  let per_n = max 2 (scale.per_n / 2) in
+  let ns = [ 10; 20; 30 ] in
+  let workload = Workload.make ~ns ~per_n ~seed Benchmark.default in
+  let queries =
+    Array.map (fun (e : Workload.entry) -> e.query) workload.Workload.entries
+  in
+  let config budget = { Service.default_config with budget; seed } in
+  let small_budget = Service.Time_limit { t_factor = 1.0; kappa } in
+
+  (* (a) the same workload twice through one cache *)
+  let service = Service.create ~cache_capacity:1024 (config small_budget) in
+  let pass1 = Service.serve_batch service queries in
+  let pass2 = Service.serve_batch service queries in
+  let n_q = Array.length queries in
+  let identical = ref 0 in
+  Array.iteri
+    (fun i (s : Service.served) ->
+      if s.plan = pass1.(i).Service.plan then incr identical)
+    pass2;
+  let hit_rate = float_of_int (count pass2 Service.Exact_hit) /. float_of_int n_q in
+
+  (* (b) drifted statistics: warm cache vs cold, at the small budget *)
+  let rng = Rng.create (seed + 77) in
+  let drifted = Array.map (fun q -> perturb ~rng q) queries in
+  let warm = Service.serve_batch service drifted in
+  let cold_service = Service.create ~cache_capacity:1024 (config small_budget) in
+  let cold = Service.serve_batch cold_service drifted in
+  (* Reference: a full-budget cold optimization of each drifted query. *)
+  let reference =
+    Array.mapi
+      (fun i q ->
+        let ticks =
+          Budget.ticks_for_limit ?ticks_per_unit:kappa ~t_factor:9.0
+            ~n_joins:(max 1 (Ljqo_catalog.Query.n_relations q - 1))
+            ()
+        in
+        (Optimizer.optimize ~method_:Methods.IAI ~model ~ticks ~seed:(seed + i) q)
+          .cost)
+      drifted
+  in
+  let scaled served =
+    Scaled_cost.average
+      (Array.mapi
+         (fun i (s : Service.served) ->
+           Scaled_cost.coerce (Scaled_cost.scale ~best:reference.(i) s.cost))
+         served)
+  in
+  let warm_scaled = scaled warm and cold_scaled = scaled cold in
+
+  let table =
+    Ljqo_report.Table.create
+      ~title:
+        (Printf.sprintf "Plan-cache service (%d queries, IAI, memory model)" n_q)
+      ~columns:[ "value" ]
+  in
+  let addf label fmt v =
+    Ljqo_report.Table.add_row table ~label ~cells:[ Printf.sprintf fmt v ]
+  in
+  addf "pass-2 exact-hit rate" "%.3f" hit_rate;
+  addf "pass-2 identical plans" "%.0f" (float_of_int !identical);
+  addf "drifted warm-start count" "%.0f"
+    (float_of_int (count warm Service.Warm_start));
+  addf "mean scaled cost, warm (1N^2)" "%.4f" warm_scaled;
+  addf "mean scaled cost, cold (1N^2)" "%.4f" cold_scaled;
+  let st = Plan_cache.stats (Service.cache service) in
+  addf "cache hits" "%.0f" (float_of_int st.hits);
+  addf "cache coarse hits" "%.0f" (float_of_int st.coarse_hits);
+  addf "cache misses" "%.0f" (float_of_int st.misses);
+  addf "cache evictions" "%.0f" (float_of_int st.evictions);
+  Ljqo_report.Table.print table;
+  Printf.printf "(warm %s cold at the 1N^2 budget)\n"
+    (if warm_scaled <= cold_scaled then "<=" else ">");
+  Option.iter
+    (fun dir ->
+      Ljqo_report.Table.save_csv table (Filename.concat dir "cache.csv"))
+    csv_dir

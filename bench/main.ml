@@ -12,7 +12,7 @@ let all_experiments =
 
 (* Extension experiments beyond the paper's artifacts (see DESIGN.md). *)
 let extension_experiments =
-  [ "optgap"; "space"; "bushy"; "ablation"; "sg88"; "dp" ]
+  [ "optgap"; "space"; "bushy"; "ablation"; "sg88"; "dp"; "cache" ]
 
 let usage () =
   prerr_endline
@@ -22,7 +22,8 @@ let usage () =
     \                [--metrics] [--metrics-out FILE] [--trace FILE]\n\
     \                [--trace-sample N]\n\
      paper experiments:     table1 table2 table3 fig4 fig5 fig6 fig7 (or: all)\n\
-     extension experiments: optgap space bushy ablation sg88 dp (or: extensions)\n\
+     extension experiments: optgap space bushy ablation sg88 dp cache (or:\n\
+    \                        extensions)\n\
      micro-benchmarks:      micro [--micro-quota SECS] [--micro-out FILE]\n\
      --deadline SECS        abort any single method run after SECS wall-clock\n\
      --checkpoint-dir DIR   persist per-query results under DIR as they finish\n\
@@ -206,6 +207,7 @@ let () =
       | "bushy" -> Exp_bushy.run ?kappa ~scale ~seed ~csv_dir ()
       | "sg88" -> Exp_sg88.run ?kappa ~scale ~seed ~csv_dir ()
       | "dp" -> Exp_dp.run ?kappa ~scale ~seed ~csv_dir ()
+      | "cache" -> Exp_cache.run ?kappa ~scale ~seed ~csv_dir ()
       | "micro" -> Micro.run ?quota:o.micro_quota ?out:o.micro_out ()
       | _ -> assert false);
       Printf.printf "[%s done in %.1fs]\n\n%!" exp (Sys.time () -. t0))

@@ -263,6 +263,49 @@ let test_dp =
   Test.make ~name:"kernel:dp-bitset-n13"
     (Staged.stage (fun () -> ignore (Dp.optimize ~jobs:1 model q)))
 
+(* ------------------------------------------------------------------ *)
+(* Service-layer kernels: the fingerprint hash (the per-request cost of
+   cache addressing) and cache get/put against a populated cache.        *)
+
+module Fingerprint = Ljqo_service.Fingerprint
+module Plan_cache = Ljqo_service.Plan_cache
+
+let fp = Fingerprint.compute query
+
+let cache_entry =
+  { Plan_cache.cplan = Fingerprint.to_canonical fp plan; cost = 1.0; ticks = 0 }
+
+let bench_cache =
+  (* Populated with this query plus synthetic distinct keys, so get and put
+     measure steady-state lookups in non-trivial shards, not an empty table. *)
+  let c = Plan_cache.create ~capacity:256 () in
+  for i = 0 to 199 do
+    Plan_cache.put c
+      ~exact:(Printf.sprintf "%016x" (0x1234 + (i * 0x9E3779B9)))
+      ~coarse:(Printf.sprintf "%016x" (0x4321 + (i * 0x85EBCA6B)))
+      cache_entry
+  done;
+  Plan_cache.put c ~exact:(Fingerprint.exact_key fp)
+    ~coarse:(Fingerprint.coarse_key fp) cache_entry;
+  c
+
+let test_fingerprint =
+  Test.make ~name:"service:fingerprint-n51"
+    (Staged.stage (fun () -> ignore (Fingerprint.compute query)))
+
+let test_cache_get =
+  Test.make ~name:"service:cache-get"
+    (Staged.stage (fun () ->
+         ignore (Plan_cache.find_exact bench_cache (Fingerprint.exact_key fp))))
+
+let test_cache_put =
+  (* Re-putting an existing key: the steady-state admission path (promote,
+     compare costs) without growing the cache between iterations. *)
+  Test.make ~name:"service:cache-put"
+    (Staged.stage (fun () ->
+         Plan_cache.put bench_cache ~exact:(Fingerprint.exact_key fp)
+           ~coarse:(Fingerprint.coarse_key fp) cache_entry))
+
 let tests =
   Test.make_grouped ~name:"ljqo"
     [
@@ -281,6 +324,9 @@ let tests =
       test_connected_list;
       test_connected_mask;
       test_dp;
+      test_fingerprint;
+      test_cache_get;
+      test_cache_put;
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -551,6 +551,101 @@ let workload_cmd =
     (Cmd.info "workload" ~doc:"Generate and save a whole benchmark workload")
     Term.(const workload $ benchmark $ per_n $ large $ seed_arg $ out)
 
+(* --- serve-file -------------------------------------------------------- *)
+
+module Service = Ljqo_service.Service
+module Plan_cache = Ljqo_service.Plan_cache
+
+let serve_file dir method_ model t_factor kappa seed cache_capacity jobs passes
+    metrics trace trace_sample =
+  check_knobs ~t_factor ~kappa ~trace_sample;
+  if cache_capacity < 1 then
+    fail_usage "--cache-capacity must be a positive integer, got %d"
+      cache_capacity;
+  (match jobs with
+  | Some j when j < 1 -> fail_usage "--jobs must be a positive integer, got %d" j
+  | _ -> ());
+  if passes < 1 then fail_usage "--passes must be a positive integer, got %d" passes;
+  with_obs ~metrics ~trace ~trace_sample @@ fun () ->
+  let entries =
+    match Ljqo_querygen.Workload_io.load_result ~dir with
+    | Ok [] -> fail_usage "workload %s is empty" dir
+    | Ok entries -> entries
+    | Error e ->
+      fail_usage "cannot load workload %s: %s" dir
+        (Ljqo_querygen.Workload_io.error_to_string e)
+  in
+  let queries =
+    Array.of_list
+      (List.map (fun e -> e.Ljqo_querygen.Workload_io.query) entries)
+  in
+  let service =
+    Service.create ~cache_capacity
+      {
+        Service.method_;
+        model;
+        budget = Service.Time_limit { t_factor; kappa };
+        seed;
+      }
+  in
+  let module M = (val model : Ljqo_cost.Cost_model.S) in
+  Printf.printf "serving %d queries from %s (method %s, model %s, cache %d)\n"
+    (Array.length queries) dir (Methods.name method_) M.name cache_capacity;
+  for pass = 1 to passes do
+    let served = Service.serve_batch ?jobs service queries in
+    let count src =
+      Array.fold_left
+        (fun acc (s : Service.served) -> if s.source = src then acc + 1 else acc)
+        0 served
+    in
+    let ticks =
+      Array.fold_left (fun acc (s : Service.served) -> acc + s.ticks_used) 0 served
+    in
+    Printf.printf
+      "pass %d: %d exact-hit, %d warm-start, %d cold, %d deduped; %d ticks\n"
+      pass (count Service.Exact_hit) (count Service.Warm_start)
+      (count Service.Cold) (count Service.Deduped) ticks
+  done;
+  let cache = Service.cache service in
+  let st = Plan_cache.stats cache in
+  Printf.printf
+    "cache: %d/%d entries, %d hits, %d coarse hits, %d misses, %d insertions, \
+     %d evictions\n"
+    (Plan_cache.length cache) (Plan_cache.capacity cache) st.hits st.coarse_hits
+    st.misses st.insertions st.evictions
+
+let serve_file_cmd =
+  let dir =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD_DIR"
+          ~doc:"Workload directory (QDL files + MANIFEST, see ljqo workload).")
+  in
+  let cache_capacity =
+    Arg.(
+      value & opt int 1024
+      & info [ "cache-capacity" ] ~docv:"K" ~doc:"Plan cache capacity.")
+  in
+  let jobs =
+    Arg.(
+      value & opt (some int) None
+      & info [ "jobs"; "j" ] ~docv:"J"
+          ~doc:"Serving domains (default: all cores); a pure speed knob.")
+  in
+  let passes =
+    Arg.(
+      value & opt int 1
+      & info [ "passes" ] ~docv:"P"
+          ~doc:"Serve the workload $(docv) times through the same cache.")
+  in
+  Cmd.v
+    (Cmd.info "serve-file"
+       ~doc:"Optimize a saved workload through the caching service")
+    Term.(
+      const serve_file $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
+      $ seed_arg $ cache_capacity $ jobs $ passes $ metrics_arg $ trace_arg
+      $ trace_sample_arg)
+
 (* --- listings ---------------------------------------------------------- *)
 
 let methods_cmd =
@@ -593,6 +688,7 @@ let () =
             bushy_cmd;
             inspect_cmd;
             workload_cmd;
+            serve_file_cmd;
             methods_cmd;
             benchmarks_cmd;
           ]))

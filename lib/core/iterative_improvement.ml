@@ -32,7 +32,23 @@ let descend ?(params = default_params) state rng =
     done
   end
 
-let run ?(params = default_params) ev rng ~starts =
+let run ?(params = default_params) ?start ev rng ~starts =
+  let starts =
+    match start with
+    | None -> starts
+    | Some plan ->
+      if not (Plan.is_valid (Evaluator.query ev) plan) then
+        invalid_arg "Iterative_improvement.run: ?start is not a valid plan for this query";
+      (* One-shot prefix: the warm start is descended first, then the
+         caller's source takes over. *)
+      let pending = ref (Some (Array.copy plan)) in
+      fun () ->
+        (match !pending with
+        | Some _ as p ->
+          pending := None;
+          p
+        | None -> starts ())
+  in
   Obs.with_phase Obs.Ii (fun () ->
       let rec loop () =
         match starts () with

@@ -25,10 +25,18 @@ val descend : ?params:params -> Search_state.t -> Ljqo_stats.Rng.t -> unit
 
 val run :
   ?params:params ->
+  ?start:Plan.t ->
   Evaluator.t ->
   Ljqo_stats.Rng.t ->
   starts:(unit -> Plan.t option) ->
   unit
 (** Repeatedly: take a start state, descend.  Stops when [starts] returns
     [None]; [Budget.Exhausted]/[Evaluator.Converged] pass through to the
-    caller (the method driver). *)
+    caller (the method driver).
+
+    [start] is a warm start: it is descended {e first}, before any state from
+    [starts] (the plan-cache service seeds re-optimization with a cached plan
+    this way).  It must be valid for the evaluator's query — the validity is
+    checked eagerly and [Invalid_argument] is raised otherwise, so a caller
+    mapping a cached plan onto a different join graph must check
+    {!Plan.is_valid} itself and fall back to cold starts. *)

@@ -69,9 +69,20 @@ let drain_and_eval ev source =
       in
       go ())
 
-let run_inner config method_ ev rng =
-  let ii starts = Iterative_improvement.run ~params:config.ii_params ev rng ~starts in
+let run_inner config ?start:warm method_ ev rng =
+  let ii ?start starts =
+    Iterative_improvement.run ~params:config.ii_params ?start ev rng ~starts
+  in
+  (* II-driven methods descend the warm start first, inside [ii]; the
+     pure-SA methods anneal from it instead of their usual seed; the
+     drain-first methods (AGI/KBI) record it as the incumbent before the
+     heuristic sweep, so the cached plan survives even a budget that dies
+     mid-drain. *)
+  let seed_incumbent () =
+    Option.iter (fun plan -> ignore (Evaluator.eval ev plan)) warm
+  in
   let sa start =
+    let start = Option.value warm ~default:start in
     Simulated_annealing.run ~params:config.sa_params ev rng ~start
       ~restarts:(random_starts ev rng)
   in
@@ -83,24 +94,29 @@ let run_inner config method_ ev rng =
     heuristic_phase (Kbz.make_source ~weighting:config.kbz_weighting ev)
   in
   match method_ with
-  | II -> ii (random_starts ev rng)
-  | SA -> sa (Random_plan.generate_charged ev rng)
+  | II -> ii ?start:warm (random_starts ev rng)
+  | SA -> begin
+    match warm with
+    | Some w -> sa w
+    | None -> sa (Random_plan.generate_charged ev rng)
+  end
   | SAA -> begin
     match augmentation_source () () with
     | Some start -> sa start
-    | None -> ()
+    | None -> Option.iter sa warm
   end
   | SAK -> begin
     match kbz_source () () with
     | Some start -> sa start
-    | None -> ()
+    | None -> Option.iter sa warm
   end
-  | IAI -> ii (chain_sources (augmentation_source ()) (random_starts ev rng))
-  | IKI -> ii (chain_sources (kbz_source ()) (random_starts ev rng))
+  | IAI ->
+    ii ?start:warm (chain_sources (augmentation_source ()) (random_starts ev rng))
+  | IKI -> ii ?start:warm (chain_sources (kbz_source ()) (random_starts ev rng))
   | IAL ->
     (* II over the augmentation states only, then local improvement on the
        incumbent, then random-start II soaks up any remaining time. *)
-    ii (augmentation_source ());
+    ii ?start:warm (augmentation_source ());
     (match Evaluator.best ev with
     | Some (_, best_perm) ->
       Obs.with_phase Obs.Local (fun () ->
@@ -109,17 +125,23 @@ let run_inner config method_ ev rng =
     | None -> ());
     ii (random_starts ev rng)
   | AGI ->
+    seed_incumbent ();
     drain_and_eval ev (augmentation_source ());
     ii (random_starts ev rng)
   | KBI ->
+    seed_incumbent ();
     drain_and_eval ev (kbz_source ());
     ii (random_starts ev rng)
 
-let run ?(config = default_config) method_ ev rng =
+let run ?(config = default_config) ?start method_ ev rng =
+  (match start with
+  | Some plan when not (Plan.is_valid (Evaluator.query ev) plan) ->
+    invalid_arg "Methods.run: ?start is not a valid plan for this query"
+  | _ -> ());
   (* A wall-clock deadline ends the run like tick exhaustion does — the
      incumbent survives — but the evaluator remembers ([deadline_hit]) so the
      harness can record the run as timed-out. *)
-  try run_inner config method_ ev rng with
+  try run_inner config ?start method_ ev rng with
   | Budget.Exhausted | Evaluator.Converged | Budget.Deadline_exceeded -> ()
 
 let pp ppf m = Format.pp_print_string ppf (name m)

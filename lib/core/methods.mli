@@ -36,8 +36,15 @@ type config = {
 
 val default_config : config
 
-val run : ?config:config -> t -> Evaluator.t -> Ljqo_stats.Rng.t -> unit
+val run :
+  ?config:config -> ?start:Plan.t -> t -> Evaluator.t -> Ljqo_stats.Rng.t -> unit
 (** Never raises [Budget.Exhausted] or [Evaluator.Converged]; consult the
-    evaluator for the incumbent and checkpoint curve. *)
+    evaluator for the incumbent and checkpoint curve.
+
+    [start] warm-starts the method with a known-good plan (the plan-cache
+    service's similar-query seed): the II-driven methods descend it before
+    any other start state, the SA methods anneal from it, and AGI/KBI record
+    it as the incumbent before their heuristic sweep.  Must be valid for the
+    evaluator's query; [Invalid_argument] otherwise (checked eagerly). *)
 
 val pp : Format.formatter -> t -> unit

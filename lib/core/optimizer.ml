@@ -17,13 +17,13 @@ let time_limit_ticks ?ticks_per_unit ~t_factor ~query () =
   Budget.ticks_for_limit ?ticks_per_unit ~t_factor ~n_joins ()
 
 let optimize_connected ?config ?(checkpoints = []) ?epsilon ?deadline ?clock
-    ~method_ ~model ~ticks ~seed query =
+    ?start ~method_ ~model ~ticks ~seed query =
   let ev = Evaluator.create ?epsilon ~checkpoints ?deadline ?clock ~query ~model ~ticks () in
   let rng = Rng.create seed in
   let converged =
     (* Methods.run swallows the stop exceptions; detect convergence from the
        incumbent afterwards. *)
-    Methods.run ?config method_ ev rng;
+    Methods.run ?config ?start method_ ev rng;
     match Evaluator.best ev with
     | Some (c, _) -> c <= (1.0 +. Option.value epsilon ~default:0.01) *. Evaluator.lower_bound ev
     | None -> false
@@ -48,11 +48,15 @@ let optimize_connected ?config ?(checkpoints = []) ?epsilon ?deadline ?clock
       timed_out = Evaluator.deadline_hit ev;
     }
 
-let optimize ?config ?checkpoints ?epsilon ?deadline ?clock ~method_ ~model
-    ~ticks ~seed query =
+let optimize ?config ?checkpoints ?epsilon ?deadline ?clock ?start ~method_
+    ~model ~ticks ~seed query =
   if ticks <= 0 then invalid_arg "Optimizer.optimize: ticks must be positive";
   let n = Query.n_relations query in
   if n = 0 then invalid_arg "Optimizer.optimize: empty query";
+  (match start with
+  | Some plan when not (Plan.is_valid query plan) ->
+    invalid_arg "Optimizer.optimize: ?start is not a valid plan for this query"
+  | _ -> ());
   if n = 1 then
     {
       plan = [| 0 |];
@@ -66,8 +70,8 @@ let optimize ?config ?checkpoints ?epsilon ?deadline ?clock ~method_ ~model
   else
     match Join_graph.components (Query.graph query) with
     | [ _ ] ->
-      optimize_connected ?config ?checkpoints ?epsilon ?deadline ?clock ~method_
-        ~model ~ticks ~seed query
+      optimize_connected ?config ?checkpoints ?epsilon ?deadline ?clock ?start
+        ~method_ ~model ~ticks ~seed query
     | comps ->
       (* Budget share proportional to squared component size. *)
       let sq c = let k = List.length c in k * k in

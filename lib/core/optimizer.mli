@@ -29,6 +29,7 @@ val optimize :
   ?epsilon:float ->
   ?deadline:float ->
   ?clock:(unit -> float) ->
+  ?start:Plan.t ->
   method_:Methods.t ->
   model:Ljqo_cost.Cost_model.t ->
   ticks:int ->
@@ -43,7 +44,16 @@ val optimize :
     budget.  A run whose deadline fires after it has found at least one plan
     returns that incumbent with [timed_out = true]; if the deadline fires
     before any plan exists, [Budget.Deadline_exceeded] escapes so the caller
-    can record a structured timeout. *)
+    can record a structured timeout.
+
+    [start] warm-starts the method with a known-good plan (see
+    {!Methods.run}): it must be a valid plan for [query] —
+    [Invalid_argument] otherwise, checked eagerly, so callers holding a plan
+    of uncertain provenance (a cached plan mapped onto a different join
+    graph) must check {!Plan.is_valid} first and fall back to a cold start.
+    On a single-relation or disconnected query the warm start is ignored:
+    the trivial plan is already optimal, and component decomposition
+    re-derives its own sub-plans. *)
 
 val time_limit_ticks :
   ?ticks_per_unit:int -> t_factor:float -> query:Ljqo_catalog.Query.t -> unit -> int

@@ -55,11 +55,17 @@ let anneal_low ~params ev rng ~start ~temperature =
     done
   end
 
-let run ?(params = default_params) ev rng =
+let run ?(params = default_params) ?start ev rng =
+  (match start with
+  | Some plan when not (Plan.is_valid (Evaluator.query ev) plan) ->
+    invalid_arg "Two_phase.run: ?start is not a valid plan for this query"
+  | _ -> ());
   try
-    (* Phase one: a bounded burst of II descents from random starts. *)
+    (* Phase one: a bounded burst of II descents — the warm start first when
+       one is given, then random starts. *)
     let remaining = ref params.phase_one_starts in
-    Iterative_improvement.run ~params:params.ii_params ev rng ~starts:(fun () ->
+    Iterative_improvement.run ~params:params.ii_params ?start ev rng
+      ~starts:(fun () ->
         if !remaining = 0 then None
         else begin
           decr remaining;

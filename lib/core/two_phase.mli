@@ -20,6 +20,12 @@ type params = {
 
 val default_params : params
 
-val run : ?params:params -> Evaluator.t -> Ljqo_stats.Rng.t -> unit
+val run : ?params:params -> ?start:Plan.t -> Evaluator.t -> Ljqo_stats.Rng.t -> unit
 (** Never raises the stop exceptions; consult the evaluator for the
-    incumbent, as with {!Methods.run}. *)
+    incumbent, as with {!Methods.run}.
+
+    [start] warm-starts phase one: it is descended before any random start,
+    so annealing explores the basin of the given plan when the budget is too
+    small to improve on it.  Must be valid for the evaluator's query;
+    [Invalid_argument] otherwise (checked eagerly, before any ticks are
+    spent). *)

@@ -40,6 +40,12 @@ type counter =
   | Run_timeouts
   | Ckpt_records_loaded
   | Ckpt_lines_rejected
+  | Cache_hits
+  | Cache_coarse_hits
+  | Cache_misses
+  | Cache_insertions
+  | Cache_evictions
+  | Service_dedups
 
 let counter_index = function
   | Cost_evals -> 0
@@ -57,6 +63,12 @@ let counter_index = function
   | Run_timeouts -> 12
   | Ckpt_records_loaded -> 13
   | Ckpt_lines_rejected -> 14
+  | Cache_hits -> 15
+  | Cache_coarse_hits -> 16
+  | Cache_misses -> 17
+  | Cache_insertions -> 18
+  | Cache_evictions -> 19
+  | Service_dedups -> 20
 
 let counter_names =
   [|
@@ -75,6 +87,12 @@ let counter_names =
     "driver.run_timeouts";
     "checkpoint.records_loaded";
     "checkpoint.lines_rejected";
+    "cache.hits";
+    "cache.coarse_hits";
+    "cache.misses";
+    "cache.insertions";
+    "cache.evictions";
+    "service.dedups";
   |]
 
 let n_counters = Array.length counter_names

@@ -50,6 +50,12 @@ type counter =
   | Run_timeouts  (** method runs cut at the wall-clock deadline *)
   | Ckpt_records_loaded  (** checkpoint records accepted on resume *)
   | Ckpt_lines_rejected  (** checkpoint lines rejected as torn/corrupt *)
+  | Cache_hits  (** plan-cache exact-key hits *)
+  | Cache_coarse_hits  (** plan-cache coarse-key (similar-query) hits *)
+  | Cache_misses  (** plan-cache lookups that found nothing *)
+  | Cache_insertions  (** plan-cache entries admitted or replaced *)
+  | Cache_evictions  (** plan-cache entries evicted by the LRU policy *)
+  | Service_dedups  (** in-flight requests deduplicated against a batch twin *)
 
 val bump : counter -> unit
 (** Add one.  A no-op (one boolean load) when disabled. *)

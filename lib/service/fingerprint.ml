@@ -1,0 +1,151 @@
+open Ljqo_catalog
+
+type t = {
+  n : int;
+  exact : string;
+  coarse : string;
+  canon : int array;  (* canon.(p) = relation id at canonical position p *)
+  cpos : int array;  (* cpos.(r) = canonical position of relation id r *)
+}
+
+(* ------------------------------------------------------------------ *)
+(* 64-bit mixing.  Deterministic across runs and OCaml versions (unlike
+   [Hashtbl.hash], whose algorithm is not pinned by the manual), so cache
+   keys are stable enough to persist or compare across processes. *)
+
+let mix64 z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let combine64 h v = mix64 (Int64.add (Int64.mul h 0x9E3779B97F4A7C15L) v)
+
+let combine h (v : int) = combine64 h (Int64.of_int v)
+
+(* ------------------------------------------------------------------ *)
+(* Statistic bucketing: log-scale quantization, so "same bucket" means
+   "same up to a relative factor".  [per_decade] buckets per factor of 10;
+   non-positive inputs (a zero selectivity is legal) get a sentinel. *)
+
+let bucket ~per_decade x =
+  if x <= 0.0 then min_int / 2
+  else int_of_float (Float.round (per_decade *. log10 x))
+
+let exact_per_decade = 1000.0 (* ~0.23% relative resolution *)
+
+let coarse_per_decade = 2.0 (* half-decades: tolerant of stat drift *)
+
+(* WL refinement rounds: enough for information to cross any plausible
+   join-graph diameter at these sizes; depends only on [n], so it is
+   relabeling-invariant. *)
+let rounds_for n =
+  let rec ilog2 acc k = if k <= 1 then acc else ilog2 (acc + 1) (k / 2) in
+  3 + ilog2 0 (max 1 n)
+
+(* One key: refine, then digest the sorted signature multisets.  With
+   [stats:false] the per-relation cardinality statistics are left out of the
+   initial labels, making the key purely structural (shape + bucketed
+   selectivities) — the similarity notion the coarse key wants. *)
+let key_of ~per_decade ~salt ~stats q =
+  let n = Query.n_relations q in
+  let g = Query.graph q in
+  let sigs =
+    Array.init n (fun v ->
+        if not stats then mix64 salt
+        else
+          let c = bucket ~per_decade (Query.cardinality q v) in
+          let d = bucket ~per_decade (Query.distinct_values q v) in
+          combine (combine (mix64 salt) c) d)
+  in
+  for _ = 1 to rounds_for n do
+    let next =
+      Array.init n (fun v ->
+          let hs =
+            List.map
+              (fun (u, sel) ->
+                combine64 (Int64.of_int (bucket ~per_decade sel)) sigs.(u))
+              (Join_graph.neighbors g v)
+          in
+          let hs = List.sort Int64.compare hs in
+          List.fold_left combine64 (mix64 sigs.(v)) hs)
+    in
+    Array.blit next 0 sigs 0 n
+  done;
+  let vs = Array.copy sigs in
+  Array.sort Int64.compare vs;
+  let h = Array.fold_left combine64 (combine salt n) vs in
+  let es =
+    Join_graph.fold_edges
+      (fun e acc ->
+        let su = sigs.(e.Join_graph.u) and sv = sigs.(e.Join_graph.v) in
+        let lo, hi = if Int64.compare su sv <= 0 then (su, sv) else (sv, su) in
+        combine64
+          (combine64 (combine64 0x2545F4914F6CDD1DL lo) hi)
+          (Int64.of_int (bucket ~per_decade e.Join_graph.selectivity))
+        :: acc)
+      g []
+  in
+  let es = List.sort Int64.compare es in
+  (mix64 (List.fold_left combine64 h es), sigs)
+
+let hex h = Printf.sprintf "%016Lx" h
+
+let compute q =
+  let n = Query.n_relations q in
+  let exact, exact_sigs =
+    key_of ~per_decade:exact_per_decade ~salt:0x51ED270B270B2701L ~stats:true q
+  in
+  let coarse, coarse_sigs =
+    key_of ~per_decade:coarse_per_decade ~salt:0x6C62272E07BB0142L ~stats:false q
+  in
+  (* Canonical order: primarily by the coarse (structural) signature, so
+     coarse-matching queries put structurally corresponding relations at the
+     same canonical positions; exact signatures break statistical ties.
+     Remaining ties (WL-equivalent relations) fall back to the id — not
+     invariant, but tied relations are structurally interchangeable to the
+     resolution of the signature, and every cross-fingerprint plan mapping
+     is re-validated by the caller anyway. *)
+  let canon = Array.init n (fun i -> i) in
+  Array.sort
+    (fun a b ->
+      let c = Int64.compare coarse_sigs.(a) coarse_sigs.(b) in
+      if c <> 0 then c
+      else
+        let c = Int64.compare exact_sigs.(a) exact_sigs.(b) in
+        if c <> 0 then c else compare a b)
+    canon;
+  let cpos = Array.make n 0 in
+  Array.iteri (fun p r -> cpos.(r) <- p) canon;
+  { n; exact = hex exact; coarse = hex coarse; canon; cpos }
+
+let n_relations t = t.n
+
+let exact_key t = t.exact
+
+let coarse_key t = t.coarse
+
+let canonical_order t = Array.copy t.canon
+
+let to_canonical t plan =
+  if Array.length plan <> t.n then
+    invalid_arg "Fingerprint.to_canonical: plan length does not match query";
+  Array.map
+    (fun r ->
+      if r < 0 || r >= t.n then
+        invalid_arg "Fingerprint.to_canonical: relation id out of range";
+      t.cpos.(r))
+    plan
+
+let of_canonical t cplan =
+  if Array.length cplan <> t.n then
+    invalid_arg "Fingerprint.of_canonical: plan length does not match query";
+  Array.map
+    (fun p ->
+      if p < 0 || p >= t.n then
+        invalid_arg "Fingerprint.of_canonical: canonical position out of range";
+      t.canon.(p))
+    cplan
+
+let pp ppf t =
+  Format.fprintf ppf "fingerprint{n=%d exact=%s coarse=%s}" t.n t.exact t.coarse

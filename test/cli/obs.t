@@ -56,3 +56,20 @@ Malformed JSONL is refused:
   $ ljqo-perf-gate --check-jsonl bad.jsonl
   bad.jsonl:2: offset 1: expected 'u'
   [1]
+
+The serving layer's cache counters land in the same deterministic metrics
+snapshot: serving a 5-query workload twice is 5 misses + 5 insertions on
+the first pass and 5 exact hits on the second, whatever the machine.
+
+  $ ljqo workload -o wl --per-n 1 >/dev/null
+  $ ljqo serve-file wl --passes 2 --t-factor 1 --metrics cache-metrics.json >/dev/null
+  $ grep -o '"cache.hits": [0-9]*' cache-metrics.json
+  "cache.hits": 5
+  $ grep -o '"cache.misses": [0-9]*' cache-metrics.json
+  "cache.misses": 5
+  $ grep -o '"cache.insertions": [0-9]*' cache-metrics.json
+  "cache.insertions": 5
+  $ grep -o '"cache.evictions": [0-9]*' cache-metrics.json
+  "cache.evictions": 0
+  $ grep -o '"service.dedups": [0-9]*' cache-metrics.json
+  "service.dedups": 0

@@ -48,3 +48,26 @@ The ljqo tool validates its search knobs the same way:
   $ ljqo optimize q.qdl --trace-sample 0
   ljqo: --trace-sample must be a positive integer, got 0
   [2]
+
+The caching service validates its surface before doing any work: a missing
+workload argument, an unloadable workload, and bad knobs all fail fast.
+
+  $ ljqo serve-file 2>&1 | head -1
+  ljqo: required argument WORKLOAD_DIR is missing
+  $ ljqo serve-file >/dev/null 2>&1
+  [124]
+
+  $ ljqo serve-file no-such-dir 2>&1 | head -1
+  ljqo: cannot load workload no-such-dir: no-such-dir/MANIFEST: no manifest file
+  $ ljqo serve-file no-such-dir >/dev/null 2>&1
+  [2]
+
+  $ ljqo serve-file no-such-dir --cache-capacity 0 2>&1 | head -1
+  ljqo: --cache-capacity must be a positive integer, got 0
+  $ ljqo serve-file no-such-dir --cache-capacity 0 >/dev/null 2>&1
+  [2]
+
+  $ ljqo serve-file no-such-dir --jobs 0 2>&1 | head -1
+  ljqo: --jobs must be a positive integer, got 0
+  $ ljqo serve-file no-such-dir --passes 0 2>&1 | head -1
+  ljqo: --passes must be a positive integer, got 0

@@ -67,6 +67,53 @@ let test_patience_respected () =
   Iterative_improvement.descend ~params st (Ljqo_stats.Rng.create 35);
   Alcotest.(check bool) "cheap descent" true (Evaluator.used ev < 1000)
 
+let test_start_descended_first () =
+  (* With an empty starts source, only the warm start can produce an
+     incumbent — and descent from it can only improve on its cost. *)
+  let q = Helpers.random_query ~n_joins:8 51 in
+  let start = Helpers.valid_random_plan q 52 in
+  let start_cost = Plan_cost.total mem q start in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:1_000_000 () in
+  (try
+     Iterative_improvement.run ~start ev (Ljqo_stats.Rng.create 53)
+       ~starts:(fun () -> None)
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  (match Evaluator.best ev with
+  | None -> Alcotest.fail "warm start was not descended"
+  | Some (cost, plan) ->
+    Alcotest.(check bool) "result valid" true (Plan.is_valid q plan);
+    Alcotest.(check bool) "no worse than the start" true
+      (cost <= start_cost +. 1e-9));
+  (* The warm start is a one-shot prefix: the same source afterwards yields
+     nothing, so a second run with no start finds no incumbent. *)
+  let ev2 = Evaluator.create ~query:q ~model:mem ~ticks:1_000_000 () in
+  (try
+     Iterative_improvement.run ev2 (Ljqo_stats.Rng.create 53) ~starts:(fun () ->
+         None)
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "empty source alone yields nothing" true
+    (Evaluator.best ev2 = None)
+
+let test_invalid_start_rejected () =
+  (* chain3 is A - B - C: placing A then C first crosses a product, so
+     [|0; 2; 1|] is invalid and must be rejected eagerly — before any budget
+     is spent. *)
+  let q = Helpers.chain3 () in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:1_000 () in
+  let rng = Ljqo_stats.Rng.create 54 in
+  (match
+     Iterative_improvement.run ~start:[| 0; 2; 1 |] ev rng ~starts:(fun () ->
+         None)
+   with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "invalid ?start must raise Invalid_argument");
+  Alcotest.(check int) "no budget spent" 0 (Evaluator.used ev);
+  match
+    Iterative_improvement.run ~start:[| 0 |] ev rng ~starts:(fun () -> None)
+  with
+  | exception Invalid_argument _ -> ()
+  | () -> Alcotest.fail "wrong-length ?start must raise Invalid_argument"
+
 let prop_best_no_worse_than_start =
   Helpers.qcheck_case ~count:30 ~name:"II incumbent <= start cost"
     (fun (qseed, pseed) ->
@@ -89,5 +136,9 @@ let suite =
     Alcotest.test_case "run consumes starts" `Quick test_run_consumes_starts;
     Alcotest.test_case "run stops on budget" `Quick test_run_stops_on_budget;
     Alcotest.test_case "patience respected" `Quick test_patience_respected;
+    Alcotest.test_case "warm start descended first" `Quick
+      test_start_descended_first;
+    Alcotest.test_case "invalid warm start rejected" `Quick
+      test_invalid_start_rejected;
     prop_best_no_worse_than_start;
   ]

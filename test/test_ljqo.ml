@@ -49,4 +49,5 @@ let () =
       ("stress", Test_stress.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("service", Test_service.suite);
     ]

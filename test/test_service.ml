@@ -1,0 +1,351 @@
+(* The serving layer: fingerprint invariance, the plan cache's LRU and
+   admission policies, and the service's hit/warm-start/determinism
+   contracts (the acceptance criteria of the subsystem). *)
+
+open Ljqo_core
+open Ljqo_catalog
+module Service = Ljqo_service.Service
+module Fingerprint = Ljqo_service.Fingerprint
+module Plan_cache = Ljqo_service.Plan_cache
+
+let mem = Helpers.memory_model
+
+(* Relabel a query's relations by [perm] ([perm.(old_id)] is the new id),
+   renumbering relations and rewriting edges — the transformation the
+   fingerprint must be blind to. *)
+let permute_query perm q =
+  let n = Query.n_relations q in
+  let inv = Array.make n 0 in
+  Array.iteri (fun old_id new_id -> inv.(new_id) <- old_id) perm;
+  let relations =
+    Array.init n (fun new_id ->
+        let r = Query.relation q inv.(new_id) in
+        Relation.make ~id:new_id ~name:r.name
+          ~base_cardinality:r.base_cardinality
+          ~selections:r.selection_selectivities
+          ~distinct_fraction:r.distinct_fraction ())
+  in
+  let edges =
+    Join_graph.fold_edges
+      (fun e acc ->
+        { Join_graph.u = perm.(e.u); v = perm.(e.v); selectivity = e.selectivity }
+        :: acc)
+      (Query.graph q) []
+  in
+  Query.make ~relations ~graph:(Join_graph.make ~n edges)
+
+let random_perm rng n =
+  let perm = Array.init n (fun i -> i) in
+  for i = n - 1 downto 1 do
+    let j = Ljqo_stats.Rng.int rng (i + 1) in
+    let t = perm.(i) in
+    perm.(i) <- perm.(j);
+    perm.(j) <- t
+  done;
+  perm
+
+(* --- fingerprint ------------------------------------------------------- *)
+
+let prop_relabel_invariant =
+  Helpers.qcheck_case ~count:60 ~name:"fingerprint invariant under relabeling"
+    (fun (qseed, pseed) ->
+      let n_joins = 3 + (qseed mod 10) in
+      let q = Helpers.random_query ~n_joins (100 + qseed) in
+      let rng = Ljqo_stats.Rng.create (200 + pseed) in
+      let perm = random_perm rng (Query.n_relations q) in
+      let fp = Fingerprint.compute q in
+      let fp' = Fingerprint.compute (permute_query perm q) in
+      Fingerprint.exact_key fp = Fingerprint.exact_key fp'
+      && Fingerprint.coarse_key fp = Fingerprint.coarse_key fp')
+    QCheck.(pair small_int small_int)
+
+let prop_plan_maps_across_relabeling =
+  (* A plan mapped through canonical form onto a relabeled twin is a valid
+     plan of the same cost: the property warm starts and exact hits rely
+     on.  (Signature ties could in principle scramble the mapping — the
+     service re-validates for that reason — but the benchmark generator's
+     continuous statistics never tie in practice.) *)
+  Helpers.qcheck_case ~count:60 ~name:"plan maps across relabeling"
+    (fun (qseed, pseed) ->
+      let n_joins = 3 + (qseed mod 10) in
+      let q = Helpers.random_query ~n_joins (300 + qseed) in
+      let rng = Ljqo_stats.Rng.create (400 + pseed) in
+      let perm = random_perm rng (Query.n_relations q) in
+      let q' = permute_query perm q in
+      let fp = Fingerprint.compute q and fp' = Fingerprint.compute q' in
+      let plan = Helpers.valid_random_plan q (500 + pseed) in
+      let plan' = Fingerprint.of_canonical fp' (Fingerprint.to_canonical fp plan) in
+      Plan.is_valid q' plan'
+      && Helpers.approx ~rel:1e-9
+           (Ljqo_cost.Plan_cost.total mem q plan)
+           (Ljqo_cost.Plan_cost.total mem q' plan'))
+    QCheck.(pair small_int small_int)
+
+let test_collision_smoke () =
+  (* Distinct benchmark queries must get distinct exact keys. *)
+  let keys = Hashtbl.create 256 in
+  let total = ref 0 in
+  List.iter
+    (fun n_joins ->
+      for seed = 0 to 39 do
+        let q = Helpers.random_query ~n_joins (1000 + seed) in
+        let key = Fingerprint.exact_key (Fingerprint.compute q) in
+        incr total;
+        if Hashtbl.mem keys key then
+          Alcotest.failf "exact-key collision at n_joins=%d seed=%d" n_joins seed;
+        Hashtbl.add keys key ()
+      done)
+    [ 4; 7; 10; 13; 16 ];
+  Alcotest.(check int) "all keys distinct" !total (Hashtbl.length keys)
+
+let test_canonical_roundtrip () =
+  let q = Helpers.random_query ~n_joins:9 7 in
+  let fp = Fingerprint.compute q in
+  let plan = Helpers.valid_random_plan q 8 in
+  Alcotest.(check bool) "of_canonical (to_canonical p) = p" true
+    (Fingerprint.of_canonical fp (Fingerprint.to_canonical fp plan) = plan);
+  (match Fingerprint.to_canonical fp [| 0 |] with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "length mismatch must raise")
+
+(* --- plan cache -------------------------------------------------------- *)
+
+let entry ?(cost = 1.0) v = { Plan_cache.cplan = [| v |]; cost; ticks = 0 }
+
+let test_cache_lru_eviction () =
+  (* One shard of capacity 3: filling and touching must evict the least
+     recently used key, not an arbitrary one. *)
+  let c = Plan_cache.create ~shards:1 ~capacity:3 () in
+  Plan_cache.put c ~exact:"a" ~coarse:"ca" (entry 1);
+  Plan_cache.put c ~exact:"b" ~coarse:"cb" (entry 2);
+  Plan_cache.put c ~exact:"c" ~coarse:"cc" (entry 3);
+  Plan_cache.touch c "a";
+  (* b is now LRU *)
+  Plan_cache.put c ~exact:"d" ~coarse:"cd" (entry 4);
+  Alcotest.(check bool) "a survives" true (Plan_cache.find_exact c "a" <> None);
+  Alcotest.(check bool) "b evicted" true (Plan_cache.find_exact c "b" = None);
+  Alcotest.(check bool) "c survives" true (Plan_cache.find_exact c "c" <> None);
+  Alcotest.(check int) "one eviction counted" 1 (Plan_cache.stats c).evictions;
+  Alcotest.(check int) "length at capacity" 3 (Plan_cache.length c);
+  (* b's coarse mapping is gone with it *)
+  Alcotest.(check bool) "coarse index pruned" true
+    (Plan_cache.find_coarse c "cb" = None)
+
+let test_cache_admission () =
+  let c = Plan_cache.create ~shards:1 ~capacity:4 () in
+  Plan_cache.put c ~exact:"a" ~coarse:"ca" (entry ~cost:5.0 1);
+  (* a worse plan for the same key must not replace the cached one *)
+  Plan_cache.put c ~exact:"a" ~coarse:"ca" (entry ~cost:9.0 2);
+  (match Plan_cache.find_exact c "a" with
+  | Some e -> Alcotest.(check (float 0.0)) "kept cheaper" 5.0 e.cost
+  | None -> Alcotest.fail "entry lost");
+  (* a strictly cheaper one must *)
+  Plan_cache.put c ~exact:"a" ~coarse:"ca" (entry ~cost:2.0 3);
+  (match Plan_cache.find_exact c "a" with
+  | Some e -> Alcotest.(check (float 0.0)) "upgraded" 2.0 e.cost
+  | None -> Alcotest.fail "entry lost");
+  Alcotest.(check int) "improvements count as insertions" 2
+    (Plan_cache.stats c).insertions
+
+let test_cache_lookup_counters () =
+  let c = Plan_cache.create ~shards:2 ~capacity:8 () in
+  let always _ = true and never _ = false in
+  Alcotest.(check bool) "miss on empty" true
+    (Plan_cache.lookup c ~exact:"x" ~coarse:"cx" ~validate:always = `Miss);
+  Plan_cache.put c ~exact:"x" ~coarse:"cx" (entry 1);
+  Alcotest.(check bool) "exact hit" true
+    (Plan_cache.lookup c ~exact:"x" ~coarse:"cx" ~validate:always = `Exact (entry 1));
+  Alcotest.(check bool) "coarse hit through the index" true
+    (Plan_cache.lookup c ~exact:"y" ~coarse:"cx" ~validate:always
+    = `Coarse (entry 1));
+  Alcotest.(check bool) "failed validation degrades to miss" true
+    (Plan_cache.lookup c ~exact:"x" ~coarse:"cx" ~validate:never = `Miss);
+  let st = Plan_cache.stats c in
+  Alcotest.(check (list int)) "counters: hit, coarse, miss" [ 1; 1; 2 ]
+    [ st.hits; st.coarse_hits; st.misses ]
+
+let test_cache_rejects_bad_capacity () =
+  match Plan_cache.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must raise"
+
+(* --- service ----------------------------------------------------------- *)
+
+let small_config =
+  {
+    Service.default_config with
+    budget = Service.Time_limit { t_factor = 1.0; kappa = None };
+  }
+
+let workload_queries () =
+  let w =
+    Ljqo_querygen.Workload.make ~ns:[ 8; 12 ] ~per_n:3 ~seed:77
+      Ljqo_querygen.Benchmark.default
+  in
+  Array.map (fun (e : Ljqo_querygen.Workload.entry) -> e.query) w.entries
+
+let test_second_pass_all_hits () =
+  (* Acceptance: >= 90% exact hits on the second pass, bit-identical plans,
+     zero ticks.  (This implementation achieves 100%.) *)
+  let queries = workload_queries () in
+  let s = Service.create small_config in
+  let pass1 = Service.serve_batch s queries in
+  let pass2 = Service.serve_batch s queries in
+  Array.iteri
+    (fun i (r : Service.served) ->
+      if r.source <> Service.Exact_hit then
+        Alcotest.failf "query %d not served from cache on pass 2" i;
+      Alcotest.(check bool) "bit-identical plan" true
+        (r.plan = pass1.(i).Service.plan);
+      Alcotest.(check int) "no ticks on a hit" 0 r.ticks_used)
+    pass2
+
+let perturb ~rng q =
+  let n = Query.n_relations q in
+  let relations =
+    Array.init n (fun i ->
+        let r = Query.relation q i in
+        let f = 0.92 +. Ljqo_stats.Rng.float rng 0.16 in
+        Relation.make ~id:i ~name:r.name
+          ~base_cardinality:
+            (max 1
+               (int_of_float
+                  (Float.round (float_of_int r.base_cardinality *. f))))
+          ~selections:r.selection_selectivities
+          ~distinct_fraction:r.distinct_fraction ())
+  in
+  Query.make ~relations ~graph:(Query.graph q)
+
+let test_warm_no_worse_than_cold () =
+  (* Acceptance: on a perturbed workload under a small tick budget, the mean
+     scaled cost with warm starts is <= the cold-start mean.  Scaled against
+     a full-budget (9N^2) reference per query, outliers coerced, per the
+     paper's methodology. *)
+  let queries = workload_queries () in
+  let warm_service = Service.create small_config in
+  ignore (Service.serve_batch warm_service queries);
+  let rng = Ljqo_stats.Rng.create 99 in
+  let drifted = Array.map (fun q -> perturb ~rng q) queries in
+  let warm = Service.serve_batch warm_service drifted in
+  let cold = Service.serve_batch (Service.create small_config) drifted in
+  Alcotest.(check bool) "some warm starts engaged" true
+    (Array.exists (fun (r : Service.served) -> r.source = Service.Warm_start) warm);
+  let reference =
+    Array.map
+      (fun q ->
+        let ticks =
+          Budget.ticks_for_limit ~t_factor:9.0
+            ~n_joins:(max 1 (Query.n_relations q - 1))
+            ()
+        in
+        (Optimizer.optimize ~method_:Methods.IAI ~model:mem ~ticks ~seed:5 q).cost)
+      drifted
+  in
+  let scaled served =
+    Ljqo_stats.Scaled_cost.average
+      (Array.mapi
+         (fun i (r : Service.served) ->
+           Ljqo_stats.Scaled_cost.scale ~best:reference.(i) r.cost)
+         served)
+  in
+  let w = scaled warm and c = scaled cold in
+  Alcotest.(check bool)
+    (Printf.sprintf "warm mean scaled cost (%.4f) <= cold (%.4f)" w c)
+    true (w <= c +. 1e-9)
+
+let served_equal (a : Service.served) (b : Service.served) =
+  a.index = b.index && a.plan = b.plan && a.cost = b.cost
+  && a.ticks_used = b.ticks_used && a.source = b.source
+  && Fingerprint.exact_key a.fingerprint = Fingerprint.exact_key b.fingerprint
+
+let test_jobs_determinism () =
+  (* Acceptance: results bit-identical across jobs 1 and jobs 4, both on a
+     cold cache and on the warm second pass, and the caches end identical
+     too (same lengths, same hit/miss totals). *)
+  let queries = workload_queries () in
+  let s1 = Service.create small_config in
+  let s4 = Service.create small_config in
+  let check_pass label =
+    let a = Service.serve_batch ~jobs:1 s1 queries in
+    let b = Service.serve_batch ~jobs:4 s4 queries in
+    Array.iteri
+      (fun i r ->
+        if not (served_equal r b.(i)) then
+          Alcotest.failf "%s: result %d differs between job counts" label i)
+      a
+  in
+  check_pass "cold pass";
+  check_pass "warm pass";
+  Alcotest.(check int) "same cache size"
+    (Plan_cache.length (Service.cache s1))
+    (Plan_cache.length (Service.cache s4));
+  let st1 = Plan_cache.stats (Service.cache s1) in
+  let st4 = Plan_cache.stats (Service.cache s4) in
+  Alcotest.(check (list int)) "same cache stats"
+    [ st1.hits; st1.coarse_hits; st1.misses; st1.insertions; st1.evictions ]
+    [ st4.hits; st4.coarse_hits; st4.misses; st4.insertions; st4.evictions ]
+
+let test_dedup_in_flight () =
+  let q = Helpers.random_query ~n_joins:8 123 in
+  let twin = permute_query (random_perm (Ljqo_stats.Rng.create 124) 9) q in
+  let s = Service.create small_config in
+  let served = Service.serve_batch s [| q; twin; q |] in
+  Alcotest.(check bool) "first is optimized" true
+    (served.(0).Service.source <> Service.Deduped);
+  Alcotest.(check bool) "relabeled twin deduped" true
+    (served.(1).Service.source = Service.Deduped);
+  Alcotest.(check bool) "repeat deduped" true
+    (served.(2).Service.source = Service.Deduped);
+  Alcotest.(check bool) "twin's plan valid on its own graph" true
+    (Plan.is_valid twin served.(1).Service.plan);
+  Alcotest.(check bool) "identical repeat gets the identical plan" true
+    (served.(2).Service.plan = served.(0).Service.plan);
+  Alcotest.(check int) "cached once" 1 (Plan_cache.length (Service.cache s))
+
+let test_disconnected_bypasses_cache () =
+  let q = Helpers.disconnected () in
+  let s = Service.create small_config in
+  let a = Service.serve s q in
+  let b = Service.serve s q in
+  Alcotest.(check bool) "first serve cold" true (a.Service.source = Service.Cold);
+  Alcotest.(check bool) "second serve still cold" true
+    (b.Service.source = Service.Cold);
+  Alcotest.(check bool) "same plan both times" true
+    (a.Service.plan = b.Service.plan);
+  Alcotest.(check int) "nothing cached" 0 (Plan_cache.length (Service.cache s))
+
+let test_create_validation () =
+  (match Service.create ~cache_capacity:0 Service.default_config with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "cache capacity 0 must raise");
+  match
+    Service.create
+      { Service.default_config with budget = Service.Fixed_ticks 0 }
+  with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "zero tick budget must raise"
+
+let suite =
+  [
+    prop_relabel_invariant;
+    prop_plan_maps_across_relabeling;
+    Alcotest.test_case "exact-key collision smoke" `Quick test_collision_smoke;
+    Alcotest.test_case "canonical roundtrip" `Quick test_canonical_roundtrip;
+    Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
+    Alcotest.test_case "cache admission policy" `Quick test_cache_admission;
+    Alcotest.test_case "cache lookup and counters" `Quick
+      test_cache_lookup_counters;
+    Alcotest.test_case "cache rejects bad capacity" `Quick
+      test_cache_rejects_bad_capacity;
+    Alcotest.test_case "second pass served from cache" `Quick
+      test_second_pass_all_hits;
+    Alcotest.test_case "warm no worse than cold" `Slow
+      test_warm_no_worse_than_cold;
+    Alcotest.test_case "deterministic across job counts" `Quick
+      test_jobs_determinism;
+    Alcotest.test_case "in-flight dedup" `Quick test_dedup_in_flight;
+    Alcotest.test_case "disconnected queries bypass the cache" `Quick
+      test_disconnected_bypasses_cache;
+    Alcotest.test_case "create validates its inputs" `Quick
+      test_create_validation;
+  ]

@@ -44,6 +44,27 @@ let test_never_worse_than_phase_one_alone () =
   Alcotest.(check bool) "2PO <= phase one alone" true
     (Evaluator.best_cost two <= Evaluator.best_cost ev +. 1e-9)
 
+let test_warm_start () =
+  (* A warm start is descended before the random phase-one starts, so the
+     result can never be worse than the start's own cost, even with a budget
+     too small to finish the random starts. *)
+  let q = Helpers.random_query ~n_joins:10 1605 in
+  let start = Helpers.valid_random_plan q 1606 in
+  let start_cost = Ljqo_cost.Plan_cost.total mem q start in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:2_000 () in
+  (try Two_phase.run ~start ev (Ljqo_stats.Rng.create 1607)
+   with Budget.Exhausted | Evaluator.Converged -> ());
+  Alcotest.(check bool) "warm 2PO <= start cost" true
+    (Evaluator.best_cost ev <= start_cost +. 1e-9)
+
+let test_warm_start_invalid_rejected () =
+  let q = Helpers.chain3 () in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:1_000 () in
+  match Two_phase.run ~start:[| 0; 2; 1 |] ev (Ljqo_stats.Rng.create 1608) with
+  | exception Invalid_argument _ ->
+    Alcotest.(check int) "no budget spent" 0 (Evaluator.used ev)
+  | () -> Alcotest.fail "invalid ?start must raise Invalid_argument"
+
 let test_deterministic () =
   let q = Helpers.random_query ~n_joins:8 1604 in
   let a = Evaluator.best_cost (run_2po q ~ticks:30_000 ~seed:7) in
@@ -75,6 +96,9 @@ let suite =
     Alcotest.test_case "uses budget" `Quick test_uses_budget;
     Alcotest.test_case "never worse than phase one" `Quick
       test_never_worse_than_phase_one_alone;
+    Alcotest.test_case "warm start honored" `Quick test_warm_start;
+    Alcotest.test_case "invalid warm start rejected" `Quick
+      test_warm_start_invalid_rejected;
     Alcotest.test_case "deterministic" `Quick test_deterministic;
     Alcotest.test_case "competitive with SA" `Slow test_competitive_with_sa;
   ]

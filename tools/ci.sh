@@ -37,6 +37,16 @@ LJQO_PERF_TOLERANCE="${LJQO_PERF_TOLERANCE:-1.0}" dune exec tools/perf_gate.exe 
   --baseline results/BENCH_micro.json --fresh "$fresh_a" --fresh "$fresh_b"
 rm -f "$fresh_a" "$fresh_b"
 
+# Plan-cache smoke: serving a workload twice through the service must turn
+# the whole second pass into exact hits at zero optimization ticks.
+cache_tmp=$(mktemp -d)
+dune exec bin/ljqo.exe -- workload -o "$cache_tmp/wl" --per-n 2
+dune exec bin/ljqo.exe -- serve-file "$cache_tmp/wl" --passes 2 --t-factor 1 \
+  | tee "$cache_tmp/serve.out"
+grep -q 'pass 2: 10 exact-hit, 0 warm-start, 0 cold, 0 deduped; 0 ticks' \
+  "$cache_tmp/serve.out"
+rm -rf "$cache_tmp"
+
 # Trace smoke: an instrumented optimize run must emit well-formed JSONL
 # trace events and a well-formed metrics snapshot.
 trace_tmp=$(mktemp -d)
