@@ -184,10 +184,21 @@ let () =
   in
   let module Obs = Ljqo_obs.Obs in
   if o.metrics then Obs.set_enabled true;
+  if o.metrics || o.trace <> None then Obs.set_spans true;
   Option.iter (fun path -> Obs.trace_to ~sample:o.trace_sample ~path ()) o.trace;
-  Fun.protect ~finally:(fun () ->
+  (* Idempotent flush, hooked both into [Fun.protect] (normal return and
+     exceptions) and [at_exit] (anything that calls [exit] mid-run), so a
+     dying run still leaves a parseable metrics file and a closed trace. *)
+  let flushed = ref false in
+  let flush () =
+    if not !flushed then begin
+      flushed := true;
       if o.metrics then Obs.write_metrics ~path:o.metrics_out;
-      Obs.trace_close ())
+      Obs.trace_close ()
+    end
+  in
+  at_exit flush;
+  Fun.protect ~finally:flush
   @@ fun () ->
   List.iter
     (fun exp ->

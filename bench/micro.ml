@@ -306,9 +306,31 @@ let test_cache_put =
          Plan_cache.put bench_cache ~exact:(Fingerprint.exact_key fp)
            ~coarse:(Fingerprint.coarse_key fp) cache_entry))
 
+(* ------------------------------------------------------------------ *)
+(* Observability-off overhead: the cost a hot loop pays per
+   instrumentation site when collection is disabled.  The contract is "one
+   boolean load and a predictable branch"; these kernels keep it honest.   *)
+
+module Obs = Ljqo_obs.Obs
+
+let test_obs_counter_off =
+  Test.make ~name:"obs:counter-disabled"
+    (Staged.stage (fun () -> Obs.bump Obs.Cost_evals))
+
+let test_obs_hist_off =
+  Test.make ~name:"obs:hist-disabled"
+    (Staged.stage (fun () -> Obs.hist_record Obs.Move_delta 42))
+
+let test_obs_span_off =
+  Test.make ~name:"obs:span-disabled"
+    (Staged.stage (fun () -> Obs.span "bench" (fun () -> Sys.opaque_identity 0)))
+
 let tests =
   Test.make_grouped ~name:"ljqo"
     [
+      test_obs_counter_off;
+      test_obs_hist_off;
+      test_obs_span_off;
       test_augmentation;
       test_kbz;
       test_eval_memory;

@@ -119,16 +119,25 @@ let check_knobs ~t_factor ~kappa ~trace_sample =
   if trace_sample < 1 then
     fail_usage "--trace-sample must be a positive integer, got %d" trace_sample
 
-(* Run [f] with metrics/tracing configured, flushing both on the way out
-   (including on exceptions, so a crashed run still leaves its trace). *)
+(* Run [f] with metrics/tracing/span capture configured, flushing on the way
+   out (including on exceptions, so a crashed run still leaves its trace).
+   The flush is idempotent and also registered with [at_exit], because
+   validation helpers deep inside a run ([fail_usage], the QDL error path)
+   call [exit] directly, which would bypass [Fun.protect]'s finalizer. *)
 let with_obs ~metrics ~trace ~trace_sample f =
   if Option.is_some metrics then Obs.set_enabled true;
+  if Option.is_some metrics || Option.is_some trace then Obs.set_spans true;
   Option.iter (fun path -> Obs.trace_to ~sample:trace_sample ~path ()) trace;
-  Fun.protect
-    ~finally:(fun () ->
+  let flushed = ref false in
+  let flush () =
+    if not !flushed then begin
+      flushed := true;
       Option.iter (fun path -> Obs.write_metrics ~path) metrics;
-      Obs.trace_close ())
-    f
+      Obs.trace_close ()
+    end
+  in
+  at_exit flush;
+  Fun.protect ~finally:flush f
 
 let query_file_arg =
   Arg.(
@@ -646,6 +655,108 @@ let serve_file_cmd =
       $ seed_arg $ cache_capacity $ jobs $ passes $ metrics_arg $ trace_arg
       $ trace_sample_arg)
 
+(* --- obs ---------------------------------------------------------------- *)
+
+module Export = Ljqo_obs.Export
+
+let load_events path =
+  match Export.events_of_file path with
+  | Ok events -> events
+  | Error (lineno, msg) -> fail_usage "%s:%d: %s" path lineno msg
+  | exception Sys_error e -> fail_usage "%s" e
+
+let write_output output content =
+  match output with
+  | None -> print_string content
+  | Some path ->
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () -> output_string oc content);
+    Printf.printf "wrote %s\n" path
+
+let trace_file_arg =
+  Arg.(
+    required & pos 0 (some file) None
+    & info [] ~docv:"TRACE.jsonl" ~doc:"JSONL trace written with --trace.")
+
+let output_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Write to FILE instead of stdout.")
+
+let obs_summary_cmd =
+  Cmd.v
+    (Cmd.info "summary" ~doc:"Summarize a trace: event counts and span totals")
+    Term.(const (fun file -> print_string (Export.summary (load_events file))) $ trace_file_arg)
+
+let obs_export_chrome_cmd =
+  Cmd.v
+    (Cmd.info "export-chrome"
+       ~doc:"Convert a trace to Chrome trace_event JSON (Perfetto-loadable)")
+    Term.(
+      const (fun file output -> write_output output (Export.chrome (load_events file)))
+      $ trace_file_arg $ output_arg)
+
+let obs_export_flame_cmd =
+  Cmd.v
+    (Cmd.info "export-flame"
+       ~doc:"Convert a trace's spans to folded-stack flamegraph text")
+    Term.(
+      const (fun file output -> write_output output (Export.flame (load_events file)))
+      $ trace_file_arg $ output_arg)
+
+(* Re-run the paper's core randomized methods on one query with trajectory
+   capture on, and render incumbent scaled cost against ticks charged. *)
+let obs_trajectory file model t_factor kappa seed output =
+  check_knobs ~t_factor ~kappa ~trace_sample:1;
+  let query = load_query file in
+  if not (Ljqo_catalog.Query.is_connected query) then
+    fail_usage "trajectory needs a connected query (got a cross-product query)";
+  let ticks = ticks_for query t_factor kappa in
+  Obs.set_enabled true;
+  Obs.reset ();
+  List.iter
+    (fun m ->
+      ignore
+        (Obs.with_run (Methods.name m) (fun () ->
+             Optimizer.optimize ~method_:m ~model ~ticks ~seed query)))
+    [ Methods.II; Methods.SA ];
+  Obs.with_run "2PO" (fun () ->
+      let ev = Evaluator.create ~query ~model ~ticks () in
+      let rng = Ljqo_stats.Rng.create seed in
+      Two_phase.run ev rng);
+  let series =
+    List.map
+      (fun (label, points) ->
+        {
+          Ljqo_report.Chart.name = label;
+          points = List.map (fun (t, c) -> (float_of_int t, c)) points;
+        })
+      (Obs.trajectories ())
+  in
+  let module M = (val model : Ljqo_cost.Cost_model.S) in
+  let title =
+    Printf.sprintf "%s: incumbent cost vs ticks (%s, %.3gN^2)"
+      (Filename.basename file) M.name t_factor
+  in
+  write_output output
+    (Ljqo_report.Chart.render_svg ~title ~x_label:"ticks charged"
+       ~y_label:"incumbent cost" series)
+
+let obs_trajectory_cmd =
+  Cmd.v
+    (Cmd.info "trajectory"
+       ~doc:"Run II, SA and two-phase on a query and plot cost vs ticks as SVG")
+    Term.(
+      const obs_trajectory $ query_file_arg $ model_arg $ t_factor_arg
+      $ kappa_arg $ seed_arg $ output_arg)
+
+let obs_cmd =
+  Cmd.group
+    (Cmd.info "obs" ~doc:"Inspect and export observability data")
+    [ obs_summary_cmd; obs_export_chrome_cmd; obs_export_flame_cmd; obs_trajectory_cmd ]
+
 (* --- listings ---------------------------------------------------------- *)
 
 let methods_cmd =
@@ -689,6 +800,7 @@ let () =
             inspect_cmd;
             workload_cmd;
             serve_file_cmd;
+            obs_cmd;
             methods_cmd;
             benchmarks_cmd;
           ]))

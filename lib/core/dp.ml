@@ -153,9 +153,8 @@ let optimize ?(max_relations = default_max_relations) ?jobs model query =
       if not (Bitset.is_empty entry.prev) then walk entry.prev (i - 1)
     in
     walk full (n - 1);
-    {
-      plan;
-      product_cost = best.cost;
-      clamped_cost = Plan_cost.total model query plan;
-      subsets_explored = !explored;
-    })
+    let clamped_cost = Plan_cost.total model query plan in
+    (* DP has no incumbent sequence; its trajectory is the single exact
+       answer, with subsets explored standing in for ticks. *)
+    Ljqo_obs.Obs.trajectory_point ~ticks:!explored ~cost:clamped_cost;
+    { plan; product_cost = best.cost; clamped_cost; subsets_explored = !explored })

@@ -19,6 +19,7 @@ let descend ?(params = default_params) state rng =
         Obs.move kind Obs.Invalid;
         incr failures
       | Some (after, snap) ->
+        Obs.hist_record_f Obs.Move_delta (Float.abs (after -. before));
         if after < before then begin
           Obs.move kind Obs.Accepted;
           Search_state.commit state;

@@ -137,7 +137,8 @@ let run ?(config = default_config) ?start method_ ev rng =
   (match start with
   | Some plan when not (Plan.is_valid (Evaluator.query ev) plan) ->
     invalid_arg "Methods.run: ?start is not a valid plan for this query"
-  | _ -> ());
+  | Some _ -> Obs.bump Obs.Warm_starts_used
+  | None -> ());
   (* A wall-clock deadline ends the run like tick exhaustion does — the
      incumbent survives — but the evaluator remembers ([deadline_hit]) so the
      harness can record the run as timed-out. *)

@@ -67,6 +67,7 @@ let anneal_once ?(params = default_params) ev rng ~start =
         | None -> Obs.move kind Obs.Invalid
         | Some (after, snap) ->
           let delta = after -. before in
+          Obs.hist_record_f Obs.Move_delta (Float.abs delta);
           let accept =
             delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temp)
           in

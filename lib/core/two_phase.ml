@@ -19,6 +19,7 @@ let default_params =
    [Simulated_annealing.anneal_once] but with the initial temperature given
    directly instead of probed. *)
 let anneal_low ~params ev rng ~start ~temperature =
+  Ljqo_obs.Obs.with_phase Ljqo_obs.Obs.Sa @@ fun () ->
   let sa = params.sa_params in
   let state = Search_state.init ev start in
   let n = Search_state.n state in
@@ -37,6 +38,7 @@ let anneal_low ~params ev rng ~start ~temperature =
         | None -> ()
         | Some (after, snap) ->
           let delta = after -. before in
+          Ljqo_obs.Obs.hist_record_f Ljqo_obs.Obs.Move_delta (Float.abs delta);
           if delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temp) then begin
             incr accepted;
             Search_state.commit state;

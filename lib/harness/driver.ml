@@ -77,7 +77,21 @@ let run_experiment ?kappa ?config ?(seed = 1) ?deadline ?checkpoint
       List.mapi
         (fun mi m ->
           List.init replicates (fun rep ->
+              (* The run label keys this (query, method, replicate) run's
+                 trajectory; it is also the natural span name. *)
+              let label =
+                Printf.sprintf "q%d.%s.r%d" entry.index (Methods.name m) rep
+              in
               let r =
+                Obs.with_run label @@ fun () ->
+                Obs.span "run"
+                  ~fields:
+                    [
+                      ("query", Obs.I entry.index);
+                      ("method", Obs.S (Methods.name m));
+                      ("replicate", Obs.I rep);
+                    ]
+                @@ fun () ->
                 Optimizer.optimize ?config ~checkpoints ?deadline ~method_:m
                   ~model ~ticks
                   ~seed:(run_seed ~seed ~query_seed:entry.seed ~replicate:rep ~method_index:mi)
@@ -124,7 +138,11 @@ let run_experiment ?kappa ?config ?(seed = 1) ?deadline ?checkpoint
     | None ->
       let g =
         Guard.run ~query_id:entry.index (fun () ->
-            Obs.with_phase Obs.Driver (fun () -> per_entry entry))
+            Obs.with_phase Obs.Driver (fun () ->
+                Obs.span "query"
+                  ~fields:
+                    [ ("index", Obs.I entry.index); ("n_joins", Obs.I entry.n_joins) ]
+                  (fun () -> per_entry entry)))
       in
       (match (g, store) with
       | Guard.Completed record, Some s -> Checkpoint.record s ~index:entry.index record

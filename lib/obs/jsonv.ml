@@ -1,0 +1,241 @@
+(* Minimal JSON support shared by the observability stack: the trace/metrics
+   writers (escaping), the exporters (parsing trace JSONL back in), and the
+   validators behind `ljqo-perf-gate --check-jsonl/--check-json` and the
+   qcheck round-trip suite.  The toolchain has no JSON library; this one is
+   deliberately small — full parser for objects/arrays/strings/numbers/
+   literals, \u escapes kept verbatim (validation and field extraction never
+   need the decoded code point). *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+module Parse = struct
+  type state = { s : string; mutable pos : int }
+
+  let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
+
+  let advance st = st.pos <- st.pos + 1
+
+  let fail st msg = raise (Bad (Printf.sprintf "offset %d: %s" st.pos msg))
+
+  let rec skip_ws st =
+    match peek st with
+    | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+    | _ -> ()
+
+  let expect st c =
+    match peek st with
+    | Some c' when c' = c -> advance st
+    | _ -> fail st (Printf.sprintf "expected %C" c)
+
+  let literal st word value =
+    String.iter (fun c -> expect st c) word;
+    value
+
+  let string_body st =
+    let buf = Buffer.create 16 in
+    let rec go () =
+      match peek st with
+      | None -> fail st "unterminated string"
+      | Some '"' -> advance st
+      | Some '\\' -> (
+        advance st;
+        match peek st with
+        | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
+        | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
+        | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
+        | Some 'b' -> advance st; Buffer.add_char buf '\b'; go ()
+        | Some 'f' -> advance st; Buffer.add_char buf '\012'; go ()
+        | Some (('"' | '\\' | '/') as c) -> advance st; Buffer.add_char buf c; go ()
+        | Some 'u' ->
+          (* keep the escape verbatim; validation only needs well-formedness *)
+          advance st;
+          Buffer.add_string buf "\\u";
+          for _ = 1 to 4 do
+            match peek st with
+            | Some (('0' .. '9' | 'a' .. 'f' | 'A' .. 'F') as c) ->
+              advance st;
+              Buffer.add_char buf c
+            | Some _ -> fail st "bad \\u escape"
+            | None -> fail st "truncated \\u escape"
+          done;
+          go ()
+        | _ -> fail st "bad escape")
+      | Some c when Char.code c < 0x20 -> fail st "raw control character in string"
+      | Some c ->
+        advance st;
+        Buffer.add_char buf c;
+        go ()
+    in
+    go ();
+    Buffer.contents buf
+
+  let number st =
+    let start = st.pos in
+    let is_num_char = function
+      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
+      | _ -> false
+    in
+    let rec go () =
+      match peek st with
+      | Some c when is_num_char c -> advance st; go ()
+      | _ -> ()
+    in
+    go ();
+    let tok = String.sub st.s start (st.pos - start) in
+    match float_of_string_opt tok with
+    | Some f -> Num f
+    | None -> fail st ("bad number " ^ tok)
+
+  let rec value st =
+    skip_ws st;
+    match peek st with
+    | None -> fail st "unexpected end of input"
+    | Some '{' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some '}' then (advance st; Obj [])
+      else
+        let rec members acc =
+          skip_ws st;
+          expect st '"';
+          let key = string_body st in
+          skip_ws st;
+          expect st ':';
+          let v = value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> advance st; members ((key, v) :: acc)
+          | Some '}' -> advance st; Obj (List.rev ((key, v) :: acc))
+          | _ -> fail st "expected ',' or '}'"
+        in
+        members []
+    | Some '[' ->
+      advance st;
+      skip_ws st;
+      if peek st = Some ']' then (advance st; List [])
+      else
+        let rec elements acc =
+          let v = value st in
+          skip_ws st;
+          match peek st with
+          | Some ',' -> advance st; elements (v :: acc)
+          | Some ']' -> advance st; List (List.rev (v :: acc))
+          | _ -> fail st "expected ',' or ']'"
+        in
+        elements []
+    | Some '"' -> advance st; Str (string_body st)
+    | Some 't' -> literal st "true" (Bool true)
+    | Some 'f' -> literal st "false" (Bool false)
+    | Some 'n' -> literal st "null" Null
+    | Some _ -> number st
+
+  let full s =
+    let st = { s; pos = 0 } in
+    let v = value st in
+    skip_ws st;
+    if st.pos <> String.length s then fail st "trailing garbage";
+    v
+end
+
+let parse_exn = Parse.full
+
+let parse s = try Ok (Parse.full s) with Bad msg -> Error msg
+
+let member key = function
+  | Obj fields -> List.assoc_opt key fields
+  | _ -> None
+
+(* ------------------------------------------------------------------ *)
+(* Writing.                                                            *)
+
+let escape b s =
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\r' -> Buffer.add_string b "\\r"
+      | '\t' -> Buffer.add_string b "\\t"
+      | c when Char.code c < 0x20 ->
+        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s
+
+(* JSON has no NaN/infinity literals; a non-finite measurement serializes as
+   null so every emitted line stays machine-parseable. *)
+let write_float b v =
+  if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
+  else Buffer.add_string b "null"
+
+let write_string b s =
+  Buffer.add_char b '"';
+  escape b s;
+  Buffer.add_char b '"'
+
+let rec write b = function
+  | Null -> Buffer.add_string b "null"
+  | Bool v -> Buffer.add_string b (if v then "true" else "false")
+  | Num v ->
+    if Float.is_integer v && Float.abs v < 1e15 then
+      Buffer.add_string b (Printf.sprintf "%.0f" v)
+    else write_float b v
+  | Str s -> write_string b s
+  | List vs ->
+    Buffer.add_char b '[';
+    List.iteri
+      (fun i v ->
+        if i > 0 then Buffer.add_char b ',';
+        write b v)
+      vs;
+    Buffer.add_char b ']'
+  | Obj fields ->
+    Buffer.add_char b '{';
+    List.iteri
+      (fun i (k, v) ->
+        if i > 0 then Buffer.add_char b ',';
+        write_string b k;
+        Buffer.add_char b ':';
+        write b v)
+      fields;
+    Buffer.add_char b '}'
+
+(* ------------------------------------------------------------------ *)
+(* Validation (the perf-gate --check-jsonl / --check-json policies).   *)
+
+let check_line line =
+  match Parse.full line with
+  | Obj _ as obj -> (
+    match member "ev" obj with
+    | Some (Str _) -> Ok ()
+    | _ -> Error "object lacks an \"ev\" string field")
+  | _ -> Error "line is not a JSON object"
+  | exception Bad msg -> Error msg
+
+(* Every non-blank line must be an event object, and there must be at least
+   one; returns the event count or (line number, message). *)
+let check_jsonl content =
+  let lines = String.split_on_char '\n' content in
+  let rec go lineno events = function
+    | [] -> if events = 0 then Error (0, "no trace events") else Ok events
+    | line :: rest ->
+      if String.trim line = "" then go (lineno + 1) events rest
+      else (
+        match check_line line with
+        | Ok () -> go (lineno + 1) (events + 1) rest
+        | Error msg -> Error (lineno, msg))
+  in
+  go 1 0 lines
+
+let check_json content =
+  match parse content with Ok _ -> Ok () | Error msg -> Error msg

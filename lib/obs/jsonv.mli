@@ -1,0 +1,51 @@
+(** Minimal JSON parse/write/validate, shared by the trace and metrics
+    writers, the span exporters, `ljqo-perf-gate`'s check modes, and the
+    round-trip test suite.  Strict enough to be a real validator: raw
+    control characters in strings, malformed [\u] escapes and trailing
+    garbage are all refused. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Num of float
+  | Str of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Bad of string
+
+val parse : string -> (t, string) result
+(** Parse one complete JSON value (no trailing garbage). *)
+
+val parse_exn : string -> t
+(** Like {!parse}; raises {!Bad}. *)
+
+val member : string -> t -> t option
+(** Field lookup on an [Obj]; [None] elsewhere. *)
+
+(** {1 Writing} *)
+
+val escape : Buffer.t -> string -> unit
+(** Append the JSON string-escaped form (no surrounding quotes). *)
+
+val write_string : Buffer.t -> string -> unit
+(** Append a quoted, escaped JSON string. *)
+
+val write_float : Buffer.t -> float -> unit
+(** Append a float; non-finite values serialize as [null] so emitted
+    documents always stay parseable. *)
+
+val write : Buffer.t -> t -> unit
+(** Append any value (compact, no whitespace). *)
+
+(** {1 Validators} *)
+
+val check_line : string -> (unit, string) result
+(** One JSONL trace line: a JSON object with an ["ev"] string field. *)
+
+val check_jsonl : string -> (int, int * string) result
+(** Whole-file JSONL policy: every non-blank line passes {!check_line} and
+    there is at least one event.  [Ok events] or [Error (lineno, msg)]. *)
+
+val check_json : string -> (unit, string) result
+(** The whole string is one well-formed JSON value. *)

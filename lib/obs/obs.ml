@@ -9,11 +9,26 @@
    instrumented work is itself deterministic per (query, method, replicate),
    they are *identical* across job counts.
 
+   Histograms use the same discipline: each registered histogram is a dense
+   array of atomic bucket cells (see Hist for the bucket geometry), so
+   recording is a couple of fetch-and-adds and snapshots are exact.  The
+   tick-domain histograms (move cost deltas, per-request ticks) are
+   deterministic and appear in [deterministic_view]; the wall-clock ones
+   (span durations, latencies) never do.
+
+   Spans build a per-domain tree: a domain-local stack tracks the open
+   span path, completed spans go to a mutex-protected in-memory ring (for
+   in-process exporters) and to the trace sink as "span" events (for
+   post-mortem tooling).  Span capture is pure observation and separately
+   switched, so the deterministic cells are bit-identical with spans on or
+   off.
+
    The trace sink is a mutex-protected JSONL channel.  Events are pure
    observations (no RNG, no ticks), so tracing never changes optimizer
    results; timestamps and domain ids make individual lines
    non-deterministic, which is fine — determinism is claimed for optimizer
-   outputs and counter totals, not for trace bytes. *)
+   outputs, counter totals, tick histograms and trajectories, not for trace
+   bytes. *)
 
 let enabled_flag = ref false
 
@@ -46,6 +61,8 @@ type counter =
   | Cache_insertions
   | Cache_evictions
   | Service_dedups
+  | Warm_starts_used
+  | Warm_start_wins
 
 let counter_index = function
   | Cost_evals -> 0
@@ -69,6 +86,8 @@ let counter_index = function
   | Cache_insertions -> 18
   | Cache_evictions -> 19
   | Service_dedups -> 20
+  | Warm_starts_used -> 21
+  | Warm_start_wins -> 22
 
 let counter_names =
   [|
@@ -93,6 +112,8 @@ let counter_names =
     "cache.insertions";
     "cache.evictions";
     "service.dedups";
+    "warm_starts.used";
+    "warm_starts.wins";
   |]
 
 let n_counters = Array.length counter_names
@@ -153,6 +174,80 @@ let move kind outcome =
     bump_cell (moves_base + (kind_index kind * n_outcomes) + outcome_index outcome) 1
 
 (* ------------------------------------------------------------------ *)
+(* Histograms.                                                         *)
+
+type hist =
+  | Move_delta
+  | Request_ticks
+  | Span_ns
+  | Service_latency_ns
+  | Cache_lookup_ns
+
+let hist_index = function
+  | Move_delta -> 0
+  | Request_ticks -> 1
+  | Span_ns -> 2
+  | Service_latency_ns -> 3
+  | Cache_lookup_ns -> 4
+
+let hist_names =
+  [|
+    "move.cost_delta";
+    "service.request_ticks";
+    "span.duration_ns";
+    "service.latency_ns";
+    "cache.lookup_ns";
+  |]
+
+(* Tick-domain histograms are deterministic per seeded run and belong in
+   [deterministic_view]; wall-clock ones never do. *)
+let hist_deterministic = [| true; true; false; false; false |]
+
+let n_hists = Array.length hist_names
+
+let hist_cells =
+  Array.init n_hists (fun _ -> Array.init Hist.n_buckets (fun _ -> Atomic.make 0))
+
+let hist_count = Array.init n_hists (fun _ -> Atomic.make 0)
+
+let hist_sum = Array.init n_hists (fun _ -> Atomic.make 0)
+
+let hist_record_raw i v =
+  ignore (Atomic.fetch_and_add hist_cells.(i).(Hist.index v) 1);
+  ignore (Atomic.fetch_and_add hist_count.(i) 1);
+  ignore (Atomic.fetch_and_add hist_sum.(i) v)
+
+let hist_record h v =
+  if !enabled_flag then hist_record_raw (hist_index h) (if v < 0 then 0 else v)
+
+let hist_record_f h v =
+  if !enabled_flag then begin
+    let cap = float_of_int (max_int / 2) in
+    let q =
+      if Float.is_nan v || v <= 0.0 then 0
+      else if v >= cap then max_int / 2
+      else int_of_float v
+    in
+    hist_record_raw (hist_index h) q
+  end
+
+let time h f =
+  if not !enabled_flag then f ()
+  else begin
+    let t0 = Unix.gettimeofday () in
+    Fun.protect
+      ~finally:(fun () ->
+        hist_record_f h ((Unix.gettimeofday () -. t0) *. 1e9))
+      f
+  end
+
+let hist_snapshot i =
+  Hist.of_cells
+    ~counts:(Array.map Atomic.get hist_cells.(i))
+    ~count:(Atomic.get hist_count.(i))
+    ~sum:(Atomic.get hist_sum.(i))
+
+(* ------------------------------------------------------------------ *)
 (* Phase attribution.                                                  *)
 
 let phase_key = Domain.DLS.new_key (fun () -> phase_index Other)
@@ -165,6 +260,55 @@ let charged k =
   end
 
 let now () = Unix.gettimeofday ()
+
+(* Zero of the in-process span timeline (spans can be captured to the ring
+   with no sink open). *)
+let proc_t0 = now ()
+
+(* ------------------------------------------------------------------ *)
+(* Trajectories: incumbent (ticks, cost) samples per labelled run.      *)
+
+let run_key : string option Domain.DLS.key = Domain.DLS.new_key (fun () -> None)
+
+let traj_mutex = Mutex.create ()
+
+(* label -> reversed sample list.  A labelled run executes sequentially on
+   one domain, so per-label order is the run's own chronological order;
+   distinct runs have distinct labels, so totals are independent of how runs
+   are scheduled over domains. *)
+let traj_table : (string, (int * float) list ref) Hashtbl.t = Hashtbl.create 64
+
+let with_run label f =
+  let prev = Domain.DLS.get run_key in
+  Domain.DLS.set run_key (Some label);
+  Fun.protect ~finally:(fun () -> Domain.DLS.set run_key prev) f
+
+let trajectory_point ~ticks ~cost =
+  if !enabled_flag then
+    match Domain.DLS.get run_key with
+    | None -> ()
+    | Some label ->
+      Mutex.lock traj_mutex;
+      Fun.protect
+        ~finally:(fun () -> Mutex.unlock traj_mutex)
+        (fun () ->
+          let r =
+            match Hashtbl.find_opt traj_table label with
+            | Some r -> r
+            | None ->
+              let r = ref [] in
+              Hashtbl.add traj_table label r;
+              r
+          in
+          r := (ticks, cost) :: !r)
+
+let trajectories () =
+  Mutex.lock traj_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock traj_mutex)
+    (fun () ->
+      Hashtbl.fold (fun label r acc -> (label, List.rev !r) :: acc) traj_table []
+      |> List.sort compare)
 
 (* ------------------------------------------------------------------ *)
 (* Trace sink.                                                         *)
@@ -211,44 +355,21 @@ let trace_to ?(sample = 1) ~path () =
 
 let tracing () = !sink <> None
 
-let json_escape b s =
-  String.iter
-    (fun c ->
-      match c with
-      | '"' -> Buffer.add_string b "\\\""
-      | '\\' -> Buffer.add_string b "\\\\"
-      | '\n' -> Buffer.add_string b "\\n"
-      | '\r' -> Buffer.add_string b "\\r"
-      | '\t' -> Buffer.add_string b "\\t"
-      | c when Char.code c < 0x20 ->
-        Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
-      | c -> Buffer.add_char b c)
-    s
-
-(* JSON has no NaN/infinity literals; a non-finite measurement serializes as
-   null so every emitted line stays machine-parseable. *)
-let json_float b v =
-  if Float.is_finite v then Buffer.add_string b (Printf.sprintf "%.17g" v)
-  else Buffer.add_string b "null"
-
 let add_field b (name, v) =
   Buffer.add_string b ",\"";
-  json_escape b name;
+  Jsonv.escape b name;
   Buffer.add_string b "\":";
   match v with
   | I i -> Buffer.add_string b (string_of_int i)
-  | F f -> json_float b f
-  | S s ->
-    Buffer.add_char b '"';
-    json_escape b s;
-    Buffer.add_char b '"'
+  | F f -> Jsonv.write_float b f
+  | S s -> Jsonv.write_string b s
 
 let emit s name fields =
   let b = Buffer.create 128 in
   Buffer.add_string b "{\"ev\":\"";
-  json_escape b name;
+  Jsonv.escape b name;
   Buffer.add_string b "\",\"ts\":";
-  json_float b (now () -. s.t0);
+  Jsonv.write_float b (now () -. s.t0);
   Buffer.add_string b ",\"dom\":";
   Buffer.add_string b (string_of_int (Domain.self () :> int));
   List.iter (add_field b) fields;
@@ -286,6 +407,129 @@ let trace_sampled name make_fields =
         if keep then emit s name (make_fields ()))
 
 (* ------------------------------------------------------------------ *)
+(* Spans.                                                              *)
+
+type span_rec = {
+  span_name : string;
+  path : string;  (* root-first, ';'-separated *)
+  dom : int;
+  depth : int;
+  t_start : float;  (* seconds since process start *)
+  dur_ns : int;
+  self_ns : int;
+  span_fields : (string * field) list;
+}
+
+let spans_flag = ref false
+
+let span_ring_mutex = Mutex.create ()
+
+let span_ring : span_rec option array ref = ref [||]
+
+let span_ring_next = ref 0 (* total completed spans pushed, monotone *)
+
+let default_ring_capacity = 65_536
+
+let set_spans ?(ring_capacity = default_ring_capacity) on =
+  if ring_capacity < 1 then
+    invalid_arg "Obs.set_spans: ring_capacity must be >= 1";
+  Mutex.lock span_ring_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock span_ring_mutex)
+    (fun () ->
+      spans_flag := on;
+      if on && Array.length !span_ring <> ring_capacity then begin
+        span_ring := Array.make ring_capacity None;
+        span_ring_next := 0
+      end)
+
+let spans_enabled () = !spans_flag
+
+let ring_push rec_ =
+  Mutex.lock span_ring_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock span_ring_mutex)
+    (fun () ->
+      let ring = !span_ring in
+      let cap = Array.length ring in
+      if cap > 0 then begin
+        ring.(!span_ring_next mod cap) <- Some rec_;
+        incr span_ring_next
+      end)
+
+let spans () =
+  Mutex.lock span_ring_mutex;
+  Fun.protect
+    ~finally:(fun () -> Mutex.unlock span_ring_mutex)
+    (fun () ->
+      let ring = !span_ring in
+      let cap = Array.length ring in
+      if cap = 0 then []
+      else begin
+        let total = !span_ring_next in
+        let first = if total > cap then total - cap else 0 in
+        let out = ref [] in
+        for k = total - 1 downto first do
+          match ring.(k mod cap) with
+          | Some r -> out := r :: !out
+          | None -> ()
+        done;
+        !out
+      end)
+
+(* Per-domain stack of open spans; [child_ns] accumulates completed child
+   durations so a span's self time is [dur - children]. *)
+type frame = { f_path : string; mutable child_ns : int }
+
+let span_stack : frame list ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref [])
+
+let span ?(fields = []) name f =
+  if (not !spans_flag) && !sink = None then f ()
+  else begin
+    let stack = Domain.DLS.get span_stack in
+    let path =
+      match !stack with [] -> name | p :: _ -> p.f_path ^ ";" ^ name
+    in
+    let depth = List.length !stack in
+    let fr = { f_path = path; child_ns = 0 } in
+    stack := fr :: !stack;
+    let t0 = now () in
+    Fun.protect
+      ~finally:(fun () ->
+        let dur_ns = int_of_float ((now () -. t0) *. 1e9) in
+        (stack := match !stack with _ :: tl -> tl | [] -> []);
+        (match !stack with
+        | parent :: _ -> parent.child_ns <- parent.child_ns + dur_ns
+        | [] -> ());
+        let self_ns = max 0 (dur_ns - fr.child_ns) in
+        hist_record Span_ns dur_ns;
+        if !spans_flag then
+          ring_push
+            {
+              span_name = name;
+              path;
+              dom = (Domain.self () :> int);
+              depth;
+              t_start = t0 -. proc_t0;
+              dur_ns;
+              self_ns;
+              span_fields = fields;
+            };
+        if tracing () then
+          trace "span"
+            ([
+               ("name", S name);
+               ("path", S path);
+               ("dur_ns", I dur_ns);
+               ("self_ns", I self_ns);
+               ("depth", I depth);
+             ]
+            @ fields))
+      f
+  end
+
+(* ------------------------------------------------------------------ *)
 (* Phase scope (needs the trace sink above for begin/end events).      *)
 
 let with_phase p f =
@@ -319,11 +563,22 @@ type snapshot = {
   counters : (string * int) list;
   moves : (string * move_stat) list;
   phases : (string * phase_stat) list;
+  hists : (string * Hist.t) list;
 }
 
 let reset () =
   Array.iter (fun c -> Atomic.set c 0) cells;
   Array.iter (fun c -> Atomic.set c 0) phase_wall;
+  Array.iter (fun cs -> Array.iter (fun c -> Atomic.set c 0) cs) hist_cells;
+  Array.iter (fun c -> Atomic.set c 0) hist_count;
+  Array.iter (fun c -> Atomic.set c 0) hist_sum;
+  Mutex.lock traj_mutex;
+  Hashtbl.reset traj_table;
+  Mutex.unlock traj_mutex;
+  Mutex.lock span_ring_mutex;
+  Array.fill !span_ring 0 (Array.length !span_ring) None;
+  span_ring_next := 0;
+  Mutex.unlock span_ring_mutex;
   match !sink with
   | None -> ()
   | Some s ->
@@ -352,7 +607,21 @@ let snapshot () =
             ticks = Atomic.get cells.(phase_ticks_base + p);
           } ))
   in
-  { counters; moves; phases }
+  let hists = List.init n_hists (fun i -> (hist_names.(i), hist_snapshot i)) in
+  { counters; moves; phases; hists }
+
+let hist_is_deterministic name =
+  let rec go i =
+    if i >= n_hists then false
+    else if hist_names.(i) = name then hist_deterministic.(i)
+    else go (i + 1)
+  in
+  go 0
+
+(* Positive costs have a zero sign bit, so the low 62 bits of the IEEE
+   encoding are injective on them; [Int64.to_int] keeps the view an int
+   list without losing information. *)
+let float_bits_as_int v = Int64.to_int (Int64.bits_of_float v)
 
 let deterministic_view s =
   let cells =
@@ -367,15 +636,50 @@ let deterministic_view s =
           ])
         s.moves
     @ List.map (fun (p, st) -> ("phases." ^ p ^ ".ticks", st.ticks)) s.phases
+    @ List.concat_map
+        (fun (name, h) ->
+          if not (hist_is_deterministic name) then []
+          else
+            ("hist." ^ name ^ ".count", Hist.count h)
+            :: ("hist." ^ name ^ ".sum", Hist.sum h)
+            :: List.map
+                 (fun (i, c) -> (Printf.sprintf "hist.%s.b%04d" name i, c))
+                 (Hist.nonzero h))
+        s.hists
+    @ List.concat_map
+        (fun (label, points) ->
+          List.concat
+            (List.mapi
+               (fun k (ticks, cost) ->
+                 [
+                   (Printf.sprintf "traj.%s.%04d.ticks" label k, ticks);
+                   (Printf.sprintf "traj.%s.%04d.cost" label k, float_bits_as_int cost);
+                 ])
+               points))
+        (trajectories ())
   in
   List.sort compare cells
+
+let metrics_schema = "ljqo-metrics/2"
+
+let hist_json h =
+  Printf.sprintf
+    "{\"count\": %d, \"sum\": %d, \"mean\": %.3f, \"p50\": %d, \"p90\": %d, \
+     \"p99\": %d, \"min\": %d, \"max\": %d, \"buckets\": [%s]}"
+    (Hist.count h) (Hist.sum h) (Hist.mean h) (Hist.quantile h 0.5)
+    (Hist.quantile h 0.9) (Hist.quantile h 0.99) (Hist.min_value h)
+    (Hist.max_value h)
+    (String.concat ", "
+       (List.map
+          (fun (i, c) -> Printf.sprintf "[%d, %d]" (Hist.bucket_lo i) c)
+          (Hist.nonzero h)))
 
 let to_json s =
   let b = Buffer.create 1024 in
   let entry ?(last = false) indent name body =
     Buffer.add_string b indent;
     Buffer.add_char b '"';
-    json_escape b name;
+    Jsonv.escape b name;
     Buffer.add_string b "\": ";
     Buffer.add_string b body;
     if not last then Buffer.add_char b ',';
@@ -389,7 +693,7 @@ let to_json s =
       entries indent rest
   in
   Buffer.add_string b "{\n";
-  entry "  " "schema" "\"ljqo-metrics/1\"";
+  entry "  " "schema" ("\"" ^ metrics_schema ^ "\"");
   Buffer.add_string b "  \"counters\": {\n";
   entries "    " (List.map (fun (n, v) -> (n, string_of_int v)) s.counters);
   Buffer.add_string b "  },\n";
@@ -409,6 +713,9 @@ let to_json s =
        (fun (p, st) ->
          (p, Printf.sprintf "{\"wall_ns\": %d, \"ticks\": %d}" st.wall_ns st.ticks))
        s.phases);
+  Buffer.add_string b "  },\n";
+  Buffer.add_string b "  \"histograms\": {\n";
+  entries "    " (List.map (fun (n, h) -> (n, hist_json h)) s.hists);
   Buffer.add_string b "  }\n}\n";
   Buffer.contents b
 

@@ -1,20 +1,21 @@
-(** Search-loop observability: process-wide counters, per-phase tick/time
-    attribution, and a sampled JSONL trace-event sink.
+(** Search-loop observability: process-wide counters, histograms, hierarchical
+    spans, per-phase tick/time attribution, incumbent trajectories, and a
+    sampled JSONL trace-event sink.
 
     The paper's methodology is trajectories — scaled cost as a function of
     the time limit — yet the optimizer otherwise runs as a black box.  This
-    module makes the search loop visible without perturbing it: counters and
-    trace events are pure observations (no RNG draws, no tick charges), so
-    for a fixed seed the optimizer's plans and costs are bit-identical
-    whether instrumentation is on or off.
+    module makes the search loop visible without perturbing it: counters,
+    histograms, spans and trace events are pure observations (no RNG draws,
+    no tick charges), so for a fixed seed the optimizer's plans and costs are
+    bit-identical whether instrumentation is on or off.
 
     Everything is disabled by default.  Each instrumentation point is guarded
     by one boolean load, so the hot paths pay a branch and nothing else when
-    observability is off ({!set_enabled}/{!trace_to} are expected before a
-    run starts, from the main domain, not mid-flight).  When enabled,
-    counters are atomics: totals are exact — and, because the work each
-    (query, method, replicate) run performs is deterministic, identical —
-    for any job count.
+    observability is off ({!set_enabled}/{!set_spans}/{!trace_to} are
+    expected before a run starts, from the main domain, not mid-flight).
+    When enabled, counters and histogram cells are atomics: totals are
+    exact — and, because the work each (query, method, replicate) run
+    performs is deterministic, identical — for any job count.
 
     Tick attribution uses a domain-local current-phase mark maintained by
     {!with_phase}: {!charged} adds to the innermost enclosing phase, so
@@ -24,13 +25,15 @@
 (** {1 Global switch} *)
 
 val set_enabled : bool -> unit
-(** Turn counter/timer collection on or off.  Flip only between runs. *)
+(** Turn counter/histogram/timer collection on or off.  Flip only between
+    runs. *)
 
 val enabled : unit -> bool
 
 val reset : unit -> unit
-(** Zero all counters and phase accumulators (trace sampling state too).
-    Call only when no instrumented run is in flight. *)
+(** Zero all counters, histograms, phase accumulators, trajectories and the
+    span ring (trace sampling state too).  Call only when no instrumented
+    run is in flight. *)
 
 (** {1 Counters} *)
 
@@ -56,6 +59,9 @@ type counter =
   | Cache_insertions  (** plan-cache entries admitted or replaced *)
   | Cache_evictions  (** plan-cache entries evicted by the LRU policy *)
   | Service_dedups  (** in-flight requests deduplicated against a batch twin *)
+  | Warm_starts_used  (** method runs that began from a supplied warm plan *)
+  | Warm_start_wins
+      (** served requests whose warm/cached plan was never beaten *)
 
 val bump : counter -> unit
 (** Add one.  A no-op (one boolean load) when disabled. *)
@@ -65,6 +71,31 @@ val add : counter -> int -> unit
 val charged : int -> unit
 (** One [Budget.charge] of [k] ticks: bumps [Budget_charges], adds [k] to
     [Budget_ticks] and to the current phase's tick account. *)
+
+(** {1 Histograms}
+
+    Log-bucketed (see {!Hist}) distributions over a fixed registry.  The
+    tick-domain histograms ([Move_delta], [Request_ticks]) are deterministic
+    per seeded run and are part of {!deterministic_view}; the wall-clock
+    ones ([Span_ns], [Service_latency_ns], [Cache_lookup_ns]) are reported
+    in snapshots only. *)
+
+type hist =
+  | Move_delta  (** |scaled-cost delta| of each attempted move (ticks domain) *)
+  | Request_ticks  (** optimizer ticks charged per served request *)
+  | Span_ns  (** span wall durations *)
+  | Service_latency_ns  (** per-request serving wall latency *)
+  | Cache_lookup_ns  (** plan-cache lookup wall time *)
+
+val hist_record : hist -> int -> unit
+(** Record one value (negatives clamp to 0).  A no-op when disabled. *)
+
+val hist_record_f : hist -> float -> unit
+(** Record a float measurement (NaN/negatives as 0, overlarge saturates). *)
+
+val time : hist -> (unit -> 'a) -> 'a
+(** [time h f] runs [f] and records its wall duration in nanoseconds into
+    [h]; meant for the wall-clock histograms.  Just [f ()] when disabled. *)
 
 (** {1 Moves} *)
 
@@ -88,9 +119,65 @@ val with_phase : phase -> (unit -> 'a) -> 'a
     account.  Nested phases restore the enclosing one; exceptions pass
     through.  When both counters and tracing are off this is just [f ()]. *)
 
-(** {1 Trace events (JSONL)} *)
+(** {1 Spans}
+
+    Hierarchical wall-clock scopes.  Spans nest freely (within and under
+    {!with_phase}); each domain keeps its own open-span stack, so the path
+    of a span is the chain of enclosing spans on that domain.  Completed
+    spans are appended to a bounded in-memory ring (newest win once full)
+    when span capture is on, emitted to the trace sink as ["span"] events
+    when tracing, and their durations feed the [Span_ns] histogram when
+    counters are enabled.  When span capture, tracing and counters are all
+    off, {!span} is just [f ()] behind one branch. *)
 
 type field = I of int | F of float | S of string
+(** Trace/span payload values; also used by {!trace}. *)
+
+type span_rec = {
+  span_name : string;
+  path : string;  (** root-first, [';']-separated — flamegraph fold key *)
+  dom : int;
+  depth : int;
+  t_start : float;  (** seconds since process start *)
+  dur_ns : int;
+  self_ns : int;  (** [dur_ns] minus time inside child spans *)
+  span_fields : (string * field) list;
+}
+
+val set_spans : ?ring_capacity:int -> bool -> unit
+(** Turn span capture on or off.  [ring_capacity] (default 65536) bounds the
+    in-memory ring; when full, new spans overwrite the oldest.  Flip only
+    between runs. *)
+
+val spans_enabled : unit -> bool
+
+val span : ?fields:(string * field) list -> string -> (unit -> 'a) -> 'a
+(** [span name f] runs [f] as a span.  Exceptions pass through and still
+    close the span. *)
+
+val spans : unit -> span_rec list
+(** Contents of the span ring, oldest first. *)
+
+(** {1 Trajectories}
+
+    Incumbent (ticks-charged, scaled-cost) samples per labelled run — the
+    paper's cost-versus-budget curves, captured live.  Purely observational
+    and tick-domain, hence part of {!deterministic_view}. *)
+
+val with_run : string -> (unit -> 'a) -> 'a
+(** Run [f] with the domain-local run label set (e.g. ["q3.sa.r1"]); nested
+    labels restore the enclosing one.  A label identifies one sequential
+    (query, method, replicate) run, so its sample order is deterministic. *)
+
+val trajectory_point : ticks:int -> cost:float -> unit
+(** Record one incumbent sample against the current run label.  A no-op when
+    disabled or outside {!with_run}. *)
+
+val trajectories : unit -> (string * (int * float) list) list
+(** All recorded trajectories, sorted by label, samples in recording
+    order. *)
+
+(** {1 Trace events (JSONL)} *)
 
 val trace_to : ?sample:int -> path:string -> unit -> unit
 (** Open a JSONL trace sink.  [sample] (default 1) keeps one in every
@@ -121,19 +208,25 @@ type snapshot = {
   counters : (string * int) list;  (** sorted by name *)
   moves : (string * move_stat) list;
   phases : (string * phase_stat) list;
+  hists : (string * Hist.t) list;  (** the full histogram registry *)
 }
 
 val snapshot : unit -> snapshot
 
 val deterministic_view : snapshot -> (string * int) list
 (** Every deterministic cell — counters, move cells, phase {e tick}
-    accounts — flattened to sorted (name, value) pairs; wall-clock values
-    are excluded.  Two runs of the same seeded work must produce equal
-    views whatever the job count. *)
+    accounts, tick-domain histogram buckets, trajectory samples (costs as
+    IEEE-754 bit patterns) — flattened to sorted (name, value) pairs;
+    wall-clock values are excluded.  Two runs of the same seeded work must
+    produce equal views whatever the job count and whether spans/tracing
+    are on or off. *)
+
+val metrics_schema : string
+(** The snapshot schema identifier, ["ljqo-metrics/2"]. *)
 
 val to_json : snapshot -> string
-(** The metrics schema (["ljqo-metrics/1"]): counters, moves and phases as
-    nested objects, keys sorted, one trailing newline. *)
+(** The metrics document ({!metrics_schema}): counters, moves, phases and
+    histograms as nested objects, keys sorted, one trailing newline. *)
 
 val write_metrics : path:string -> unit
 (** Serialize {!snapshot} to [path] (creating parent directories), e.g.

@@ -93,8 +93,12 @@ let instantiate query fp (e : Plan_cache.entry) =
 let serve_batch ?jobs t queries =
   let n = Array.length queries in
   if n = 0 then [||]
-  else begin
-    let fps = Parallel.map_array ?jobs Fingerprint.compute queries in
+  else
+    Obs.span "serve_batch" ~fields:[ ("batch", Obs.I n) ] @@ fun () ->
+    let fps =
+      Obs.span "fingerprint" (fun () ->
+          Parallel.map_array ?jobs Fingerprint.compute queries)
+    in
     (* In-flight dedup: the first request with a given exact key is the
        representative; its twins share the result. *)
     let rep_of_key = Hashtbl.create (2 * n) in
@@ -112,22 +116,25 @@ let serve_batch ?jobs t queries =
        and the counters it bumps — is independent of how the optimizations
        below are scheduled. *)
     let cls = Array.make n `Dup in
-    for i = 0 to n - 1 do
-      if rep.(i) = i then begin
-        let q = queries.(i) and fp = fps.(i) in
-        if not (Query.is_connected q) then cls.(i) <- `Work None
-        else
-          cls.(i) <-
-            (match
-               Plan_cache.lookup t.cache ~exact:(Fingerprint.exact_key fp)
-                 ~coarse:(Fingerprint.coarse_key fp)
-                 ~validate:(fun e -> instantiate q fp e <> None)
-             with
-            | `Exact e -> `Hit (Option.get (instantiate q fp e))
-            | `Coarse e -> `Work (instantiate q fp e)
-            | `Miss -> `Work None)
-      end
-    done;
+    Obs.span "classify" (fun () ->
+        for i = 0 to n - 1 do
+          if rep.(i) = i then begin
+            let q = queries.(i) and fp = fps.(i) in
+            if not (Query.is_connected q) then cls.(i) <- `Work None
+            else
+              cls.(i) <-
+                (match
+                   Obs.time Obs.Cache_lookup_ns (fun () ->
+                       Plan_cache.lookup t.cache
+                         ~exact:(Fingerprint.exact_key fp)
+                         ~coarse:(Fingerprint.coarse_key fp)
+                         ~validate:(fun e -> instantiate q fp e <> None))
+                 with
+                | `Exact e -> `Hit (Option.get (instantiate q fp e))
+                | `Coarse e -> `Work (instantiate q fp e)
+                | `Miss -> `Work None)
+          end
+        done);
     (* Optimize what must be optimized, in parallel.  Each item is a pure
        function of (query, warm start, derived seed); the cache is neither
        read nor written inside the workers. *)
@@ -140,12 +147,16 @@ let serve_batch ?jobs t queries =
     let optimize i =
       let q = queries.(i) and fp = fps.(i) in
       let start = match cls.(i) with `Work w -> w | _ -> assert false in
-      Optimizer.optimize ?start ~method_:t.config.method_ ~model:t.config.model
-        ~ticks:(ticks_for t q)
-        ~seed:(seed_for t (Fingerprint.exact_key fp))
-        q
+      Obs.span "request" ~fields:[ ("index", Obs.I i) ] (fun () ->
+          Obs.time Obs.Service_latency_ns (fun () ->
+              Optimizer.optimize ?start ~method_:t.config.method_
+                ~model:t.config.model ~ticks:(ticks_for t q)
+                ~seed:(seed_for t (Fingerprint.exact_key fp))
+                q))
     in
-    let work_results = Parallel.map_array ?jobs optimize work in
+    let work_results =
+      Obs.span "optimize" (fun () -> Parallel.map_array ?jobs optimize work)
+    in
     let results : Optimizer.result option array = Array.make n None in
     Array.iteri (fun k i -> results.(i) <- Some work_results.(k)) work;
     (* Single commit pass in request order: touches and admissions evolve
@@ -155,55 +166,68 @@ let serve_batch ?jobs t queries =
        plan and a freshly optimized one are priced identically. *)
     let model = t.config.model in
     let served = Array.make n None in
-    for i = 0 to n - 1 do
-      let q = queries.(i) and fp = fps.(i) in
-      let exact = Fingerprint.exact_key fp in
-      let mk plan ticks_used source =
-        Some
-          {
-            index = i;
-            fingerprint = fp;
-            plan;
-            cost = Ljqo_cost.Plan_cost.total model q plan;
-            ticks_used;
-            source;
-          }
-      in
-      served.(i) <-
-        (match cls.(i) with
-        | `Hit plan ->
-          Plan_cache.touch t.cache exact;
-          mk plan 0 Exact_hit
-        | `Work warm ->
-          let r = Option.get results.(i) in
-          if Query.is_connected q then
-            Plan_cache.put t.cache ~exact ~coarse:(Fingerprint.coarse_key fp)
+    Obs.span "commit" (fun () ->
+        for i = 0 to n - 1 do
+          let q = queries.(i) and fp = fps.(i) in
+          let exact = Fingerprint.exact_key fp in
+          let mk plan ticks_used source =
+            Obs.hist_record Obs.Request_ticks ticks_used;
+            Some
               {
-                Plan_cache.cplan = Fingerprint.to_canonical fp r.plan;
-                cost = Ljqo_cost.Plan_cost.total model q r.plan;
-                ticks = r.ticks_used;
-              };
-          mk r.plan r.ticks_used (if warm = None then Cold else Warm_start)
-        | `Dup -> (
-          Obs.bump Obs.Service_dedups;
-          let j = rep.(i) in
-          let rep_served = Option.get served.(j) in
-          (* The twin's relations may be numbered differently: route the
-             representative's plan through the canonical form. *)
-          let cplan = Fingerprint.to_canonical fps.(j) rep_served.plan in
-          let plan = Fingerprint.of_canonical fp cplan in
-          if Query.is_connected q && not (Plan.is_valid q plan) then
-            (* A canonical-order tie mapped onto an invalid plan (possible
-               only across automorphism-like twins): optimize this one
-               cold, still deterministically. *)
-            let r =
-              Optimizer.optimize ~method_:t.config.method_ ~model
-                ~ticks:(ticks_for t q) ~seed:(seed_for t exact) q
-            in
-            mk r.plan r.ticks_used Cold
-          else mk plan 0 Deduped))
-    done;
+                index = i;
+                fingerprint = fp;
+                plan;
+                cost = Ljqo_cost.Plan_cost.total model q plan;
+                ticks_used;
+                source;
+              }
+          in
+          served.(i) <-
+            (match cls.(i) with
+            | `Hit plan ->
+              Obs.time Obs.Service_latency_ns @@ fun () ->
+              Plan_cache.touch t.cache exact;
+              mk plan 0 Exact_hit
+            | `Work warm ->
+              let r = Option.get results.(i) in
+              (* A warm start "wins" when no cold start beat the cached
+                 plan it seeded: the served cost is no better than the warm
+                 plan's own cost on this query.  Pure observation — costs on
+                 both sides are full recosts of already-computed plans. *)
+              (match warm with
+              | Some w
+                when Ljqo_cost.Plan_cost.total model q r.plan
+                     >= Ljqo_cost.Plan_cost.total model q w ->
+                Obs.bump Obs.Warm_start_wins
+              | _ -> ());
+              if Query.is_connected q then
+                Plan_cache.put t.cache ~exact ~coarse:(Fingerprint.coarse_key fp)
+                  {
+                    Plan_cache.cplan = Fingerprint.to_canonical fp r.plan;
+                    cost = Ljqo_cost.Plan_cost.total model q r.plan;
+                    ticks = r.ticks_used;
+                  };
+              mk r.plan r.ticks_used (if warm = None then Cold else Warm_start)
+            | `Dup -> (
+              Obs.time Obs.Service_latency_ns @@ fun () ->
+              Obs.bump Obs.Service_dedups;
+              let j = rep.(i) in
+              let rep_served = Option.get served.(j) in
+              (* The twin's relations may be numbered differently: route the
+                 representative's plan through the canonical form. *)
+              let cplan = Fingerprint.to_canonical fps.(j) rep_served.plan in
+              let plan = Fingerprint.of_canonical fp cplan in
+              if Query.is_connected q && not (Plan.is_valid q plan) then
+                (* A canonical-order tie mapped onto an invalid plan (possible
+                   only across automorphism-like twins): optimize this one
+                   cold, still deterministically. *)
+                let r =
+                  Optimizer.optimize ~method_:t.config.method_ ~model
+                    ~ticks:(ticks_for t q) ~seed:(seed_for t exact) q
+                in
+                mk r.plan r.ticks_used Cold
+              else mk plan 0 Deduped))
+        done);
     Array.map Option.get served
-  end
 
 let serve t query = (serve_batch t [| query |]).(0)

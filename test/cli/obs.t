@@ -16,7 +16,15 @@ snapshot is well-formed JSON:
   t.jsonl: valid JSONL (N events)
   $ ljqo-perf-gate --check-json m.json
   m.json: valid JSON
-  $ grep -c '"schema": "ljqo-metrics/1"' m.json
+  $ grep -c '"schema": "ljqo-metrics/2"' m.json
+  1
+
+The snapshot carries the histogram registry, including the per-request
+service latency histogram (empty here — no serving happened):
+
+  $ grep -o '"move.cost_delta": {"count": [0-9]*' m.json | sed 's/count": [1-9][0-9]*/count": N/'
+  "move.cost_delta": {"count": N
+  $ grep -c '"service.latency_ns"' m.json
   1
 
 Sampling thins the trace but never the metrics:
@@ -73,3 +81,24 @@ the first pass and 5 exact hits on the second, whatever the machine.
   "cache.evictions": 0
   $ grep -o '"service.dedups": [0-9]*' cache-metrics.json
   "service.dedups": 0
+
+The obs subcommands post-process a trace: a span-bearing serve run exports
+to validator-clean Chrome trace JSON and to folded flamegraph stacks, and
+`obs trajectory` replays II, SA and two-phase on a query and renders the
+incumbent-cost-versus-ticks curves as SVG:
+
+  $ ljqo serve-file wl --t-factor 1 --trace serve.jsonl >/dev/null
+  $ grep -q '"ev":"span"' serve.jsonl
+  $ ljqo obs summary serve.jsonl | head -n 1
+  events:
+  $ ljqo obs export-chrome serve.jsonl -o chrome.json
+  wrote chrome.json
+  $ ljqo-perf-gate --check-json chrome.json
+  chrome.json: valid JSON
+  $ ljqo obs export-flame serve.jsonl -o flame.folded
+  wrote flame.folded
+  $ grep -q 'serve_batch' flame.folded
+  $ ljqo obs trajectory q.qdl --t-factor 1 -o traj.svg
+  wrote traj.svg
+  $ grep -c '<polyline' traj.svg
+  3

@@ -1,0 +1,180 @@
+(* Everything the observability layer writes — trace lines, metrics
+   snapshots, Chrome trace exports — must pass the exact validators
+   `ljqo-perf-gate --check-json/--check-jsonl` runs, whatever bytes land in
+   the payload: control characters, quotes, backslashes, invalid UTF-8,
+   NaN and infinities.  A trace that a nasty relation name can corrupt is
+   worse than no trace. *)
+
+module Obs = Ljqo_obs.Obs
+module Jsonv = Ljqo_obs.Jsonv
+module Export = Ljqo_obs.Export
+
+let with_clean_obs f =
+  Obs.set_enabled false;
+  Obs.set_spans false;
+  Obs.trace_close ();
+  Obs.reset ();
+  Fun.protect
+    ~finally:(fun () ->
+      Obs.set_enabled false;
+      Obs.set_spans false;
+      Obs.trace_close ();
+      Obs.reset ())
+    f
+
+let with_temp_file f =
+  let path = Filename.temp_file "ljqo_jsonv" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+    (fun () -> f path)
+
+(* Strings over the full byte range, not just printable ASCII. *)
+let any_string = QCheck.(string_gen Gen.char)
+
+let qcheck_trace_line_well_formed =
+  Helpers.qcheck_case ~name:"hand-built trace line passes check_line"
+    (fun (name, (payload, f)) ->
+      let b = Buffer.create 64 in
+      Buffer.add_string b "{\"ev\":";
+      Jsonv.write_string b name;
+      Buffer.add_string b ",\"ts\":";
+      Jsonv.write_float b f;
+      Buffer.add_string b ",\"dom\":0,\"s\":";
+      Jsonv.write_string b payload;
+      Buffer.add_char b '}';
+      match Jsonv.check_line (Buffer.contents b) with
+      | Ok () -> true
+      | Error _ -> false)
+    QCheck.(pair any_string (pair any_string float))
+
+let qcheck_write_parse_roundtrip =
+  (* [write] then [parse] must succeed for any value; for payloads free of
+     control characters the parse is the identity (control characters come
+     back as their literal \uXXXX spelling, which is fine — the contract is
+     well-formedness, not byte identity). *)
+  Helpers.qcheck_case ~name:"written values reparse"
+    (fun (s, (n, tag)) ->
+      let v =
+        Jsonv.Obj
+          [
+            ("s", Jsonv.Str s);
+            ("n", Jsonv.Num n);
+            ("l", Jsonv.List [ Jsonv.Bool tag; Jsonv.Null; Jsonv.Str s ]);
+          ]
+      in
+      let b = Buffer.create 64 in
+      Jsonv.write b v;
+      match Jsonv.parse (Buffer.contents b) with
+      | Ok _ -> true
+      | Error _ -> false)
+    QCheck.(pair any_string (pair float bool))
+
+let nasties =
+  [
+    "plain";
+    "quote\"inside";
+    "back\\slash";
+    "new\nline and \r return";
+    "tab\tand ctrl \x01\x1f\x7f";
+    "nul\x00byte";
+    "utf-8 \xe2\x9c\x93 and broken \xff\xfe";
+    "";
+  ]
+
+let test_trace_sink_survives_nasty_payloads () =
+  with_clean_obs (fun () ->
+      with_temp_file (fun path ->
+          Obs.trace_to ~path ();
+          List.iteri
+            (fun i s ->
+              Obs.trace s
+                [
+                  ("s", Obs.S s);
+                  ("nan", Obs.F Float.nan);
+                  ("inf", Obs.F Float.infinity);
+                  ("ninf", Obs.F Float.neg_infinity);
+                  ("i", Obs.I i);
+                ])
+            nasties;
+          (* spans and phases go through the same writer *)
+          Obs.span "sp;an\"\x02name" (fun () -> ());
+          Obs.with_phase Obs.Other (fun () -> ());
+          Obs.trace_close ();
+          let ic = open_in_bin path in
+          let len = in_channel_length ic in
+          let body = really_input_string ic len in
+          close_in_noerr ic;
+          let n_events =
+            match Jsonv.check_jsonl body with
+            | Ok n -> n
+            | Error (lineno, msg) ->
+              Alcotest.failf "trace line %d invalid: %s" lineno msg
+          in
+          Alcotest.(check bool) "all events written" true
+            (n_events >= List.length nasties + 1);
+          (* the exporters must digest the same stream *)
+          let events =
+            match Export.events_of_string body with
+            | Ok evs -> evs
+            | Error (lineno, msg) ->
+              Alcotest.failf "exporter refused line %d: %s" lineno msg
+          in
+          Alcotest.(check int) "exporter sees every event" n_events
+            (List.length events);
+          (match Jsonv.check_json (Export.chrome events) with
+          | Ok () -> ()
+          | Error e -> Alcotest.failf "chrome export invalid: %s" e);
+          ignore (Export.flame events);
+          Alcotest.(check bool) "summary renders" true
+            (String.length (Export.summary events) > 0)))
+
+let test_non_finite_floats_serialize_as_null () =
+  let render f =
+    let b = Buffer.create 16 in
+    Jsonv.write_float b f;
+    Buffer.contents b
+  in
+  List.iter
+    (fun f -> Alcotest.(check string) "non-finite is null" "null" (render f))
+    [ Float.nan; Float.infinity; Float.neg_infinity ];
+  Alcotest.(check bool) "finite floats reparse" true
+    (match Jsonv.parse (render 1.5e308) with
+    | Ok (Jsonv.Num v) -> v = 1.5e308
+    | _ -> false)
+
+let test_validators_reject_garbage () =
+  let bad =
+    [
+      "{\"ev\":\"x\"";
+      (* unterminated *)
+      "{\"ev\": 3}";
+      (* ev not a string *)
+      "[1,2]";
+      (* not an object *)
+      "{\"ev\":\"x\"} trailing";
+      "{\"ev\":\"bad \x01 raw control\"}";
+      "{\"ev\":\"bad \\u12 escape\"}";
+    ]
+  in
+  List.iter
+    (fun line ->
+      match Jsonv.check_line line with
+      | Ok () -> Alcotest.failf "accepted garbage: %s" (String.escaped line)
+      | Error _ -> ())
+    bad;
+  match Jsonv.check_jsonl "" with
+  | Ok _ -> Alcotest.fail "empty trace accepted"
+  | Error (0, _) -> ()
+  | Error (n, msg) -> Alcotest.failf "unexpected error %d: %s" n msg
+
+let suite =
+  [
+    qcheck_trace_line_well_formed;
+    qcheck_write_parse_roundtrip;
+    Alcotest.test_case "trace sink survives nasty payloads" `Quick
+      test_trace_sink_survives_nasty_payloads;
+    Alcotest.test_case "non-finite floats serialize as null" `Quick
+      test_non_finite_floats_serialize_as_null;
+    Alcotest.test_case "validators reject garbage" `Quick
+      test_validators_reject_garbage;
+  ]

@@ -49,5 +49,6 @@ let () =
       ("stress", Test_stress.suite);
       ("harness", Test_harness.suite);
       ("obs", Test_obs.suite);
+      ("jsonv", Test_jsonv.suite);
       ("service", Test_service.suite);
     ]

@@ -13,11 +13,13 @@ let mem = Helpers.memory_model
    the other suites in this binary rely on instrumentation being free. *)
 let with_clean_obs f =
   Obs.set_enabled false;
+  Obs.set_spans false;
   Obs.trace_close ();
   Obs.reset ();
   Fun.protect
     ~finally:(fun () ->
       Obs.set_enabled false;
+      Obs.set_spans false;
       Obs.trace_close ();
       Obs.reset ())
     f
@@ -142,6 +144,152 @@ let test_experiment_counters_independent_of_jobs () =
       Alcotest.(check bool) "counter totals identical across job counts" true
         (v1 = v3))
 
+(* --- Spans ------------------------------------------------------------- *)
+
+let test_spans_do_not_change_results () =
+  with_clean_obs (fun () ->
+      let workload =
+        Ljqo_querygen.Workload.make ~ns:[ 5; 8 ] ~per_n:1 ~seed:13
+          Ljqo_querygen.Benchmark.default
+      in
+      let run spans_on =
+        Obs.reset ();
+        Obs.set_enabled true;
+        Obs.set_spans spans_on;
+        let o =
+          Driver.run_experiment ~workload ~methods:Methods.[ II; SA ] ~model:mem
+            ~tfactors:[ 0.5 ] ~replicates:1 ()
+        in
+        let view = Obs.deterministic_view (Obs.snapshot ()) in
+        Obs.set_spans false;
+        (view, o.Driver.averages)
+      in
+      let v_off, a_off = run false in
+      Alcotest.(check bool) "ring empty with spans off" true (Obs.spans () = []);
+      let v_on, a_on = run true in
+      Alcotest.(check bool) "averages identical with spans on" true
+        (a_off = a_on);
+      Alcotest.(check bool) "deterministic view identical with spans on" true
+        (v_off = v_on);
+      let recorded = Obs.spans () in
+      Alcotest.(check bool) "span ring nonempty with spans on" true
+        (recorded <> []);
+      List.iter
+        (fun (s : Obs.span_rec) ->
+          if s.Obs.self_ns < 0 || s.Obs.self_ns > s.Obs.dur_ns || s.Obs.depth < 0
+          then
+            Alcotest.failf "bad span %s: dur=%dns self=%dns depth=%d" s.Obs.path
+              s.Obs.dur_ns s.Obs.self_ns s.Obs.depth)
+        recorded)
+
+let test_span_nesting () =
+  with_clean_obs (fun () ->
+      Obs.set_spans ~ring_capacity:16 true;
+      let r =
+        Obs.span "outer" (fun () ->
+            Obs.span ~fields:[ ("k", Obs.I 1) ] "inner" (fun () -> 7))
+      in
+      Alcotest.(check int) "span returns the body's result" 7 r;
+      (match Obs.spans () with
+      | [ inner; outer ] ->
+        (* children complete before their parent, so inner lands first *)
+        Alcotest.(check string) "inner path" "outer;inner" inner.Obs.path;
+        Alcotest.(check string) "outer path" "outer" outer.Obs.path;
+        Alcotest.(check int) "inner depth" 1 inner.Obs.depth;
+        Alcotest.(check int) "outer depth" 0 outer.Obs.depth;
+        Alcotest.(check bool) "outer self-time excludes the child" true
+          (outer.Obs.self_ns <= outer.Obs.dur_ns
+          && outer.Obs.dur_ns >= inner.Obs.dur_ns)
+      | l -> Alcotest.failf "expected 2 spans, got %d" (List.length l));
+      (try Obs.span "boom" (fun () -> failwith "x") with Failure _ -> ());
+      Alcotest.(check int) "exception-closed span still recorded" 3
+        (List.length (Obs.spans ())))
+
+(* --- Histograms --------------------------------------------------------- *)
+
+module Hist = Ljqo_obs.Hist
+module Jsonv = Ljqo_obs.Jsonv
+module Service = Ljqo_service.Service
+
+let hist_of_list vs = List.fold_left Hist.record Hist.empty vs
+
+let qcheck_hist_merge =
+  Helpers.qcheck_case ~name:"hist merge associative, commutative, order-free"
+    (fun (a, (b, c)) ->
+      let ha = hist_of_list a
+      and hb = hist_of_list b
+      and hc = hist_of_list c in
+      Hist.merge (Hist.merge ha hb) hc = Hist.merge ha (Hist.merge hb hc)
+      && Hist.merge ha hb = Hist.merge hb ha
+      && Hist.merge ha Hist.empty = ha
+      && hist_of_list (a @ b) = Hist.merge ha hb
+      && hist_of_list (List.rev a) = ha)
+    QCheck.(
+      let vs = list (int_bound 1_000_000) in
+      pair vs (pair vs vs))
+
+let qcheck_hist_geometry =
+  Helpers.qcheck_case ~name:"hist bucket bounds bracket the value"
+    (fun v ->
+      let i = Hist.index v in
+      0 <= i
+      && i < Hist.n_buckets
+      && Hist.bucket_lo i <= v
+      && v < Hist.bucket_hi i
+      && Hist.count (Hist.record Hist.empty v) = 1
+      && Hist.sum (Hist.record Hist.empty v) = v)
+    QCheck.(int_bound (1 lsl 55))
+
+let test_service_latency_histograms () =
+  with_clean_obs (fun () ->
+      Obs.set_enabled true;
+      let queries = Array.init 4 (fun i -> query ~seed:(40 + i)) in
+      let service =
+        Service.create
+          { Service.default_config with
+            Service.budget = Service.Fixed_ticks 2_000
+          }
+      in
+      let served = Service.serve_batch ~jobs:2 service queries in
+      let s = Obs.snapshot () in
+      let hist name =
+        match List.assoc_opt name s.Obs.hists with
+        | Some h -> h
+        | None -> Alcotest.failf "histogram %s missing from snapshot" name
+      in
+      Alcotest.(check int) "one latency sample per request" 4
+        (Hist.count (hist "service.latency_ns"));
+      Alcotest.(check int) "one ticks sample per request" 4
+        (Hist.count (hist "service.request_ticks"));
+      let total_ticks =
+        Array.fold_left (fun acc r -> acc + r.Service.ticks_used) 0 served
+      in
+      Alcotest.(check int) "ticks histogram sums the batch" total_ticks
+        (Hist.sum (hist "service.request_ticks"));
+      Alcotest.(check bool) "cache lookups were timed" true
+        (Hist.count (hist "cache.lookup_ns") > 0))
+
+(* --- Snapshot schema ----------------------------------------------------- *)
+
+let contains ~sub s =
+  let n = String.length sub and m = String.length s in
+  let rec go i = i + n <= m && (String.sub s i n = sub || go (i + 1)) in
+  n = 0 || go 0
+
+let test_metrics_schema_pinned () =
+  with_clean_obs (fun () ->
+      Alcotest.(check string) "schema id" "ljqo-metrics/2" Obs.metrics_schema;
+      Obs.set_enabled true;
+      ignore (optimize Methods.II (query ~seed:8));
+      let json = Obs.to_json (Obs.snapshot ()) in
+      (match Jsonv.check_json json with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "snapshot JSON invalid: %s" e);
+      Alcotest.(check bool) "schema string embedded" true
+        (contains ~sub:{|"schema": "ljqo-metrics/2"|} json);
+      Alcotest.(check bool) "histogram registry embedded" true
+        (contains ~sub:{|"move.cost_delta"|} json))
+
 let suite =
   [
     Alcotest.test_case "metrics do not change results" `Quick
@@ -154,4 +302,12 @@ let suite =
       test_dp_counters_independent_of_jobs;
     Alcotest.test_case "experiment counters independent of jobs" `Quick
       test_experiment_counters_independent_of_jobs;
+    Alcotest.test_case "spans do not change results" `Quick
+      test_spans_do_not_change_results;
+    Alcotest.test_case "span nesting and self time" `Quick test_span_nesting;
+    qcheck_hist_merge;
+    qcheck_hist_geometry;
+    Alcotest.test_case "service latency histograms" `Quick
+      test_service_latency_histograms;
+    Alcotest.test_case "metrics schema pinned" `Quick test_metrics_schema_pinned;
   ]

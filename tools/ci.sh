@@ -56,3 +56,25 @@ dune exec bin/ljqo.exe -- optimize "$trace_tmp/q.qdl" --method IAI \
 dune exec tools/perf_gate.exe -- --check-jsonl "$trace_tmp/trace.jsonl"
 dune exec tools/perf_gate.exe -- --check-json "$trace_tmp/metrics.json"
 rm -rf "$trace_tmp"
+
+# Span smoke: a span-enabled serve-file run must produce a trace whose
+# Chrome and flamegraph exports are validator-clean, and a trajectory run
+# must render an SVG.
+span_tmp=$(mktemp -d)
+dune exec bin/ljqo.exe -- workload -o "$span_tmp/wl" --per-n 1
+dune exec bin/ljqo.exe -- serve-file "$span_tmp/wl" --t-factor 1 \
+  --metrics "$span_tmp/metrics.json" --trace "$span_tmp/trace.jsonl"
+dune exec tools/perf_gate.exe -- --check-jsonl "$span_tmp/trace.jsonl"
+grep -q '"ev":"span"' "$span_tmp/trace.jsonl"
+dune exec bin/ljqo.exe -- obs summary "$span_tmp/trace.jsonl"
+dune exec bin/ljqo.exe -- obs export-chrome "$span_tmp/trace.jsonl" \
+  -o "$span_tmp/trace.chrome.json"
+dune exec tools/perf_gate.exe -- --check-json "$span_tmp/trace.chrome.json"
+dune exec bin/ljqo.exe -- obs export-flame "$span_tmp/trace.jsonl" \
+  -o "$span_tmp/trace.folded"
+test -s "$span_tmp/trace.folded"
+dune exec bin/ljqo.exe -- generate --n-joins 12 --seed 9 -o "$span_tmp/q.qdl"
+dune exec bin/ljqo.exe -- obs trajectory "$span_tmp/q.qdl" --t-factor 2 \
+  -o "$span_tmp/traj.svg"
+grep -q '<svg' "$span_tmp/traj.svg"
+rm -rf "$span_tmp"

@@ -10,8 +10,8 @@
    then judged on its *fastest* time across the fresh runs, which filters
    the one-sided noise of a loaded machine (an OS-jitter spike slows a run,
    nothing speeds one up; a real regression shows in every run).  The
-   tolerance defaults to 0.25 — micro benchmarks on shared CI machines are
-   noisy — and can be overridden with --tolerance or the
+   tolerance defaults to 0.25 -- micro benchmarks on shared CI machines are
+   noisy -- and can be overridden with --tolerance or the
    LJQO_PERF_TOLERANCE environment variable.
 
    The check modes validate observability output: --check-jsonl requires
@@ -19,144 +19,11 @@
    at least one such event in the file); --check-json requires the whole
    file to be one well-formed JSON value.
 
-   The JSON reader below is deliberately minimal (the toolchain has no JSON
-   library): full parser for objects/arrays/strings/numbers/literals, no
-   writer, no unicode escapes beyond pass-through. *)
+   JSON parsing and the check policies live in Ljqo_obs.Jsonv, shared with
+   the trace writer, the exporters, and the round-trip test suite -- the
+   validator here is the same code the emitters are tested against. *)
 
-type json =
-  | Null
-  | Bool of bool
-  | Num of float
-  | Str of string
-  | List of json list
-  | Obj of (string * json) list
-
-exception Bad of string
-
-module Parse = struct
-  type state = { s : string; mutable pos : int }
-
-  let peek st = if st.pos < String.length st.s then Some st.s.[st.pos] else None
-
-  let advance st = st.pos <- st.pos + 1
-
-  let fail st msg = raise (Bad (Printf.sprintf "offset %d: %s" st.pos msg))
-
-  let rec skip_ws st =
-    match peek st with
-    | Some (' ' | '\t' | '\n' | '\r') ->
-      advance st;
-      skip_ws st
-    | _ -> ()
-
-  let expect st c =
-    match peek st with
-    | Some c' when c' = c -> advance st
-    | _ -> fail st (Printf.sprintf "expected %C" c)
-
-  let literal st word value =
-    String.iter (fun c -> expect st c) word;
-    value
-
-  let string_body st =
-    let buf = Buffer.create 16 in
-    let rec go () =
-      match peek st with
-      | None -> fail st "unterminated string"
-      | Some '"' -> advance st
-      | Some '\\' -> (
-        advance st;
-        match peek st with
-        | Some 'n' -> advance st; Buffer.add_char buf '\n'; go ()
-        | Some 't' -> advance st; Buffer.add_char buf '\t'; go ()
-        | Some 'r' -> advance st; Buffer.add_char buf '\r'; go ()
-        | Some (('"' | '\\' | '/') as c) -> advance st; Buffer.add_char buf c; go ()
-        | Some 'u' ->
-          (* keep the escape verbatim; validation only needs well-formedness *)
-          advance st;
-          Buffer.add_string buf "\\u";
-          for _ = 1 to 4 do
-            match peek st with
-            | Some c -> advance st; Buffer.add_char buf c
-            | None -> fail st "truncated \\u escape"
-          done;
-          go ()
-        | _ -> fail st "bad escape")
-      | Some c ->
-        advance st;
-        Buffer.add_char buf c;
-        go ()
-    in
-    go ();
-    Buffer.contents buf
-
-  let number st =
-    let start = st.pos in
-    let is_num_char = function
-      | '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true
-      | _ -> false
-    in
-    let rec go () =
-      match peek st with
-      | Some c when is_num_char c -> advance st; go ()
-      | _ -> ()
-    in
-    go ();
-    let tok = String.sub st.s start (st.pos - start) in
-    match float_of_string_opt tok with
-    | Some f -> Num f
-    | None -> fail st ("bad number " ^ tok)
-
-  let rec value st =
-    skip_ws st;
-    match peek st with
-    | None -> fail st "unexpected end of input"
-    | Some '{' ->
-      advance st;
-      skip_ws st;
-      if peek st = Some '}' then (advance st; Obj [])
-      else
-        let rec members acc =
-          skip_ws st;
-          expect st '"';
-          let key = string_body st in
-          skip_ws st;
-          expect st ':';
-          let v = value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' -> advance st; members ((key, v) :: acc)
-          | Some '}' -> advance st; Obj (List.rev ((key, v) :: acc))
-          | _ -> fail st "expected ',' or '}'"
-        in
-        members []
-    | Some '[' ->
-      advance st;
-      skip_ws st;
-      if peek st = Some ']' then (advance st; List [])
-      else
-        let rec elements acc =
-          let v = value st in
-          skip_ws st;
-          match peek st with
-          | Some ',' -> advance st; elements (v :: acc)
-          | Some ']' -> advance st; List (List.rev (v :: acc))
-          | _ -> fail st "expected ',' or ']'"
-        in
-        elements []
-    | Some '"' -> advance st; Str (string_body st)
-    | Some 't' -> literal st "true" (Bool true)
-    | Some 'f' -> literal st "false" (Bool false)
-    | Some 'n' -> literal st "null" Null
-    | Some _ -> number st
-
-  let full s =
-    let st = { s; pos = 0 } in
-    let v = value st in
-    skip_ws st;
-    if st.pos <> String.length s then fail st "trailing garbage";
-    v
-end
+open Ljqo_obs.Jsonv
 
 let read_file path =
   let ic = open_in_bin path in
@@ -164,16 +31,12 @@ let read_file path =
     ~finally:(fun () -> close_in_noerr ic)
     (fun () -> really_input_string ic (in_channel_length ic))
 
-let member key = function
-  | Obj fields -> List.assoc_opt key fields
-  | _ -> None
-
 (* --- compare mode ------------------------------------------------------- *)
 
 (* kernel name -> ns_per_run, from a BENCH_micro.json *)
 let kernels path =
   let json =
-    try Parse.full (read_file path)
+    try parse_exn (read_file path)
     with Bad msg -> raise (Bad (path ^ ": " ^ msg))
   in
   match member "kernels" json with
@@ -228,42 +91,21 @@ let compare_runs ~baseline ~fresh ~tolerance =
 (* --- check modes -------------------------------------------------------- *)
 
 let check_jsonl path =
-  let ic = open_in path in
-  let events = ref 0 and lineno = ref 0 in
-  Fun.protect
-    ~finally:(fun () -> close_in_noerr ic)
-    (fun () ->
-      try
-        while true do
-          let line = input_line ic in
-          incr lineno;
-          if String.trim line <> "" then begin
-            (match Parse.full line with
-            | Obj _ as obj -> (
-              match member "ev" obj with
-              | Some (Str _) -> incr events
-              | _ -> raise (Bad "object lacks an \"ev\" string field"))
-            | _ -> raise (Bad "line is not a JSON object")
-            | exception Bad msg -> raise (Bad msg))
-          end
-        done
-      with
-      | End_of_file -> ()
-      | Bad msg ->
-        Printf.eprintf "%s:%d: %s\n" path !lineno msg;
-        exit 1);
-  if !events = 0 then begin
-    Printf.eprintf "%s: no trace events\n" path;
+  match check_jsonl (read_file path) with
+  | Ok events -> Printf.printf "%s: valid JSONL (%d events)\n" path events
+  | Error (0, msg) ->
+    Printf.eprintf "%s: %s\n" path msg;
     exit 1
-  end;
-  Printf.printf "%s: valid JSONL (%d events)\n" path !events
+  | Error (lineno, msg) ->
+    Printf.eprintf "%s:%d: %s\n" path lineno msg;
+    exit 1
 
 let check_json path =
-  (try ignore (Parse.full (read_file path))
-   with Bad msg ->
-     Printf.eprintf "%s: %s\n" path msg;
-     exit 1);
-  Printf.printf "%s: valid JSON\n" path
+  match check_json (read_file path) with
+  | Ok () -> Printf.printf "%s: valid JSON\n" path
+  | Error msg ->
+    Printf.eprintf "%s: %s\n" path msg;
+    exit 1
 
 (* --- CLI ---------------------------------------------------------------- *)
 
