@@ -306,6 +306,20 @@ let test_cache_put =
          Plan_cache.put bench_cache ~exact:(Fingerprint.exact_key fp)
            ~coarse:(Fingerprint.coarse_key fp) cache_entry))
 
+module Request_queue = Ljqo_service.Request_queue
+
+let bench_queue = Request_queue.create ~capacity:64 ()
+
+let test_queue_push_pop =
+  (* One uncontended handoff through the server's bounded queue: the fixed
+     per-request synchronization cost a worker pays before any optimization
+     work starts.  Single-domain, so this is the mutex + queue floor, not a
+     contention benchmark. *)
+  Test.make ~name:"service:queue-push-pop"
+    (Staged.stage (fun () ->
+         ignore (Request_queue.try_push bench_queue 42);
+         ignore (Request_queue.pop bench_queue)))
+
 (* ------------------------------------------------------------------ *)
 (* Observability-off overhead: the cost a hot loop pays per
    instrumentation site when collection is disabled.  The contract is "one
@@ -349,6 +363,7 @@ let tests =
       test_fingerprint;
       test_cache_get;
       test_cache_put;
+      test_queue_push_pop;
     ]
 
 (* ------------------------------------------------------------------ *)

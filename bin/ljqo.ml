@@ -565,6 +565,16 @@ let workload_cmd =
 module Service = Ljqo_service.Service
 module Plan_cache = Ljqo_service.Plan_cache
 
+let load_workload_queries dir =
+  match Ljqo_querygen.Workload_io.load_result ~dir with
+  | Ok [] -> fail_usage "workload %s is empty" dir
+  | Ok entries ->
+    Array.of_list
+      (List.map (fun e -> e.Ljqo_querygen.Workload_io.query) entries)
+  | Error e ->
+    fail_usage "cannot load workload %s: %s" dir
+      (Ljqo_querygen.Workload_io.error_to_string e)
+
 let serve_file dir method_ model t_factor kappa seed cache_capacity jobs passes
     metrics trace trace_sample =
   check_knobs ~t_factor ~kappa ~trace_sample;
@@ -576,18 +586,7 @@ let serve_file dir method_ model t_factor kappa seed cache_capacity jobs passes
   | _ -> ());
   if passes < 1 then fail_usage "--passes must be a positive integer, got %d" passes;
   with_obs ~metrics ~trace ~trace_sample @@ fun () ->
-  let entries =
-    match Ljqo_querygen.Workload_io.load_result ~dir with
-    | Ok [] -> fail_usage "workload %s is empty" dir
-    | Ok entries -> entries
-    | Error e ->
-      fail_usage "cannot load workload %s: %s" dir
-        (Ljqo_querygen.Workload_io.error_to_string e)
-  in
-  let queries =
-    Array.of_list
-      (List.map (fun e -> e.Ljqo_querygen.Workload_io.query) entries)
-  in
+  let queries = load_workload_queries dir in
   let service =
     Service.create ~cache_capacity
       {
@@ -654,6 +653,340 @@ let serve_file_cmd =
       const serve_file $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
       $ seed_arg $ cache_capacity $ jobs $ passes $ metrics_arg $ trace_arg
       $ trace_sample_arg)
+
+(* --- serve / loadgen ---------------------------------------------------- *)
+
+module Server = Ljqo_service.Server
+module Hist = Ljqo_obs.Hist
+
+let workers_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "workers" ] ~docv:"W" ~doc:"Worker domains serving requests.")
+
+let queue_capacity_arg =
+  Arg.(
+    value & opt int 64
+    & info [ "queue-capacity" ] ~docv:"Q"
+        ~doc:"Bounded request-queue depth (the admission-control limit).")
+
+let tenant_slots_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "tenant-slots" ] ~docv:"K"
+        ~doc:
+          "Per-tenant in-flight request cap (fair-share admission); \
+           unlimited when omitted.")
+
+let request_deadline_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "request-deadline" ] ~docv:"SEC"
+        ~doc:
+          "Per-request wall-clock deadline in seconds: an overloaded worker \
+           serves its incumbent plan as timed-out instead of blocking the \
+           queue.")
+
+let drain_timeout_arg =
+  Arg.(
+    value & opt (some float) None
+    & info [ "drain-timeout" ] ~docv:"SEC"
+        ~doc:
+          "Give up on the graceful drain after $(docv) seconds (serve \
+           only).")
+
+let server_cache_capacity_arg =
+  Arg.(
+    value & opt int 1024
+    & info [ "cache-capacity" ] ~docv:"K" ~doc:"Plan cache capacity.")
+
+let check_server_knobs ~workers ~queue_capacity ~tenant_slots ~request_deadline
+    ~cache_capacity =
+  if workers < 1 then
+    fail_usage "--workers must be a positive integer, got %d" workers;
+  if queue_capacity < 1 then
+    fail_usage "--queue-capacity must be a positive integer, got %d"
+      queue_capacity;
+  (match tenant_slots with
+  | Some k when k < 1 ->
+    fail_usage "--tenant-slots must be a positive integer, got %d" k
+  | _ -> ());
+  (match request_deadline with
+  | Some d when not (d > 0.0) ->
+    fail_usage "--request-deadline must be a positive number, got %g" d
+  | _ -> ());
+  if cache_capacity < 1 then
+    fail_usage "--cache-capacity must be a positive integer, got %d"
+      cache_capacity
+
+let server_config ~method_ ~model ~t_factor ~kappa ~seed ~workers
+    ~queue_capacity ~tenant_slots ~request_deadline =
+  {
+    Server.service =
+      {
+        Service.method_;
+        model;
+        budget = Service.Time_limit { t_factor; kappa };
+        seed;
+      };
+    workers;
+    queue_capacity;
+    tenant_slots;
+    request_deadline;
+  }
+
+let latency_hist responses =
+  List.fold_left
+    (fun h (r : Server.response) -> Hist.record h r.latency_ns)
+    Hist.empty responses
+
+let print_latency h =
+  if not (Hist.is_empty h) then begin
+    let ms q = float_of_int (Hist.quantile h q) /. 1e6 in
+    Printf.printf "latency: p50 %.3fms, p99 %.3fms, p999 %.3fms, max %.3fms\n"
+      (ms 0.5) (ms 0.99) (ms 0.999)
+      (float_of_int (Hist.max_value h) /. 1e6)
+  end
+
+let print_cache_line cache =
+  let st = Plan_cache.stats cache in
+  Printf.printf "cache: %d/%d entries, %d hits, %d coarse hits, %d misses\n"
+    (Plan_cache.length cache) (Plan_cache.capacity cache) st.hits
+    st.coarse_hits st.misses
+
+let total_shed (st : Server.stats) =
+  st.shed_queue_full + st.shed_tenant_limit + st.shed_draining
+
+let print_server_stats (st : Server.stats) =
+  Printf.printf
+    "accepted %d: served %d (timed out %d, failed %d); shed %d (queue_full \
+     %d, tenant_limit %d, draining %d); drained %d; max queue depth %d\n"
+    st.accepted st.served st.timed_out st.failed (total_shed st)
+    st.shed_queue_full st.shed_tenant_limit st.shed_draining st.drained
+    st.max_queue_depth
+
+(* The long-lived server: submit the workload through the admission path
+   (with backpressure, so nothing is shed by a slow consumer), drain
+   gracefully on SIGTERM/SIGINT or when the workload is exhausted, exit 0
+   once every accepted request has its response. *)
+let serve dir method_ model t_factor kappa seed cache_capacity workers
+    queue_capacity tenant_slots request_deadline drain_timeout passes metrics
+    trace trace_sample =
+  check_knobs ~t_factor ~kappa ~trace_sample;
+  check_server_knobs ~workers ~queue_capacity ~tenant_slots ~request_deadline
+    ~cache_capacity;
+  (match drain_timeout with
+  | Some d when not (d > 0.0) ->
+    fail_usage "--drain-timeout must be a positive number, got %g" d
+  | _ -> ());
+  if passes < 1 then fail_usage "--passes must be a positive integer, got %d" passes;
+  with_obs ~metrics ~trace ~trace_sample @@ fun () ->
+  let queries = load_workload_queries dir in
+  let stop = Atomic.make false in
+  let handler = Sys.Signal_handle (fun _ -> Atomic.set stop true) in
+  Sys.set_signal Sys.sigterm handler;
+  Sys.set_signal Sys.sigint handler;
+  let server =
+    Server.create ~cache_capacity
+      (server_config ~method_ ~model ~t_factor ~kappa ~seed ~workers
+         ~queue_capacity ~tenant_slots ~request_deadline)
+  in
+  let module M = (val model : Ljqo_cost.Cost_model.S) in
+  Printf.printf
+    "serving %d queries from %s (%d workers, queue %d, method %s, model %s)\n%!"
+    (Array.length queries) dir workers queue_capacity (Methods.name method_)
+    M.name;
+  for _pass = 1 to passes do
+    Array.iter
+      (fun q ->
+        if not (Atomic.get stop) then ignore (Server.submit_wait server q))
+      queries
+  done;
+  if Atomic.get stop then Printf.printf "signal received: draining\n%!";
+  let result = Server.drain ?timeout:drain_timeout server in
+  print_server_stats (Server.stats server);
+  let responses =
+    match result with
+    | Server.Drained rs -> rs
+    | Server.Drain_timeout { responses; _ } -> responses
+  in
+  print_latency (latency_hist responses);
+  print_cache_line (Server.cache server);
+  match result with
+  | Server.Drained _ -> ()
+  | Server.Drain_timeout { pending; _ } ->
+    Printf.eprintf "ljqo: drain timed out with %d requests pending\n" pending;
+    exit 1
+
+let serve_cmd =
+  let dir =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD_DIR"
+          ~doc:"Workload directory (QDL files + MANIFEST, see ljqo workload).")
+  in
+  let passes =
+    Arg.(
+      value & opt int 1
+      & info [ "passes" ] ~docv:"P"
+          ~doc:"Submit the workload $(docv) times through the same cache.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Run the concurrent optimizer server over a workload (SIGTERM \
+          drains gracefully)")
+    Term.(
+      const serve $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
+      $ seed_arg $ server_cache_capacity_arg $ workers_arg
+      $ queue_capacity_arg $ tenant_slots_arg $ request_deadline_arg
+      $ drain_timeout_arg $ passes $ metrics_arg $ trace_arg $ trace_sample_arg)
+
+(* Open-loop load generation: the arrival schedule (exponential gaps), the
+   query choices and the tenant assignment are all drawn from one seeded
+   stream, so the offered load is reproducible — only the wall-clock
+   outcomes (latency, shed counts) vary with the machine. *)
+let loadgen dir method_ model t_factor kappa seed cache_capacity workers
+    queue_capacity tenant_slots tenants request_deadline rate requests sweep
+    svg drain_timeout metrics trace trace_sample =
+  check_knobs ~t_factor ~kappa ~trace_sample;
+  check_server_knobs ~workers ~queue_capacity ~tenant_slots ~request_deadline
+    ~cache_capacity;
+  if not (rate > 0.0) then
+    fail_usage "--rate must be a positive number, got %g" rate;
+  if requests < 1 then
+    fail_usage "--requests must be a positive integer, got %d" requests;
+  if tenants < 1 then
+    fail_usage "--tenants must be a positive integer, got %d" tenants;
+  (match drain_timeout with
+  | Some _ -> fail_usage "--drain-timeout only applies to serve"
+  | None -> ());
+  let rates =
+    match sweep with
+    | None -> [ rate ]
+    | Some s ->
+      List.map
+        (fun tok ->
+          match float_of_string_opt (String.trim tok) with
+          | Some r when r > 0.0 -> r
+          | _ ->
+            fail_usage "--sweep expects comma-separated positive rates, got %S"
+              tok)
+        (String.split_on_char ',' s)
+  in
+  with_obs ~metrics ~trace ~trace_sample @@ fun () ->
+  let queries = load_workload_queries dir in
+  let run_rate rate =
+    let server =
+      Server.create ~cache_capacity
+        (server_config ~method_ ~model ~t_factor ~kappa ~seed ~workers
+           ~queue_capacity ~tenant_slots ~request_deadline)
+    in
+    let rng = Ljqo_stats.Rng.create seed in
+    let t0 = Unix.gettimeofday () in
+    let due = ref 0.0 in
+    for _ = 1 to requests do
+      (* Deterministic open-loop schedule: Poisson arrivals at [rate]. *)
+      due := !due -. (log (1.0 -. Ljqo_stats.Rng.float rng 1.0) /. rate);
+      let q = queries.(Ljqo_stats.Rng.int rng (Array.length queries)) in
+      let tenant = Printf.sprintf "t%d" (Ljqo_stats.Rng.int rng tenants) in
+      let rec wait () =
+        let slack = t0 +. !due -. Unix.gettimeofday () in
+        if slack > 0.0 then begin
+          (try Unix.sleepf (Float.min slack 0.05)
+           with Unix.Unix_error (Unix.EINTR, _, _) -> ());
+          wait ()
+        end
+      in
+      wait ();
+      ignore (Server.submit ~tenant server q)
+    done;
+    let result = Server.drain server in
+    let elapsed = Unix.gettimeofday () -. t0 in
+    let st = Server.stats server in
+    let responses =
+      match result with
+      | Server.Drained rs -> rs
+      | Server.Drain_timeout { responses; _ } -> responses
+    in
+    let goodput = float_of_int st.served /. elapsed in
+    Printf.printf
+      "rate %g/s: offered %d, accepted %d, shed %d (queue_full %d, \
+       tenant_limit %d), served %d (timed out %d, failed %d), goodput \
+       %.2f/s, max queue depth %d\n"
+      rate requests
+      (st.accepted) (total_shed st) st.shed_queue_full st.shed_tenant_limit
+      st.served st.timed_out st.failed goodput st.max_queue_depth;
+    print_latency (latency_hist responses);
+    (rate, goodput)
+  in
+  let curve = List.map run_rate rates in
+  match svg with
+  | None -> ()
+  | Some path ->
+    let series =
+      [
+        { Ljqo_report.Chart.name = "goodput"; points = curve };
+        {
+          Ljqo_report.Chart.name = "offered";
+          points = List.map (fun (r, _) -> (r, r)) curve;
+        };
+      ]
+    in
+    let oc = open_out path in
+    Fun.protect
+      ~finally:(fun () -> close_out_noerr oc)
+      (fun () ->
+        output_string oc
+          (Ljqo_report.Chart.render_svg
+             ~title:"goodput vs offered load"
+             ~x_label:"offered rate (req/s)" ~y_label:"goodput (req/s)" series));
+    Printf.printf "wrote %s\n" path
+
+let loadgen_cmd =
+  let dir =
+    Arg.(
+      required & pos 0 (some string) None
+      & info [] ~docv:"WORKLOAD_DIR"
+          ~doc:"Workload directory to replay (see ljqo workload).")
+  in
+  let rate =
+    Arg.(
+      value & opt float 10.0
+      & info [ "rate" ] ~docv:"R" ~doc:"Target arrival rate, requests/second.")
+  in
+  let requests =
+    Arg.(
+      value & opt int 64
+      & info [ "requests"; "n" ] ~docv:"N" ~doc:"Number of arrivals to offer.")
+  in
+  let tenants =
+    Arg.(
+      value & opt int 1
+      & info [ "tenants" ] ~docv:"T"
+          ~doc:"Spread arrivals round a pool of $(docv) synthetic tenants.")
+  in
+  let sweep =
+    Arg.(
+      value & opt (some string) None
+      & info [ "sweep" ] ~docv:"R1,R2,.."
+          ~doc:"Run once per rate and plot the goodput curve across them.")
+  in
+  let svg =
+    Arg.(
+      value & opt (some string) None
+      & info [ "svg" ] ~docv:"FILE"
+          ~doc:"Write a goodput-vs-offered-load SVG chart to $(docv).")
+  in
+  Cmd.v
+    (Cmd.info "loadgen"
+       ~doc:"Replay a workload open-loop at a target arrival rate")
+    Term.(
+      const loadgen $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
+      $ seed_arg $ server_cache_capacity_arg $ workers_arg
+      $ queue_capacity_arg $ tenant_slots_arg $ tenants $ request_deadline_arg
+      $ rate $ requests $ sweep $ svg $ drain_timeout_arg $ metrics_arg
+      $ trace_arg $ trace_sample_arg)
 
 (* --- obs ---------------------------------------------------------------- *)
 
@@ -800,6 +1133,8 @@ let () =
             inspect_cmd;
             workload_cmd;
             serve_file_cmd;
+            serve_cmd;
+            loadgen_cmd;
             obs_cmd;
             methods_cmd;
             benchmarks_cmd;

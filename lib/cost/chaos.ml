@@ -99,3 +99,39 @@ let wrap ?(rate = default_rate) ~seed (model : Cost_model.t) : Cost_model.t =
       | Some Zero_cost -> 0.0
       | Some Overflow_card -> M.output_cost ~card:(card *. 1e300)
   end)
+
+exception Injected of string
+
+(* Same seeded decision machinery, harsher failure mode: instead of garbage
+   values, a faulted join costing *raises*.  This models an estimator that
+   crashes outright (catalog lookup failure, assertion in a UDF), and is the
+   adversary the serving path's per-request guard is proven against: the
+   request fails, the worker and its queue survive.  The salt (17.0)
+   differs from [wrap]'s call-site salts so the two chaos modes fault
+   independent call subsets under one seed. *)
+let wrap_raising ?(rate = default_rate) ~seed (model : Cost_model.t) :
+    Cost_model.t =
+  let module M = (val model : Cost_model.S) in
+  (module struct
+    let name = Printf.sprintf "chaos-raising(%s,seed=%d,rate=%g)" M.name seed rate
+
+    let join_cost (input : Cost_model.join_input) =
+      match
+        decide ~seed ~rate
+          [
+            17.0;
+            input.outer_card;
+            input.inner_card;
+            input.inner_distinct;
+            input.output_card;
+            (if input.is_first then 2.0 else 3.0);
+            (if input.is_cross then 5.0 else 7.0);
+          ]
+      with
+      | None -> M.join_cost input
+      | Some f -> raise (Injected (fault_name f))
+
+    let scan_cost ~card = M.scan_cost ~card
+
+    let output_cost ~card = M.output_cost ~card
+  end)

@@ -25,6 +25,18 @@ val wrap : ?rate:float -> seed:int -> Cost_model.t -> Cost_model.t
 (** [rate] is the per-call fault probability in [[0, 1]]; faults are spread
     uniformly over {!all_faults}. *)
 
+exception Injected of string
+(** Raised by {!wrap_raising}'s faulted calls; the payload is the
+    {!fault_name} drawn. *)
+
+val wrap_raising : ?rate:float -> seed:int -> Cost_model.t -> Cost_model.t
+(** Like {!wrap}, but a faulted join costing {e raises} {!Injected} instead
+    of returning garbage — the crash-mid-request adversary for the serving
+    path's per-request guard.  Deterministic in the same sense as {!wrap},
+    and salted differently, so under one seed the two modes fault
+    independent call subsets.  Scan and output costings are passed through
+    unfaulted. *)
+
 val decide : seed:int -> rate:float -> float list -> fault option
 (** The underlying seeded decision function, exposed for tests: hashes the
     given floats and returns the fault (if any) a call with those inputs

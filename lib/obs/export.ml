@@ -174,11 +174,27 @@ let summary events =
   let counts : (string, int ref) Hashtbl.t = Hashtbl.create 16 in
   (* per span path: calls, total ns, self ns *)
   let spans : (string, (int * int * int) ref) Hashtbl.t = Hashtbl.create 64 in
+  (* serving-layer tail latency: every event carrying a numeric latency_ns
+     (the server's "service.request" events) feeds one histogram. *)
+  let latency = ref Hist.empty in
+  let shed_by_reason : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
+  let drained = ref 0 in
   List.iter
     (fun e ->
       (match Hashtbl.find_opt counts e.ev with
       | Some r -> incr r
       | None -> Hashtbl.add counts e.ev (ref 1));
+      (match num e.fields "latency_ns" with
+      | Some ns -> latency := Hist.record_f !latency ns
+      | None -> ());
+      if e.ev = "service.shed" then begin
+        let reason = Option.value ~default:"?" (str e.fields "reason") in
+        match Hashtbl.find_opt shed_by_reason reason with
+        | Some r -> incr r
+        | None -> Hashtbl.add shed_by_reason reason (ref 1)
+      end;
+      if e.ev = "service.request" && num e.fields "drained" = Some 1.0 then
+        incr drained;
       if e.ev = "span" then
         match (str e.fields "path", num e.fields "dur_ns", num e.fields "self_ns") with
         | Some path, Some dur, Some self ->
@@ -213,5 +229,28 @@ let summary events =
       (List.sort
          (fun (p1, (_, _, s1)) (p2, (_, _, s2)) -> compare (s2, p1) (s1, p2))
          span_rows)
+  end;
+  if not (Hist.is_empty !latency) then begin
+    let h = !latency in
+    let ms q = float_of_int (Hist.quantile h q) /. 1e6 in
+    Buffer.add_string b "tail latency (service.request):\n";
+    Buffer.add_string b
+      (Printf.sprintf
+         "  requests %d  p50 %.3fms  p99 %.3fms  p999 %.3fms  max %.3fms\n"
+         (Hist.count h) (ms 0.5) (ms 0.99) (ms 0.999)
+         (float_of_int (Hist.max_value h) /. 1e6))
+  end;
+  let shed_rows =
+    List.sort compare
+      (Hashtbl.fold (fun k v acc -> (k, !v) :: acc) shed_by_reason [])
+  in
+  if shed_rows <> [] || !drained > 0 then begin
+    Buffer.add_string b "load shedding / drain:\n";
+    List.iter
+      (fun (reason, n) ->
+        Buffer.add_string b (Printf.sprintf "  shed[%s] %d\n" reason n))
+      shed_rows;
+    if !drained > 0 then
+      Buffer.add_string b (Printf.sprintf "  drained %d\n" !drained)
   end;
   Buffer.contents b

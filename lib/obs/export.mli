@@ -27,4 +27,9 @@ val flame : event list -> string
 
 val summary : event list -> string
 (** Human-readable digest: event counts by name and a per-path span table
-    sorted by total self time. *)
+    sorted by total self time.  When the trace carries serving-layer events,
+    two more sections appear: tail latency (p50/p99/p999/max over every
+    event with a numeric [latency_ns] field, i.e. the server's
+    ["service.request"] events) and load shedding / drain (shed counts by
+    reason from ["service.shed"] events, completions during drain from the
+    [drained] flag). *)

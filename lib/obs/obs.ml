@@ -63,6 +63,11 @@ type counter =
   | Service_dedups
   | Warm_starts_used
   | Warm_start_wins
+  | Service_accepted
+  | Service_shed
+  | Service_drained
+  | Service_failed
+  | Service_timeouts
 
 let counter_index = function
   | Cost_evals -> 0
@@ -88,6 +93,11 @@ let counter_index = function
   | Service_dedups -> 20
   | Warm_starts_used -> 21
   | Warm_start_wins -> 22
+  | Service_accepted -> 23
+  | Service_shed -> 24
+  | Service_drained -> 25
+  | Service_failed -> 26
+  | Service_timeouts -> 27
 
 let counter_names =
   [|
@@ -114,6 +124,11 @@ let counter_names =
     "service.dedups";
     "warm_starts.used";
     "warm_starts.wins";
+    "service.accepted";
+    "service.shed";
+    "service.drained";
+    "service.failed";
+    "service.timed_out";
   |]
 
 let n_counters = Array.length counter_names
@@ -182,6 +197,7 @@ type hist =
   | Span_ns
   | Service_latency_ns
   | Cache_lookup_ns
+  | Queue_wait_ns
 
 let hist_index = function
   | Move_delta -> 0
@@ -189,6 +205,7 @@ let hist_index = function
   | Span_ns -> 2
   | Service_latency_ns -> 3
   | Cache_lookup_ns -> 4
+  | Queue_wait_ns -> 5
 
 let hist_names =
   [|
@@ -197,11 +214,12 @@ let hist_names =
     "span.duration_ns";
     "service.latency_ns";
     "cache.lookup_ns";
+    "service.queue_wait_ns";
   |]
 
 (* Tick-domain histograms are deterministic per seeded run and belong in
    [deterministic_view]; wall-clock ones never do. *)
-let hist_deterministic = [| true; true; false; false; false |]
+let hist_deterministic = [| true; true; false; false; false; false |]
 
 let n_hists = Array.length hist_names
 
@@ -665,9 +683,10 @@ let metrics_schema = "ljqo-metrics/2"
 let hist_json h =
   Printf.sprintf
     "{\"count\": %d, \"sum\": %d, \"mean\": %.3f, \"p50\": %d, \"p90\": %d, \
-     \"p99\": %d, \"min\": %d, \"max\": %d, \"buckets\": [%s]}"
+     \"p99\": %d, \"p999\": %d, \"min\": %d, \"max\": %d, \"buckets\": [%s]}"
     (Hist.count h) (Hist.sum h) (Hist.mean h) (Hist.quantile h 0.5)
-    (Hist.quantile h 0.9) (Hist.quantile h 0.99) (Hist.min_value h)
+    (Hist.quantile h 0.9) (Hist.quantile h 0.99) (Hist.quantile h 0.999)
+    (Hist.min_value h)
     (Hist.max_value h)
     (String.concat ", "
        (List.map

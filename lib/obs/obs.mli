@@ -62,6 +62,13 @@ type counter =
   | Warm_starts_used  (** method runs that began from a supplied warm plan *)
   | Warm_start_wins
       (** served requests whose warm/cached plan was never beaten *)
+  | Service_accepted  (** server requests admitted past admission control *)
+  | Service_shed  (** server requests rejected by admission control *)
+  | Service_drained
+      (** accepted requests completed after a drain began (graceful drain) *)
+  | Service_failed  (** server requests whose optimization crashed mid-request *)
+  | Service_timeouts
+      (** server requests cut by their per-request wall-clock deadline *)
 
 val bump : counter -> unit
 (** Add one.  A no-op (one boolean load) when disabled. *)
@@ -77,15 +84,18 @@ val charged : int -> unit
     Log-bucketed (see {!Hist}) distributions over a fixed registry.  The
     tick-domain histograms ([Move_delta], [Request_ticks]) are deterministic
     per seeded run and are part of {!deterministic_view}; the wall-clock
-    ones ([Span_ns], [Service_latency_ns], [Cache_lookup_ns]) are reported
-    in snapshots only. *)
+    ones ([Span_ns], [Service_latency_ns], [Cache_lookup_ns],
+    [Queue_wait_ns]) are reported in snapshots only. *)
 
 type hist =
   | Move_delta  (** |scaled-cost delta| of each attempted move (ticks domain) *)
   | Request_ticks  (** optimizer ticks charged per served request *)
   | Span_ns  (** span wall durations *)
-  | Service_latency_ns  (** per-request serving wall latency *)
+  | Service_latency_ns
+      (** per-request serving wall latency (in the server: full sojourn,
+          queue wait included) *)
   | Cache_lookup_ns  (** plan-cache lookup wall time *)
+  | Queue_wait_ns  (** server queue wait, submission to worker pickup *)
 
 val hist_record : hist -> int -> unit
 (** Record one value (negatives clamp to 0).  A no-op when disabled. *)

@@ -1,0 +1,41 @@
+type reason = Queue_full | Tenant_limit | Draining
+
+let reason_name = function
+  | Queue_full -> "queue_full"
+  | Tenant_limit -> "tenant_limit"
+  | Draining -> "draining"
+
+type slots = {
+  per_tenant : int;
+  mutex : Mutex.t;
+  counts : (string, int) Hashtbl.t;
+}
+
+let slots ~per_tenant =
+  if per_tenant < 1 then
+    invalid_arg "Admission.slots: per_tenant must be >= 1";
+  { per_tenant; mutex = Mutex.create (); counts = Hashtbl.create 16 }
+
+let with_lock s f =
+  Mutex.lock s.mutex;
+  Fun.protect ~finally:(fun () -> Mutex.unlock s.mutex) f
+
+let try_acquire s ~tenant =
+  with_lock s (fun () ->
+      let n = Option.value ~default:0 (Hashtbl.find_opt s.counts tenant) in
+      if n >= s.per_tenant then false
+      else begin
+        Hashtbl.replace s.counts tenant (n + 1);
+        true
+      end)
+
+let release s ~tenant =
+  with_lock s (fun () ->
+      match Hashtbl.find_opt s.counts tenant with
+      | None | Some 0 -> ()
+      | Some 1 -> Hashtbl.remove s.counts tenant
+      | Some n -> Hashtbl.replace s.counts tenant (n - 1))
+
+let occupancy s ~tenant =
+  with_lock s (fun () ->
+      Option.value ~default:0 (Hashtbl.find_opt s.counts tenant))

@@ -1,0 +1,35 @@
+(** Admission control for the optimizer server: decide at submission time
+    whether a request may enter the queue, and give every rejection a
+    machine-readable reason.
+
+    Two policies compose here.  The bounded queue itself enforces the depth
+    limit (a full queue sheds with {!Queue_full}).  On top of that, optional
+    per-tenant fair-share slots bound how many requests a single tenant may
+    have in flight (queued or being served) at once, so one hot tenant
+    saturating the arrival stream cannot starve the rest: its excess is shed
+    with {!Tenant_limit} while other tenants' requests still fit.  A
+    draining server sheds everything with {!Draining}. *)
+
+type reason = Queue_full | Tenant_limit | Draining
+
+val reason_name : reason -> string
+(** ["queue_full"], ["tenant_limit"], ["draining"] — stable, used in trace
+    events and server stats. *)
+
+(** {1 Per-tenant slots} *)
+
+type slots
+
+val slots : per_tenant:int -> slots
+(** At most [per_tenant] in-flight requests per tenant id.  Raises
+    [Invalid_argument] when [per_tenant < 1]. *)
+
+val try_acquire : slots -> tenant:string -> bool
+(** Take one slot for [tenant]; [false] when the tenant is at its limit. *)
+
+val release : slots -> tenant:string -> unit
+(** Return a slot (call exactly once per successful {!try_acquire}, when the
+    request completes or is dropped). *)
+
+val occupancy : slots -> tenant:string -> int
+(** Current in-flight count for [tenant] (0 when unknown). *)

@@ -231,3 +231,74 @@ let serve_batch ?jobs t queries =
     Array.map Option.get served
 
 let serve t query = (serve_batch t [| query |]).(0)
+
+type direct = {
+  d_fingerprint : Fingerprint.t;
+  d_plan : Plan.t;
+  d_cost : float;
+  d_ticks_used : int;
+  d_source : source;
+  d_timed_out : bool;
+}
+
+(* The server's per-request path.  Unlike [serve_batch] this commits to the
+   cache immediately — there is no batch barrier to defer to — so, to keep
+   every outcome a pure function of (query bytes, service seed) whatever the
+   interleaving, it deliberately narrows the policy:
+
+   - no warm starts: a coarse hit optimizes cold (a warm start would make
+     the result depend on *which* similar query happened to commit first);
+   - an exact hit serves the cached plan, which — because cached entries are
+     only ever produced by completed cold runs keyed by the same exact key,
+     and admission replaces only on strictly cheaper cost with deterministic
+     recosting — is the same plan the cold run for those query bytes yields;
+   - a deadline-salvaged incumbent is served but never committed, so partial
+     results cannot leak into later requests' exact hits.
+
+   The one caveat, shared with any exact-key scheme: two byte-different
+   queries with equal exact keys (relabeled automorphic twins) may serve
+   each other's mapped plans, whose canonical forms can differ when the run
+   is cut by a tie in canonical order.  The server's tests use byte-identical
+   duplicates, where the guarantee is unconditional. *)
+let serve_direct ?deadline t query =
+  let fp = Fingerprint.compute query in
+  let exact = Fingerprint.exact_key fp in
+  let model = t.config.model in
+  let finish plan ticks_used source timed_out =
+    Obs.hist_record Obs.Request_ticks ticks_used;
+    {
+      d_fingerprint = fp;
+      d_plan = plan;
+      d_cost = Ljqo_cost.Plan_cost.total model query plan;
+      d_ticks_used = ticks_used;
+      d_source = source;
+      d_timed_out = timed_out;
+    }
+  in
+  let optimize_cold () =
+    let r =
+      Optimizer.optimize ?deadline ~method_:t.config.method_ ~model
+        ~ticks:(ticks_for t query) ~seed:(seed_for t exact) query
+    in
+    if r.timed_out then Obs.bump Obs.Service_timeouts;
+    if Query.is_connected query && not r.timed_out then
+      Plan_cache.put t.cache ~exact ~coarse:(Fingerprint.coarse_key fp)
+        {
+          Plan_cache.cplan = Fingerprint.to_canonical fp r.plan;
+          cost = Ljqo_cost.Plan_cost.total model query r.plan;
+          ticks = r.ticks_used;
+        };
+    finish r.plan r.ticks_used Cold r.timed_out
+  in
+  if not (Query.is_connected query) then optimize_cold ()
+  else
+    match
+      Obs.time Obs.Cache_lookup_ns (fun () ->
+          Plan_cache.lookup t.cache ~exact
+            ~coarse:(Fingerprint.coarse_key fp)
+            ~validate:(fun e -> instantiate query fp e <> None))
+    with
+    | `Exact e ->
+      Plan_cache.touch t.cache exact;
+      finish (Option.get (instantiate query fp e)) 0 Exact_hit false
+    | `Coarse _ | `Miss -> optimize_cold ()

@@ -82,5 +82,35 @@ val serve_batch : ?jobs:int -> t -> Ljqo_catalog.Query.t array -> served array
 val serve : t -> Ljqo_catalog.Query.t -> served
 (** A single-query batch. *)
 
+type direct = {
+  d_fingerprint : Fingerprint.t;
+  d_plan : Ljqo_core.Plan.t;
+  d_cost : float;
+  d_ticks_used : int;
+  d_source : source;  (** [Exact_hit] or [Cold] — never warm-started *)
+  d_timed_out : bool;
+      (** cut by [deadline]; the plan is the salvaged incumbent and was
+          {e not} committed to the cache *)
+}
+
+val serve_direct : ?deadline:float -> t -> Ljqo_catalog.Query.t -> direct
+(** The concurrent server's per-request path: one query, immediate cache
+    commit, no batch barrier.  To stay deterministic under interleaving it
+    is strictly exact-hit-or-cold — a coarse (similar-query) hit does {e
+    not} warm-start here, unlike {!serve_batch} — and a deadline-salvaged
+    incumbent is served but never cached.  Under this policy the served
+    (plan, cost, ticks) and any cache commit are a pure function of the
+    query bytes and the service seed, independent of how concurrent
+    requests interleave; and a fresh-cache serialized sequence of
+    [serve_direct] calls leaves the same cache state and serves the same
+    plans as one [serve_batch] over the same request sequence (where the
+    batch path reports a duplicate as [Deduped], this path reports
+    [Exact_hit]).
+
+    [deadline] is a wall-clock allowance in seconds for the optimization run
+    (measured from its start, as in {!Ljqo_core.Budget.create}); when it
+    fires before any incumbent exists, [Ljqo_core.Budget.Deadline_exceeded]
+    escapes (the server wraps this path in [Guard.run]). *)
+
 val source_name : source -> string
 (** ["exact-hit" | "warm-start" | "cold" | "deduped"]. *)

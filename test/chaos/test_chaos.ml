@@ -83,6 +83,82 @@ let test_all_methods_survive_chaos () =
     Alcotest.failf "%d chaos failures:\n%s" (List.length fs)
       (String.concat "\n" (List.rev fs))
 
+let test_server_guard_isolates_crashes () =
+  (* Raising chaos in the serving path: a seeded fraction of join costings
+     raises mid-request.  The per-request guard must contain each crash —
+     the request fails, the worker survives, the queue keeps draining, and
+     every accepted request still gets a response. *)
+  let w = Workload.make ~ns:[ 10 ] ~per_n:10 ~seed:9 Benchmark.default in
+  let queries = Array.map (fun (e : Workload.entry) -> e.query) w.entries in
+  let raising =
+    Ljqo_cost.Chaos.wrap_raising ~rate:3e-4 ~seed:chaos_seed base_model
+  in
+  let module Obs = Ljqo_obs.Obs in
+  let module Server = Ljqo_service.Server in
+  let module Service = Ljqo_service.Service in
+  Obs.set_enabled true;
+  Obs.reset ();
+  let server =
+    Server.create
+      {
+        Server.service =
+          {
+            Service.method_ = Methods.IAI;
+            model = raising;
+            budget = Service.Fixed_ticks ticks;
+            seed = 5;
+          };
+        workers = 2;
+        queue_capacity = 16;
+        tenant_slots = None;
+        request_deadline = None;
+      }
+  in
+  Array.iter
+    (fun q ->
+      match Server.submit_wait server q with
+      | Server.Accepted _ -> ()
+      | Server.Shed _ -> Alcotest.fail "unexpected shed")
+    queries;
+  let responses =
+    match Server.drain server with
+    | Server.Drained rs -> rs
+    | Server.Drain_timeout { pending; _ } ->
+      Alcotest.failf "queue stopped draining: %d pending after a crash" pending
+  in
+  Alcotest.(check int) "every accepted request answered"
+    (Array.length queries) (List.length responses);
+  let failed, served =
+    List.partition
+      (fun (r : Server.response) ->
+        match r.outcome with Server.Failed _ -> true | _ -> false)
+      responses
+  in
+  Alcotest.(check bool) "some requests crashed" true (failed <> []);
+  Alcotest.(check bool) "the workers survived to serve others" true
+    (served <> []);
+  List.iter
+    (fun (r : Server.response) ->
+      match r.outcome with
+      | Server.Failed e ->
+        Alcotest.(check bool) "failure text names the injected fault" true
+          (let re = "Injected" in
+           let len = String.length re in
+           let rec find i =
+             i + len <= String.length e && (String.sub e i len = re || find (i + 1))
+           in
+           find 0)
+      | _ -> ())
+    failed;
+  let st = Server.stats server in
+  Alcotest.(check int) "stats count the failures" (List.length failed) st.failed;
+  let counters = (Obs.snapshot ()).Obs.counters in
+  Alcotest.(check (option int)) "service.failed counter incremented"
+    (Some (List.length failed))
+    (List.assoc_opt "service.failed" counters);
+  Obs.reset ();
+  Obs.set_enabled false
+
 let test_chaos_runs_reproducible () =
   let q = (workload ()).Workload.entries.(0).query in
   let chaotic = Ljqo_cost.Chaos.wrap ~seed:chaos_seed base_model in
@@ -104,6 +180,8 @@ let () =
             test_fault_rate_roughly_honoured;
           Alcotest.test_case "all nine methods survive chaos" `Slow
             test_all_methods_survive_chaos;
+          Alcotest.test_case "server guard isolates raising chaos" `Quick
+            test_server_guard_isolates_crashes;
           Alcotest.test_case "chaos runs are reproducible" `Quick
             test_chaos_runs_reproducible;
         ] );

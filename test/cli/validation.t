@@ -71,3 +71,51 @@ workload argument, an unloadable workload, and bad knobs all fail fast.
   ljqo: --jobs must be a positive integer, got 0
   $ ljqo serve-file no-such-dir --passes 0 2>&1 | head -1
   ljqo: --passes must be a positive integer, got 0
+
+The concurrent server and the load generator validate their knobs the same
+way, before touching the workload:
+
+  $ ljqo serve no-such-dir --workers 0 2>&1 | head -1
+  ljqo: --workers must be a positive integer, got 0
+  $ ljqo serve no-such-dir --workers 0 >/dev/null 2>&1
+  [2]
+
+  $ ljqo serve no-such-dir --queue-capacity 0 2>&1 | head -1
+  ljqo: --queue-capacity must be a positive integer, got 0
+
+  $ ljqo serve no-such-dir --tenant-slots 0 2>&1 | head -1
+  ljqo: --tenant-slots must be a positive integer, got 0
+
+  $ ljqo serve no-such-dir --request-deadline 0 2>&1 | head -1
+  ljqo: --request-deadline must be a positive number, got 0
+
+  $ ljqo serve no-such-dir --drain-timeout 0 2>&1 | head -1
+  ljqo: --drain-timeout must be a positive number, got 0
+
+  $ ljqo loadgen no-such-dir --rate 0 2>&1 | head -1
+  ljqo: --rate must be a positive number, got 0
+  $ ljqo loadgen no-such-dir --rate 0 >/dev/null 2>&1
+  [2]
+
+  $ ljqo loadgen no-such-dir --rate=-2.5 2>&1 | head -1
+  ljqo: --rate must be a positive number, got -2.5
+
+  $ ljqo loadgen no-such-dir --requests 0 2>&1 | head -1
+  ljqo: --requests must be a positive integer, got 0
+
+  $ ljqo loadgen no-such-dir --tenants 0 2>&1 | head -1
+  ljqo: --tenants must be a positive integer, got 0
+
+  $ ljqo loadgen no-such-dir --queue-capacity 0 2>&1 | head -1
+  ljqo: --queue-capacity must be a positive integer, got 0
+
+  $ ljqo loadgen no-such-dir --sweep 10,oops 2>&1 | head -1
+  ljqo: --sweep expects comma-separated positive rates, got "oops"
+
+A drain timeout is a serve-side concept; the open-loop generator always
+drains to completion so its report covers every accepted request:
+
+  $ ljqo loadgen no-such-dir --drain-timeout 5 2>&1 | head -1
+  ljqo: --drain-timeout only applies to serve
+  $ ljqo loadgen no-such-dir --drain-timeout 5 >/dev/null 2>&1
+  [2]

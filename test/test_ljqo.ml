@@ -51,4 +51,5 @@ let () =
       ("obs", Test_obs.suite);
       ("jsonv", Test_jsonv.suite);
       ("service", Test_service.suite);
+      ("server", Test_server.suite);
     ]

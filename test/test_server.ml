@@ -1,0 +1,303 @@
+(* The concurrent server: queue and admission mechanics, the
+   serialized-schedule oracle against [Service.serve_batch], outcome
+   determinism under real concurrency, overload shedding with per-tenant
+   fairness, deadline salvage, and graceful drain. *)
+
+module Service = Ljqo_service.Service
+module Server = Ljqo_service.Server
+module Plan_cache = Ljqo_service.Plan_cache
+module Fingerprint = Ljqo_service.Fingerprint
+module Request_queue = Ljqo_service.Request_queue
+module Admission = Ljqo_service.Admission
+
+let small_config =
+  {
+    Service.default_config with
+    budget = Service.Time_limit { t_factor = 1.0; kappa = None };
+  }
+
+let server_config ?(workers = 1) ?(queue_capacity = 64) ?tenant_slots
+    ?request_deadline () =
+  { Server.service = small_config; workers; queue_capacity; tenant_slots;
+    request_deadline }
+
+let workload_queries () =
+  let w =
+    Ljqo_querygen.Workload.make ~ns:[ 8; 12 ] ~per_n:3 ~seed:77
+      Ljqo_querygen.Benchmark.default
+  in
+  Array.map (fun (e : Ljqo_querygen.Workload.entry) -> e.query) w.entries
+
+(* The oracle workloads include byte-identical duplicates, where the
+   exact-hit path must reproduce the batch path's dedup formula. *)
+let queries_with_duplicates () =
+  let qs = workload_queries () in
+  Array.concat [ qs; [| qs.(0); qs.(3) |] ]
+
+let drain_ok server =
+  match Server.drain server with
+  | Server.Drained rs -> rs
+  | Server.Drain_timeout { pending; _ } ->
+    Alcotest.failf "drain timed out with %d pending" pending
+
+let serve_all ~workers queries =
+  let server = Server.create (server_config ~workers ()) in
+  Array.iter
+    (fun q ->
+      match Server.submit_wait server q with
+      | Server.Accepted _ -> ()
+      | Server.Shed r -> Alcotest.failf "unexpected shed: %s" (Admission.reason_name r))
+    queries;
+  let responses = drain_ok server in
+  (server, responses)
+
+let direct_of (r : Server.response) =
+  match r.outcome with
+  | Server.Served d -> d
+  | Server.Failed e -> Alcotest.failf "request %d failed: %s" r.id e
+  | Server.Deadlined -> Alcotest.failf "request %d deadlined" r.id
+
+(* --- request queue ------------------------------------------------------ *)
+
+let test_queue_fifo_and_bounds () =
+  let q = Request_queue.create ~capacity:3 () in
+  Alcotest.(check bool) "push 1" true (Request_queue.try_push q 1 = Request_queue.Pushed);
+  Alcotest.(check bool) "push 2" true (Request_queue.try_push q 2 = Request_queue.Pushed);
+  Alcotest.(check bool) "push 3" true (Request_queue.try_push q 3 = Request_queue.Pushed);
+  Alcotest.(check bool) "bounded" true (Request_queue.try_push q 4 = Request_queue.Full);
+  Alcotest.(check int) "depth" 3 (Request_queue.length q);
+  Alcotest.(check int) "high-water mark" 3 (Request_queue.max_depth q);
+  Alcotest.(check (option int)) "FIFO 1" (Some 1) (Request_queue.pop q);
+  Alcotest.(check (option int)) "FIFO 2" (Some 2) (Request_queue.pop q);
+  Request_queue.close q;
+  Alcotest.(check bool) "closed to producers" true
+    (Request_queue.try_push q 5 = Request_queue.Closed);
+  Alcotest.(check (option int)) "drains queued item" (Some 3) (Request_queue.pop q);
+  Alcotest.(check (option int)) "then signals end" None (Request_queue.pop q);
+  match Request_queue.create ~capacity:0 () with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "capacity 0 must raise"
+
+let test_queue_blocking_pop () =
+  (* A consumer blocked on an empty queue must wake for a later push. *)
+  let q = Request_queue.create ~capacity:2 () in
+  let consumer = Domain.spawn (fun () -> Request_queue.pop q) in
+  Unix.sleepf 0.02;
+  Alcotest.(check bool) "push" true (Request_queue.try_push q 42 = Request_queue.Pushed);
+  Alcotest.(check (option int)) "woken with the item" (Some 42) (Domain.join consumer);
+  (* and a consumer blocked at close time must wake with None *)
+  let consumer = Domain.spawn (fun () -> Request_queue.pop q) in
+  Unix.sleepf 0.02;
+  Request_queue.close q;
+  Alcotest.(check (option int)) "woken by close" None (Domain.join consumer)
+
+(* --- admission slots ---------------------------------------------------- *)
+
+let test_tenant_slots () =
+  let s = Admission.slots ~per_tenant:2 in
+  Alcotest.(check bool) "first" true (Admission.try_acquire s ~tenant:"a");
+  Alcotest.(check bool) "second" true (Admission.try_acquire s ~tenant:"a");
+  Alcotest.(check bool) "third rejected" false (Admission.try_acquire s ~tenant:"a");
+  Alcotest.(check bool) "other tenant unaffected" true
+    (Admission.try_acquire s ~tenant:"b");
+  Alcotest.(check int) "occupancy" 2 (Admission.occupancy s ~tenant:"a");
+  Admission.release s ~tenant:"a";
+  Alcotest.(check bool) "slot returns" true (Admission.try_acquire s ~tenant:"a");
+  match Admission.slots ~per_tenant:0 with
+  | exception Invalid_argument _ -> ()
+  | _ -> Alcotest.fail "per_tenant 0 must raise"
+
+(* --- serialized oracle -------------------------------------------------- *)
+
+let test_serialized_oracle () =
+  (* 1 worker, FIFO, no shedding: same plans, costs and final cache state as
+     one [serve_batch] over the same request sequence from a fresh cache.
+     The batch path reports the duplicates as Deduped where the server
+     reports Exact_hit; the plans and zero tick charge must still agree. *)
+  let queries = queries_with_duplicates () in
+  let server, responses = serve_all ~workers:1 queries in
+  let batch = Service.serve_batch (Service.create small_config) queries in
+  Alcotest.(check int) "every request answered" (Array.length queries)
+    (List.length responses);
+  List.iter
+    (fun (r : Server.response) ->
+      let d = direct_of r in
+      let b = batch.(r.id) in
+      if d.Service.d_plan <> b.Service.plan then
+        Alcotest.failf "request %d: plan differs from serve_batch" r.id;
+      if d.Service.d_cost <> b.Service.cost then
+        Alcotest.failf "request %d: cost differs from serve_batch" r.id;
+      if d.Service.d_ticks_used <> b.Service.ticks_used then
+        Alcotest.failf "request %d: ticks differ from serve_batch" r.id)
+    responses;
+  (* cache state: same keys, bit-identical entries *)
+  let batch_cache =
+    let s = Service.create small_config in
+    ignore (Service.serve_batch s queries);
+    Service.cache s
+  in
+  let server_cache = Server.cache server in
+  Alcotest.(check int) "same cache size" (Plan_cache.length batch_cache)
+    (Plan_cache.length server_cache);
+  Array.iter
+    (fun q ->
+      let key = Fingerprint.exact_key (Fingerprint.compute q) in
+      match (Plan_cache.find_exact batch_cache key, Plan_cache.find_exact server_cache key) with
+      | Some a, Some b when a = b -> ()
+      | Some _, Some _ -> Alcotest.failf "cache entry differs for %s" key
+      | None, None -> ()
+      | _ -> Alcotest.failf "cache membership differs for %s" key)
+    queries
+
+let test_concurrent_outcomes_deterministic () =
+  (* Per-request outcomes are a function of (request, seed): a 4-worker run
+     must serve every request the same plan/cost/ticks as the 1-worker
+     serialized run, whatever the interleaving was. *)
+  let queries = queries_with_duplicates () in
+  let _, serial = serve_all ~workers:1 queries in
+  let server4, concurrent = serve_all ~workers:4 queries in
+  List.iter2
+    (fun (a : Server.response) (b : Server.response) ->
+      let da = direct_of a and db = direct_of b in
+      Alcotest.(check int) "same id" a.id b.id;
+      if da.Service.d_plan <> db.Service.d_plan then
+        Alcotest.failf "request %d: plan depends on interleaving" a.id;
+      if da.Service.d_cost <> db.Service.d_cost then
+        Alcotest.failf "request %d: cost depends on interleaving" a.id)
+    (* ticks_used is deliberately NOT compared: which duplicate pays the
+       cold optimization and which gets the exact hit depends on whether the
+       twin's commit landed first — the plans and costs cannot differ. *)
+    serial concurrent;
+  (* the concurrent cache also converges to the serialized one *)
+  let serial_cache =
+    let s = Service.create small_config in
+    ignore (Service.serve_batch s queries);
+    Service.cache s
+  in
+  Array.iter
+    (fun q ->
+      let key = Fingerprint.exact_key (Fingerprint.compute q) in
+      match
+        ( Plan_cache.find_exact serial_cache key,
+          Plan_cache.find_exact (Server.cache server4) key )
+      with
+      | Some a, Some b when a = b -> ()
+      | None, None -> ()
+      | _ -> Alcotest.failf "concurrent cache differs for %s" key)
+    queries
+
+(* --- overload, fairness, drain ------------------------------------------ *)
+
+let test_overload_sheds_and_fairness () =
+  (* Deferred start lets the test fill the queue deterministically: with no
+     worker consuming, the depth bound and the tenant fair share decide
+     admission alone. *)
+  let queries = workload_queries () in
+  let server =
+    Server.create ~start:false
+      (server_config ~workers:2 ~queue_capacity:4 ~tenant_slots:2 ())
+  in
+  let submit ~tenant i = Server.submit ~tenant server queries.(i mod Array.length queries) in
+  (* hot tenant: 2 admitted, the rest shed by its fair share *)
+  let hot = List.init 5 (fun i -> submit ~tenant:"hot" i) in
+  Alcotest.(check int) "hot tenant fair share" 2
+    (List.length (List.filter (function Server.Accepted _ -> true | _ -> false) hot));
+  List.iter
+    (function
+      | Server.Accepted _ -> ()
+      | Server.Shed r ->
+        Alcotest.(check string) "hot excess shed by tenant limit" "tenant_limit"
+          (Admission.reason_name r))
+    hot;
+  (* other tenants still get in, until the queue depth bound bites *)
+  (match submit ~tenant:"calm" 5 with
+  | Server.Accepted _ -> ()
+  | Server.Shed _ -> Alcotest.fail "calm tenant starved by hot tenant");
+  (match submit ~tenant:"calmer" 6 with
+  | Server.Accepted _ -> ()
+  | Server.Shed _ -> Alcotest.fail "second tenant starved");
+  (* queue is now at capacity 4: even a fresh tenant is shed, by depth *)
+  (match submit ~tenant:"late" 7 with
+  | Server.Accepted _ -> Alcotest.fail "queue depth bound not enforced"
+  | Server.Shed r ->
+    Alcotest.(check string) "full queue sheds" "queue_full"
+      (Admission.reason_name r));
+  let st = Server.stats server in
+  Alcotest.(check int) "accepted" 4 st.accepted;
+  Alcotest.(check int) "tenant-limit sheds" 3 st.shed_tenant_limit;
+  Alcotest.(check int) "queue-full sheds" 1 st.shed_queue_full;
+  Alcotest.(check bool) "depth never exceeded capacity" true
+    (st.max_queue_depth <= 4);
+  (* graceful drain completes every accepted request; the workers were
+     never started, so the drain itself spawns them with the draining flag
+     already up — every completion counts as drained *)
+  let responses = drain_ok server in
+  Alcotest.(check int) "every accepted request answered" 4
+    (List.length responses);
+  List.iter (fun r -> ignore (direct_of r)) responses;
+  let st = Server.stats server in
+  Alcotest.(check int) "all completions counted as drained" 4 st.drained;
+  (* the drained server sheds everything *)
+  (match Server.submit server queries.(0) with
+  | Server.Shed Admission.Draining -> ()
+  | _ -> Alcotest.fail "drained server must shed with Draining");
+  match Server.drain server with
+  | Server.Drained again ->
+    Alcotest.(check int) "drain is idempotent" 4 (List.length again)
+  | Server.Drain_timeout _ -> Alcotest.fail "second drain must not time out"
+
+let test_deadline_salvage_never_cached () =
+  (* An absurdly tight per-request deadline: every request either salvages
+     its incumbent as timed-out or deadlines before one exists; either way
+     nothing may be committed to the cache. *)
+  let queries = workload_queries () in
+  let server =
+    Server.create (server_config ~workers:2 ~request_deadline:1e-9 ())
+  in
+  Array.iter (fun q -> ignore (Server.submit_wait server q)) queries;
+  let responses = drain_ok server in
+  Alcotest.(check int) "every request answered" (Array.length queries)
+    (List.length responses);
+  List.iter
+    (fun (r : Server.response) ->
+      match r.outcome with
+      | Server.Served d ->
+        Alcotest.(check bool) "salvaged serves are marked timed out" true
+          d.Service.d_timed_out
+      | Server.Deadlined -> ()
+      | Server.Failed e -> Alcotest.failf "request %d crashed: %s" r.id e)
+    responses;
+  let st = Server.stats server in
+  Alcotest.(check int) "every outcome a timeout" (Array.length queries)
+    st.timed_out;
+  Alcotest.(check int) "no timed-out result cached" 0
+    (Plan_cache.length (Server.cache server))
+
+let test_server_create_validation () =
+  let bad cfg name =
+    match Server.create ~start:false cfg with
+    | exception Invalid_argument _ -> ()
+    | _ -> Alcotest.failf "%s must raise" name
+  in
+  bad (server_config ~workers:0 ()) "workers 0";
+  bad (server_config ~queue_capacity:0 ()) "queue capacity 0";
+  bad (server_config ~tenant_slots:0 ()) "tenant slots 0";
+  bad (server_config ~request_deadline:0.0 ()) "request deadline 0"
+
+let suite =
+  [
+    Alcotest.test_case "queue FIFO, bounds, close" `Quick
+      test_queue_fifo_and_bounds;
+    Alcotest.test_case "queue blocking pop" `Quick test_queue_blocking_pop;
+    Alcotest.test_case "tenant fair-share slots" `Quick test_tenant_slots;
+    Alcotest.test_case "serialized schedule matches serve-batch oracle" `Quick
+      test_serialized_oracle;
+    Alcotest.test_case "outcomes independent of interleaving" `Quick
+      test_concurrent_outcomes_deterministic;
+    Alcotest.test_case "overload sheds with tenant fairness, drain completes"
+      `Quick test_overload_sheds_and_fairness;
+    Alcotest.test_case "deadline salvage never cached" `Quick
+      test_deadline_salvage_never_cached;
+    Alcotest.test_case "create validates its inputs" `Quick
+      test_server_create_validation;
+  ]

@@ -169,6 +169,61 @@ let test_cache_rejects_bad_capacity () =
   | exception Invalid_argument _ -> ()
   | _ -> Alcotest.fail "capacity 0 must raise"
 
+let prop_cache_concurrent_storm =
+  (* Parallel put/lookup storms (the server's access pattern): the cache
+     never exceeds capacity, never loses a strictly-cheaper replacement
+     (the keyspace fits each shard's share, so no eviction: the surviving
+     cost per key is the global minimum put anywhere), and the coarse index
+     never dangles — a coarse hit is always the live entry of its exact
+     key. *)
+  Helpers.qcheck_case ~count:10 ~name:"cache safe under concurrent storms"
+    (fun seed ->
+      let n_keys = 8 in
+      let key i = Printf.sprintf "k%d" i and coarse i = Printf.sprintf "c%d" i in
+      (* per-shard cap is ceil(capacity/shards): 16/2 holds all 8 keys even
+         if every key hashes to one shard *)
+      let c = Plan_cache.create ~shards:2 ~capacity:16 () in
+      let best = Array.make n_keys infinity in
+      let ops_per_domain = 200 in
+      let domains =
+        List.init 4 (fun d ->
+            Domain.spawn (fun () ->
+                let rng = Ljqo_stats.Rng.create ((seed * 4) + d) in
+                for _ = 1 to ops_per_domain do
+                  let i = Ljqo_stats.Rng.int rng n_keys in
+                  if Ljqo_stats.Rng.bool rng then
+                    let cost = 1.0 +. Ljqo_stats.Rng.float rng 100.0 in
+                    Plan_cache.put c ~exact:(key i) ~coarse:(coarse i)
+                      { Plan_cache.cplan = [| i |]; cost; ticks = 0 }
+                  else
+                    ignore
+                      (Plan_cache.lookup c ~exact:(key i) ~coarse:(coarse i)
+                         ~validate:(fun _ -> true))
+                done))
+      in
+      List.iter Domain.join domains;
+      (* recompute each key's cheapest put from the same seeded streams *)
+      List.iteri
+        (fun d () ->
+          let rng = Ljqo_stats.Rng.create ((seed * 4) + d) in
+          for _ = 1 to ops_per_domain do
+            let i = Ljqo_stats.Rng.int rng n_keys in
+            if Ljqo_stats.Rng.bool rng then begin
+              let cost = 1.0 +. Ljqo_stats.Rng.float rng 100.0 in
+              if cost < best.(i) then best.(i) <- cost
+            end
+          done)
+        [ (); (); (); () ];
+      Plan_cache.length c <= Plan_cache.capacity c
+      && List.for_all Fun.id
+           (List.init n_keys (fun i ->
+                match Plan_cache.find_exact c (key i) with
+                | None -> best.(i) = infinity
+                | Some e ->
+                  e.cost = best.(i)
+                  && Plan_cache.find_coarse c (coarse i) = Some e)))
+    QCheck.small_int
+
 (* --- service ----------------------------------------------------------- *)
 
 let small_config =
@@ -337,6 +392,7 @@ let suite =
       test_cache_lookup_counters;
     Alcotest.test_case "cache rejects bad capacity" `Quick
       test_cache_rejects_bad_capacity;
+    prop_cache_concurrent_storm;
     Alcotest.test_case "second pass served from cache" `Quick
       test_second_pass_all_hits;
     Alcotest.test_case "warm no worse than cold" `Slow

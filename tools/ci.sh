@@ -78,3 +78,31 @@ dune exec bin/ljqo.exe -- obs trajectory "$span_tmp/q.qdl" --t-factor 2 \
   -o "$span_tmp/traj.svg"
 grep -q '<svg' "$span_tmp/traj.svg"
 rm -rf "$span_tmp"
+
+# Server smoke: SIGTERM mid-run must trigger the graceful drain — every
+# accepted request answered, metrics flushed, exit 0.  The binary runs
+# directly (not under dune exec) so the signal reaches the server process
+# itself rather than the build wrapper.
+server_tmp=$(mktemp -d)
+dune exec bin/ljqo.exe -- workload -o "$server_tmp/wl" --per-n 2
+_build/default/bin/ljqo.exe serve "$server_tmp/wl" --passes 500 \
+  --workers 1 --queue-capacity 2 --t-factor 1 --cache-capacity 1 \
+  --metrics "$server_tmp/metrics.json" >"$server_tmp/serve.out" 2>&1 &
+server_pid=$!
+sleep 2
+kill -TERM "$server_pid"
+wait "$server_pid"
+grep -q 'signal received: draining' "$server_tmp/serve.out"
+dune exec tools/perf_gate.exe -- --check-json "$server_tmp/metrics.json"
+grep -q '"service.shed"' "$server_tmp/metrics.json"
+grep -q '"service.drained"' "$server_tmp/metrics.json"
+
+# Open-loop load smoke: a short sweep must report per-rate goodput and
+# render the goodput-vs-offered-load chart.
+_build/default/bin/ljqo.exe loadgen "$server_tmp/wl" --sweep 20,200 \
+  --requests 20 --workers 2 --queue-capacity 4 --t-factor 1 \
+  --svg "$server_tmp/goodput.svg" | tee "$server_tmp/loadgen.out"
+grep -q 'rate 20/s:' "$server_tmp/loadgen.out"
+grep -q 'rate 200/s:' "$server_tmp/loadgen.out"
+grep -q '<svg' "$server_tmp/goodput.svg"
+rm -rf "$server_tmp"
