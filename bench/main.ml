@@ -18,13 +18,16 @@ let usage () =
   prerr_endline
     "usage: main.exe [EXPERIMENT...] [--full] [--per-n K] [--replicates R]\n\
     \                [--seed S] [--kappa K] [--csv DIR] [--jobs J]\n\
-    \                [--deadline SECS] [--checkpoint-dir DIR] [--resume]\n\
+    \                [--methods M1,M2,...] [--deadline SECS]\n\
+    \                [--checkpoint-dir DIR] [--resume]\n\
     \                [--metrics] [--metrics-out FILE] [--trace FILE]\n\
     \                [--trace-sample N]\n\
      paper experiments:     table1 table2 table3 fig4 fig5 fig6 fig7 (or: all)\n\
      extension experiments: optgap space bushy ablation sg88 dp cache (or:\n\
     \                        extensions)\n\
      micro-benchmarks:      micro [--micro-quota SECS] [--micro-out FILE]\n\
+     --methods M1,M2,...    override every experiment's method set (II, SA,\n\
+    \                        ..., portfolio)\n\
      --deadline SECS        abort any single method run after SECS wall-clock\n\
      --checkpoint-dir DIR   persist per-query results under DIR as they finish\n\
      --resume               skip queries already checkpointed (requires\n\
@@ -144,6 +147,28 @@ let parse_args () =
       go rest
     | ("-j" | "--jobs") :: v :: rest ->
       Ljqo_harness.Parallel.set_jobs (int_arg ~flag:"--jobs" ~min:1 v);
+      go rest
+    | "--methods" :: v :: rest ->
+      let names =
+        List.filter (fun p -> p <> "")
+          (List.map String.trim (String.split_on_char ',' v))
+      in
+      if names = [] then begin
+        prerr_endline
+          ("--methods wants a comma-separated list of methods, got: " ^ v);
+        usage ()
+      end;
+      let methods =
+        List.map
+          (fun name ->
+            match Ljqo_core.Methods.of_name name with
+            | Some m -> m
+            | None ->
+              prerr_endline ("--methods: unknown method: " ^ name);
+              usage ())
+          names
+      in
+      Ljqo_harness.Driver.set_methods_override (Some methods);
       go rest
     | "all" :: rest ->
       o.experiments <- o.experiments @ all_experiments;

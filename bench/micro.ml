@@ -264,6 +264,87 @@ let test_dp =
     (Staged.stage (fun () -> ignore (Dp.optimize ~jobs:1 model q)))
 
 (* ------------------------------------------------------------------ *)
+(* Fused neighbor evaluation vs the reference try_move protocol: one full
+   adjacent-swap sweep (N-1 neighbors) over the same N = 50 state.  The
+   reference pays snapshot + mutate + recost + rollback per neighbor; the
+   fused kernel reads the permutation virtually and streams step costs into
+   preallocated scratch.  Both states are created once and never mutated
+   (every neighbor is rejected), and the two sweeps are asserted to produce
+   bit-identical verdicts at module init.  Unlimited-tick evaluators, so no
+   budget exception can fire mid-measurement. *)
+
+let neighbors_reference_state =
+  Search_state.init (Evaluator.create ~query ~model ~ticks:0 ()) plan
+
+let neighbors_fused_workspace =
+  Neighborhood.create
+    (Search_state.init (Evaluator.create ~query ~model ~ticks:0 ()) plan)
+
+let neighbors_reference_kernel () =
+  let acc = ref 0.0 in
+  for i = 0 to n - 2 do
+    match Search_state.try_move neighbors_reference_state (Move.Swap (i, i + 1)) with
+    | None -> ()
+    | Some (total, snap) ->
+      acc := !acc +. total;
+      Search_state.rollback neighbors_reference_state snap
+  done;
+  !acc
+
+let neighbors_fused_kernel () =
+  let acc = ref 0.0 in
+  Neighborhood.adjacent_swaps neighbors_fused_workspace (fun _ verdict ->
+      match verdict with Some total -> acc := !acc +. total | None -> ());
+  !acc
+
+let () =
+  (* The bit-identity contract, checked on the benchmark inputs too. *)
+  assert (neighbors_reference_kernel () = neighbors_fused_kernel ())
+
+let test_neighbors_reference =
+  Test.make ~name:"search:neighbors-reference"
+    (Staged.stage (fun () -> ignore (neighbors_reference_kernel ())))
+
+let test_neighbors_fused =
+  Test.make ~name:"search:neighbors-fused"
+    (Staged.stage (fun () -> ignore (neighbors_fused_kernel ())))
+
+(* Portfolio barrier overhead: fold [width] replicate results in replicate
+   order into the round's incumbent and re-derive each replicate's child RNG
+   stream — the per-round coordination cost the portfolio adds on top of the
+   legs' own search work. *)
+
+let exchange_width = 8
+
+let exchange_results =
+  Array.init exchange_width (fun i ->
+      let p = Random_plan.generate (Ljqo_stats.Rng.create (100 + i)) query in
+      (Ljqo_cost.Plan_cost.total model query p, p))
+
+let exchange_rng = Ljqo_stats.Rng.create 7
+
+let portfolio_exchange_kernel () =
+  let best = ref infinity in
+  let best_plan = ref (snd exchange_results.(0)) in
+  Array.iter
+    (fun (c, p) ->
+      if c < !best then begin
+        best := c;
+        best_plan := p
+      end)
+    exchange_results;
+  let acc = ref 0 in
+  for i = 0 to exchange_width - 1 do
+    let child = Ljqo_stats.Rng.split_at exchange_rng i in
+    acc := !acc + Ljqo_stats.Rng.int child 1000
+  done;
+  (Array.copy !best_plan, !acc)
+
+let test_portfolio_exchange =
+  Test.make ~name:"portfolio:exchange"
+    (Staged.stage (fun () -> ignore (portfolio_exchange_kernel ())))
+
+(* ------------------------------------------------------------------ *)
 (* Service-layer kernels: the fingerprint hash (the per-request cost of
    cache addressing) and cache get/put against a populated cache.        *)
 
@@ -359,6 +440,9 @@ let tests =
       test_random_plan_full_mask;
       test_connected_list;
       test_connected_mask;
+      test_neighbors_reference;
+      test_neighbors_fused;
+      test_portfolio_exchange;
       test_dp;
       test_fingerprint;
       test_cache_get;
@@ -388,6 +472,9 @@ let speedup_pairs =
     ( "induced-connected",
       "ljqo/kernel:induced-connected-list",
       "ljqo/kernel:induced-connected-mask" );
+    ( "neighbors-fused",
+      "ljqo/search:neighbors-reference",
+      "ljqo/search:neighbors-fused" );
   ]
 
 let json_escape s =

@@ -61,7 +61,9 @@ let method_arg =
   Arg.(
     value & opt method_conv Methods.IAI
     & info [ "method"; "m" ] ~docv:"METHOD"
-        ~doc:"Optimization method (II, SA, SAA, SAK, IAI, IKI, IAL, AGI, KBI).")
+        ~doc:
+          "Optimization method (II, SA, SAA, SAK, IAI, IKI, IAL, AGI, KBI, \
+           portfolio).")
 
 let t_factor_arg =
   Arg.(
@@ -118,6 +120,64 @@ let check_knobs ~t_factor ~kappa ~trace_sample =
   | _ -> ());
   if trace_sample < 1 then
     fail_usage "--trace-sample must be a positive integer, got %d" trace_sample
+
+let portfolio_width_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "portfolio-width" ] ~docv:"K"
+        ~doc:
+          "Portfolio replicates per round (method portfolio only; default \
+           4).")
+
+let portfolio_legs_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "portfolio-legs" ] ~docv:"LEGS"
+        ~doc:
+          "Comma-separated portfolio legs — at least two of II, SA, 2PO \
+           (method portfolio only; default II,SA,2PO).")
+
+(* Portfolio knobs, validated fail-fast like the knobs above.  The resulting
+   [Methods.config] is inert for the non-portfolio methods. *)
+let methods_config_for ~portfolio_width ~portfolio_legs =
+  let default = Methods.default_config.Methods.portfolio_params in
+  let width =
+    match portfolio_width with
+    | None -> default.Portfolio.width
+    | Some k when k < 1 ->
+      fail_usage "--portfolio-width must be a positive integer, got %d" k
+    | Some k -> k
+  in
+  let legs =
+    match portfolio_legs with
+    | None -> default.Portfolio.legs
+    | Some s ->
+      let parts =
+        List.filter
+          (fun p -> p <> "")
+          (List.map String.trim (String.split_on_char ',' s))
+      in
+      let legs =
+        List.map
+          (fun p ->
+            match Portfolio.leg_of_name p with
+            | Some l -> l
+            | None ->
+              fail_usage "--portfolio-legs: unknown leg %s (valid: II, SA, 2PO)"
+                p)
+          parts
+      in
+      if List.length (List.sort_uniq compare legs) < 2 then
+        fail_usage
+          "--portfolio-legs needs at least two distinct legs of II, SA, 2PO, \
+           got %s"
+          (if legs = [] then "none" else s);
+      legs
+  in
+  {
+    Methods.default_config with
+    Methods.portfolio_params = { default with Portfolio.width; legs };
+  }
 
 (* Run [f] with metrics/tracing/span capture configured, flushing on the way
    out (including on exceptions, so a crashed run still leaves its trace).
@@ -200,12 +260,14 @@ let print_plan query plan =
   in
   Printf.printf "plan: %s\n" (String.concat " |><| " names)
 
-let optimize file method_ model t_factor kappa seed metrics trace trace_sample =
+let optimize file method_ model t_factor kappa seed portfolio_width
+    portfolio_legs metrics trace trace_sample =
   check_knobs ~t_factor ~kappa ~trace_sample;
+  let config = methods_config_for ~portfolio_width ~portfolio_legs in
   with_obs ~metrics ~trace ~trace_sample @@ fun () ->
   let query = load_query file in
   let ticks = ticks_for query t_factor kappa in
-  let r = Optimizer.optimize ~method_ ~model ~ticks ~seed query in
+  let r = Optimizer.optimize ~config ~method_ ~model ~ticks ~seed query in
   let module M = (val model : Ljqo_cost.Cost_model.S) in
   Printf.printf "method %s, cost model %s, budget %d ticks (%.3gN^2)\n"
     (Methods.name method_) M.name ticks t_factor;
@@ -220,7 +282,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Choose a join order for a query")
     Term.(
       const optimize $ query_file_arg $ method_arg $ model_arg $ t_factor_arg
-      $ kappa_arg $ seed_arg $ metrics_arg $ trace_arg $ trace_sample_arg)
+      $ kappa_arg $ seed_arg $ portfolio_width_arg $ portfolio_legs_arg
+      $ metrics_arg $ trace_arg $ trace_sample_arg)
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -330,9 +393,11 @@ let exact file model =
       r.cost r.nodes_expanded r.pruned;
     Printf.printf "valid plans in the space: %d\n"
       (Exhaustive.count_valid_plans ~limit:5_000_000 query)
-  | exception Exhaustive.Too_large n ->
+  | exception Exhaustive.Too_large { n; max_relations } ->
     Printf.eprintf
-      "query has %d relations; exact search is capped at 16 (the paper's point!)\n" n;
+      "query has %d relations; exact search is capped at %d (the paper's \
+       point!)\n"
+      n max_relations;
     exit 1
 
 let exact_cmd =
@@ -352,7 +417,8 @@ let dp file model =
       r.product_cost r.clamped_cost;
     Printf.printf "connected subsets explored: %d\n" r.subsets_explored
   | exception Dp.Too_large n ->
-    Printf.eprintf "query has %d relations; DP is capped at 22 (the paper's point!)\n" n;
+    Printf.eprintf "query has %d relations; DP is capped at %d (the paper's point!)\n"
+      n Dp.default_max_relations;
     exit 1
 
 let dp_cmd =
@@ -576,8 +642,9 @@ let load_workload_queries dir =
       (Ljqo_querygen.Workload_io.error_to_string e)
 
 let serve_file dir method_ model t_factor kappa seed cache_capacity jobs passes
-    metrics trace trace_sample =
+    portfolio_width portfolio_legs metrics trace trace_sample =
   check_knobs ~t_factor ~kappa ~trace_sample;
+  let methods_config = methods_config_for ~portfolio_width ~portfolio_legs in
   if cache_capacity < 1 then
     fail_usage "--cache-capacity must be a positive integer, got %d"
       cache_capacity;
@@ -591,6 +658,7 @@ let serve_file dir method_ model t_factor kappa seed cache_capacity jobs passes
     Service.create ~cache_capacity
       {
         Service.method_;
+        methods_config;
         model;
         budget = Service.Time_limit { t_factor; kappa };
         seed;
@@ -651,8 +719,8 @@ let serve_file_cmd =
        ~doc:"Optimize a saved workload through the caching service")
     Term.(
       const serve_file $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
-      $ seed_arg $ cache_capacity $ jobs $ passes $ metrics_arg $ trace_arg
-      $ trace_sample_arg)
+      $ seed_arg $ cache_capacity $ jobs $ passes $ portfolio_width_arg
+      $ portfolio_legs_arg $ metrics_arg $ trace_arg $ trace_sample_arg)
 
 (* --- serve / loadgen ---------------------------------------------------- *)
 
@@ -719,12 +787,13 @@ let check_server_knobs ~workers ~queue_capacity ~tenant_slots ~request_deadline
     fail_usage "--cache-capacity must be a positive integer, got %d"
       cache_capacity
 
-let server_config ~method_ ~model ~t_factor ~kappa ~seed ~workers
-    ~queue_capacity ~tenant_slots ~request_deadline =
+let server_config ~method_ ~methods_config ~model ~t_factor ~kappa ~seed
+    ~workers ~queue_capacity ~tenant_slots ~request_deadline =
   {
     Server.service =
       {
         Service.method_;
+        methods_config;
         model;
         budget = Service.Time_limit { t_factor; kappa };
         seed;
@@ -770,9 +839,10 @@ let print_server_stats (st : Server.stats) =
    gracefully on SIGTERM/SIGINT or when the workload is exhausted, exit 0
    once every accepted request has its response. *)
 let serve dir method_ model t_factor kappa seed cache_capacity workers
-    queue_capacity tenant_slots request_deadline drain_timeout passes metrics
-    trace trace_sample =
+    queue_capacity tenant_slots request_deadline drain_timeout passes
+    portfolio_width portfolio_legs metrics trace trace_sample =
   check_knobs ~t_factor ~kappa ~trace_sample;
+  let methods_config = methods_config_for ~portfolio_width ~portfolio_legs in
   check_server_knobs ~workers ~queue_capacity ~tenant_slots ~request_deadline
     ~cache_capacity;
   (match drain_timeout with
@@ -788,8 +858,8 @@ let serve dir method_ model t_factor kappa seed cache_capacity workers
   Sys.set_signal Sys.sigint handler;
   let server =
     Server.create ~cache_capacity
-      (server_config ~method_ ~model ~t_factor ~kappa ~seed ~workers
-         ~queue_capacity ~tenant_slots ~request_deadline)
+      (server_config ~method_ ~methods_config ~model ~t_factor ~kappa ~seed
+         ~workers ~queue_capacity ~tenant_slots ~request_deadline)
   in
   let module M = (val model : Ljqo_cost.Cost_model.S) in
   Printf.printf
@@ -840,7 +910,8 @@ let serve_cmd =
       const serve $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
       $ seed_arg $ server_cache_capacity_arg $ workers_arg
       $ queue_capacity_arg $ tenant_slots_arg $ request_deadline_arg
-      $ drain_timeout_arg $ passes $ metrics_arg $ trace_arg $ trace_sample_arg)
+      $ drain_timeout_arg $ passes $ portfolio_width_arg $ portfolio_legs_arg
+      $ metrics_arg $ trace_arg $ trace_sample_arg)
 
 (* Open-loop load generation: the arrival schedule (exponential gaps), the
    query choices and the tenant assignment are all drawn from one seeded
@@ -848,8 +919,10 @@ let serve_cmd =
    outcomes (latency, shed counts) vary with the machine. *)
 let loadgen dir method_ model t_factor kappa seed cache_capacity workers
     queue_capacity tenant_slots tenants request_deadline rate requests sweep
-    svg drain_timeout metrics trace trace_sample =
+    svg drain_timeout portfolio_width portfolio_legs metrics trace
+    trace_sample =
   check_knobs ~t_factor ~kappa ~trace_sample;
+  let methods_config = methods_config_for ~portfolio_width ~portfolio_legs in
   check_server_knobs ~workers ~queue_capacity ~tenant_slots ~request_deadline
     ~cache_capacity;
   if not (rate > 0.0) then
@@ -879,8 +952,8 @@ let loadgen dir method_ model t_factor kappa seed cache_capacity workers
   let run_rate rate =
     let server =
       Server.create ~cache_capacity
-        (server_config ~method_ ~model ~t_factor ~kappa ~seed ~workers
-           ~queue_capacity ~tenant_slots ~request_deadline)
+        (server_config ~method_ ~methods_config ~model ~t_factor ~kappa
+           ~seed ~workers ~queue_capacity ~tenant_slots ~request_deadline)
     in
     let rng = Ljqo_stats.Rng.create seed in
     let t0 = Unix.gettimeofday () in
@@ -985,8 +1058,8 @@ let loadgen_cmd =
       const loadgen $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
       $ seed_arg $ server_cache_capacity_arg $ workers_arg
       $ queue_capacity_arg $ tenant_slots_arg $ tenants $ request_deadline_arg
-      $ rate $ requests $ sweep $ svg $ drain_timeout_arg $ metrics_arg
-      $ trace_arg $ trace_sample_arg)
+      $ rate $ requests $ sweep $ svg $ drain_timeout_arg $ portfolio_width_arg
+      $ portfolio_legs_arg $ metrics_arg $ trace_arg $ trace_sample_arg)
 
 (* --- obs ---------------------------------------------------------------- *)
 
@@ -1097,7 +1170,9 @@ let methods_cmd =
     (Cmd.info "methods" ~doc:"List the optimization methods")
     Term.(
       const (fun () ->
-          List.iter (fun m -> Printf.printf "%s\n" (Methods.name m)) Methods.all)
+          List.iter
+            (fun m -> Printf.printf "%s\n" (Methods.name m))
+            Methods.selectable)
       $ const ())
 
 let benchmarks_cmd =

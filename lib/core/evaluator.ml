@@ -38,6 +38,7 @@ let query t = t.query
 let model t = t.model
 let n_relations t = Query.n_relations t.query
 let lower_bound t = t.lower_bound
+let epsilon t = t.epsilon
 
 let charge t k = Budget.charge t.budget k
 let remaining t = Budget.remaining t.budget

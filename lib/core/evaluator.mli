@@ -36,6 +36,11 @@ val model : t -> Ljqo_cost.Cost_model.t
 val n_relations : t -> int
 val lower_bound : t -> float
 
+val epsilon : t -> float
+(** The convergence tolerance this evaluator was created with — lets a
+    driver spawn sub-evaluators (e.g. portfolio replicates) that stop under
+    the same condition. *)
+
 val charge : t -> int -> unit
 (** Charge raw ticks (heuristic bookkeeping work). *)
 

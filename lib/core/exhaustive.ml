@@ -1,7 +1,7 @@
 open Ljqo_catalog
 open Ljqo_cost
 
-exception Too_large of int
+exception Too_large of { n : int; max_relations : int }
 
 type result = {
   plan : Plan.t;
@@ -10,12 +10,14 @@ type result = {
   pruned : int;
 }
 
-let optimize ?(max_relations = 16) ?seed_plan model query =
+let default_max_relations = 16
+
+let optimize ?(max_relations = default_max_relations) ?seed_plan model query =
   let n = Query.n_relations query in
   if n = 0 then invalid_arg "Exhaustive.optimize: empty query";
   if not (Query.is_connected query) then
     invalid_arg "Exhaustive.optimize: join graph is disconnected";
-  if n > max_relations then raise (Too_large n);
+  if n > max_relations then raise (Too_large { n; max_relations });
   let graph = Query.graph query in
   let best_cost = ref infinity in
   let best_plan = ref None in

@@ -16,10 +16,16 @@
 
     Worst-case time is factorial; in practice dense pruning handles 10-14
     relations in well under a second.  [optimize] refuses queries beyond
-    [max_relations] (default 16) unless explicitly overridden. *)
+    [max_relations] (default {!default_max_relations}) unless explicitly
+    overridden. *)
 
-exception Too_large of int
-(** The query has more relations than the configured maximum. *)
+exception Too_large of { n : int; max_relations : int }
+(** The query has [n] relations, more than the [max_relations] the call was
+    configured with — the payload carries the configured cap so reports can
+    say which limit was in force, not guess at the default. *)
+
+val default_max_relations : int
+(** 16. *)
 
 type result = {
   plan : Plan.t;
@@ -35,8 +41,8 @@ val optimize :
   Ljqo_catalog.Query.t ->
   result
 (** Exact optimum over valid permutations (connected queries only; raises
-    [Invalid_argument] on a disconnected join graph, [Too_large] past the
-    size cap). *)
+    [Invalid_argument] on a disconnected join graph, [Too_large] past
+    [max_relations], default {!default_max_relations}). *)
 
 val count_valid_plans : ?limit:int -> Ljqo_catalog.Query.t -> int
 (** Number of valid permutations, counting up to [limit] (default

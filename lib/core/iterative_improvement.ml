@@ -4,9 +4,15 @@ type params = { patience_factor : int; mix : Move.mix }
 
 let default_params = { patience_factor = 4; mix = Move.default_mix }
 
+(* The descent samples neighbors through the fused kernel: a rejected or
+   invalid proposal (the common case near a local minimum) costs no
+   snapshot, no rollback and no allocation; only accepted moves touch the
+   state.  Verdicts, tick charges and commits are bit-identical to the
+   retained [Search_state.try_move] reference path (see Neighborhood). *)
 let descend ?(params = default_params) state rng =
   let n = Search_state.n state in
   if n >= 2 then begin
+    let nb = Neighborhood.create state in
     let patience = max 1 (params.patience_factor * n) in
     let failures = ref 0 in
     while !failures < patience do
@@ -14,20 +20,21 @@ let descend ?(params = default_params) state rng =
       let kind = Move.obs_kind move in
       Obs.move kind Obs.Proposed;
       let before = Search_state.cost state in
-      match Search_state.try_move state move with
+      match Neighborhood.consider nb move with
       | None ->
         Obs.move kind Obs.Invalid;
         incr failures
-      | Some (after, snap) ->
+      | Some after ->
         Obs.hist_record_f Obs.Move_delta (Float.abs (after -. before));
         if after < before then begin
           Obs.move kind Obs.Accepted;
+          Neighborhood.accept nb;
           Search_state.commit state;
           failures := 0
         end
         else begin
           Obs.move kind Obs.Rejected;
-          Search_state.rollback state snap;
+          Neighborhood.reject nb;
           incr failures
         end
     done

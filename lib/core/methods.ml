@@ -1,8 +1,10 @@
-type t = II | SA | SAA | SAK | IAI | IKI | IAL | AGI | KBI
+type t = II | SA | SAA | SAK | IAI | IKI | IAL | AGI | KBI | Portfolio
 
 let all = [ II; SA; SAA; SAK; IAI; IKI; IAL; AGI; KBI ]
 
 let top_five = [ IAI; IAL; AGI; KBI; II ]
+
+let selectable = all @ [ Portfolio ]
 
 let name = function
   | II -> "II"
@@ -14,6 +16,7 @@ let name = function
   | IAL -> "IAL"
   | AGI -> "AGI"
   | KBI -> "KBI"
+  | Portfolio -> "portfolio"
 
 let of_name s =
   match String.uppercase_ascii s with
@@ -26,6 +29,7 @@ let of_name s =
   | "IAL" -> Some IAL
   | "AGI" -> Some AGI
   | "KBI" -> Some KBI
+  | "PORTFOLIO" -> Some Portfolio
   | _ -> None
 
 type config = {
@@ -33,6 +37,7 @@ type config = {
   sa_params : Simulated_annealing.params;
   augmentation_criterion : Augmentation.criterion;
   kbz_weighting : Kbz.weighting;
+  portfolio_params : Portfolio.params;
 }
 
 let default_config =
@@ -41,6 +46,7 @@ let default_config =
     sa_params = Simulated_annealing.default_params;
     augmentation_criterion = Augmentation.default_criterion;
     kbz_weighting = Kbz.default_weighting;
+    portfolio_params = Portfolio.default_params;
   }
 
 module Obs = Ljqo_obs.Obs
@@ -132,6 +138,9 @@ let run_inner config ?start:warm method_ ev rng =
     seed_incumbent ();
     drain_and_eval ev (kbz_source ());
     ii (random_starts ev rng)
+  | Portfolio ->
+    Portfolio.run ~params:config.portfolio_params ~ii_params:config.ii_params
+      ~sa_params:config.sa_params ?start:warm ev rng
 
 let run ?(config = default_config) ?start method_ ev rng =
   (match start with

@@ -12,17 +12,26 @@
     - [AGI] / [KBI]: first generate (and cost) every augmentation / KBZ
       state, then run random-start II; best of everything wins.
 
+    Beyond the paper's nine, [Portfolio] races II / SA / two-phase
+    replicates across domains with incumbent exchange at round barriers
+    (see {!Portfolio}); it is selectable by name but kept out of {!all} so
+    the paper-reproduction sweeps are unchanged.
+
     [run] drives a method against an evaluator until its budget is exhausted,
     it converges, or the method has no way to spend more time; the result is
     the evaluator's incumbent. *)
 
-type t = II | SA | SAA | SAK | IAI | IKI | IAL | AGI | KBI
+type t = II | SA | SAA | SAK | IAI | IKI | IAL | AGI | KBI | Portfolio
 
 val all : t list
-(** In the paper's presentation order. *)
+(** The paper's nine, in presentation order (no [Portfolio]). *)
 
 val top_five : t list
 (** [IAI; IAL; AGI; KBI; II] — the methods kept after Figure 4. *)
+
+val selectable : t list
+(** Everything a user can name on a command line: {!all} plus
+    [Portfolio]. *)
 
 val name : t -> string
 val of_name : string -> t option
@@ -32,6 +41,7 @@ type config = {
   sa_params : Simulated_annealing.params;
   augmentation_criterion : Augmentation.criterion;
   kbz_weighting : Kbz.weighting;
+  portfolio_params : Portfolio.params;
 }
 
 val default_config : config

@@ -1,0 +1,54 @@
+(** Fused move-generation + recost kernel: evaluate neighbors of a search
+    state without mutating it.
+
+    The reference protocol ({!Search_state.try_move}: snapshot, mutate,
+    recost, rollback) allocates three window slices per attempt, boxes the
+    prefix and a result tuple at every step, and pays rollback writes on
+    every rejection.  This kernel reads the mutated permutation virtually,
+    keeps the placed prefix in two machine words, and streams step costs
+    through {!Ljqo_cost.Plan_cost.Stepper} into preallocated scratch — zero
+    allocation in the hot loop.  Only an accepted move touches the state.
+
+    Bit-identity contract (qcheck-enforced in [test_neighborhood.ml]):
+    [consider] returns exactly what [try_move] would, charges the same ticks
+    at the same point (so [Budget.Exhausted] and convergence fire at the
+    same proposal), and [accept] leaves the state bit-identical to the
+    reference's committed state.  Join graphs beyond the bitset width fall
+    back to the reference protocol internally.
+
+    A workspace is bound to one {!Search_state.t} and is single-threaded,
+    like the state itself. *)
+
+type t
+
+val create : Search_state.t -> t
+(** Preallocates scratch sized to the state.  O(n). *)
+
+val state : t -> Search_state.t
+
+val consider : t -> Move.t -> float option
+(** Evaluate one neighbor.  [Some total]: the move is valid and would yield
+    a plan of cost [total]; follow with exactly one of {!accept} or
+    {!reject} before the next [consider].  [None]: the move introduces a
+    cross product; the state is untouched and nothing is pending.  Charges
+    the evaluator exactly as [try_move] would (may raise
+    [Budget.Exhausted] / [Budget.Deadline_exceeded]). *)
+
+val accept : t -> unit
+(** Install the pending considered move into the state (the state's cost
+    becomes the value [consider] returned).  Does {e not} commit to the
+    evaluator — call {!Search_state.commit} as with the reference path. *)
+
+val reject : t -> unit
+(** Discard the pending considered move; the state is as before
+    [consider]. *)
+
+val adjacent_swaps : t -> (int -> float option -> unit) -> unit
+(** [adjacent_swaps t f] evaluates the full adjacent-swap neighborhood
+    [Swap (i, i+1)] for [i = 0 .. n-2], calling [f i verdict] for each —
+    the batched form behind the [search:neighbors-fused] micro kernel.
+    Prefix words and the prefix cost sum are carried incrementally across
+    candidates, so the sweep costs one recost walk per neighbor and no
+    allocation.  Read-only: the state is unchanged and nothing is left
+    pending.  Each candidate charges the evaluator exactly as a lone
+    [try_move] would, in ascending [i] order. *)

@@ -40,6 +40,8 @@ let n t = Array.length t.perm
 let cost t = t.total
 let perm t = Array.copy t.perm
 let perm_view t = t.perm
+let cards_view t = t.cards
+let step_costs_view t = t.step_costs
 
 let take_snapshot t ~lo ~hi =
   {
@@ -186,5 +188,22 @@ let try_rewrite t ~lo ~rels =
     rels;
   let ok = recost t ~lo ~hi in
   finish_attempt t snap ok
+
+(* Install a move whose effect was already computed off-state (the fused
+   neighbor kernel): apply the permutation mutation, then overwrite exactly
+   the slots [recost] would have written — [cards]/[step_costs] on
+   [max lo 1 .. n-1] plus [cards.(0)] when [lo = 0] — and the total.  No
+   recosting, no tick charges: those happened when the kernel evaluated the
+   move. *)
+let apply_evaluated t move ~lo ~cards ~step_costs ~total =
+  apply_perm_mutation t move;
+  let n = Array.length t.perm in
+  let first = max lo 1 in
+  if lo = 0 then t.cards.(0) <- cards.(0);
+  for k = first to n - 1 do
+    t.cards.(k) <- cards.(k);
+    t.step_costs.(k) <- step_costs.(k)
+  done;
+  t.total <- total
 
 let commit t = Evaluator.record t.ev t.perm t.total

@@ -36,6 +36,14 @@ val perm_view : t -> Plan.t
     use {!perm}) before storing it anywhere.  Violations corrupt the search
     state silently. *)
 
+val cards_view : t -> float array
+(** The state's intermediate-cardinality array ([cards.(i)] after position
+    [i]), NOT a copy — same aliasing contract as {!perm_view}. *)
+
+val step_costs_view : t -> float array
+(** The state's per-step cost array ([step_costs.(0) = 0.]), NOT a copy —
+    same aliasing contract as {!perm_view}. *)
+
 val try_move : t -> Move.t -> (float * snapshot) option
 (** Apply the move and recost.  [Some (new_total, snap)]: the state now holds
     the moved permutation; pass [snap] to [rollback] to restore, or call
@@ -47,6 +55,21 @@ val try_rewrite : t -> lo:int -> rels:int array -> (float * snapshot) option
     window) and recost; same protocol as [try_move]. *)
 
 val rollback : t -> snapshot -> unit
+
+val apply_evaluated :
+  t ->
+  Move.t ->
+  lo:int ->
+  cards:float array ->
+  step_costs:float array ->
+  total:float ->
+  unit
+(** Install a move already evaluated off-state by {!Neighborhood}: applies
+    the permutation mutation and copies the supplied suffix slices
+    ([max lo 1 .. n-1], plus [cards.(0)] when [lo = 0]) and total into the
+    state.  Charges nothing — the kernel charged the evaluation.  The
+    supplied arrays must hold exactly what {!try_move} would have computed
+    for this move; {!Neighborhood.accept} is the only intended caller. *)
 
 val commit : t -> unit
 (** Record the current state with the evaluator (incumbent tracking /

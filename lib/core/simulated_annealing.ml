@@ -24,7 +24,7 @@ let default_params =
    delta, from which the initial temperature follows:
    exp(-mean_delta / T0) = chi0.  Probes are calibration, not search, so
    they are not counted in the move-outcome matrix. *)
-let initial_temperature params state rng =
+let initial_temperature params nb state rng =
   let n = Search_state.n state in
   let probes = max 8 (2 * n) in
   let uphill_sum = ref 0.0 in
@@ -32,10 +32,10 @@ let initial_temperature params state rng =
   for _ = 1 to probes do
     let before = Search_state.cost state in
     let move = Move.random ~mix:params.mix rng ~n in
-    match Search_state.try_move state move with
+    match Neighborhood.consider nb move with
     | None -> ()
-    | Some (after, snap) ->
-      Search_state.rollback state snap;
+    | Some after ->
+      Neighborhood.reject nb;
       if after > before then begin
         uphill_sum := !uphill_sum +. (after -. before);
         incr uphill_count
@@ -51,7 +51,12 @@ let anneal_once ?(params = default_params) ev rng ~start =
   let state = Search_state.init ev start in
   let n = Search_state.n state in
   if n >= 2 then begin
-    let temp = ref (initial_temperature params state rng) in
+    (* One fused-kernel workspace serves the probing phase and every chain:
+       metropolis-rejected moves (most of a cooled run) never touch the
+       state.  Verdicts and charges are bit-identical to the reference
+       [try_move] protocol (see Neighborhood). *)
+    let nb = Neighborhood.create state in
+    let temp = ref (initial_temperature params nb state rng) in
     let chain_length = max 4 (params.size_factor * n) in
     let cold_chains = ref 0 in
     let best_seen = ref (Search_state.cost state) in
@@ -63,9 +68,9 @@ let anneal_once ?(params = default_params) ev rng ~start =
         let move = Move.random ~mix:params.mix rng ~n in
         let kind = Move.obs_kind move in
         Obs.move kind Obs.Proposed;
-        match Search_state.try_move state move with
+        match Neighborhood.consider nb move with
         | None -> Obs.move kind Obs.Invalid
-        | Some (after, snap) ->
+        | Some after ->
           let delta = after -. before in
           Obs.hist_record_f Obs.Move_delta (Float.abs delta);
           let accept =
@@ -74,6 +79,7 @@ let anneal_once ?(params = default_params) ev rng ~start =
           if accept then begin
             Obs.move kind Obs.Accepted;
             incr accepted;
+            Neighborhood.accept nb;
             Search_state.commit state;
             if after < !best_seen then begin
               best_seen := after;
@@ -82,7 +88,7 @@ let anneal_once ?(params = default_params) ev rng ~start =
           end
           else begin
             Obs.move kind Obs.Rejected;
-            Search_state.rollback state snap
+            Neighborhood.reject nb
           end
       done;
       Obs.bump Obs.Sa_chains;

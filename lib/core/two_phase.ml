@@ -24,6 +24,7 @@ let anneal_low ~params ev rng ~start ~temperature =
   let state = Search_state.init ev start in
   let n = Search_state.n state in
   if n >= 2 then begin
+    let nb = Neighborhood.create state in
     let temp = ref (Float.max 1e-9 temperature) in
     let chain_length = max 4 (sa.Simulated_annealing.size_factor * n) in
     let cold = ref 0 in
@@ -34,20 +35,21 @@ let anneal_low ~params ev rng ~start ~temperature =
       for _ = 1 to chain_length do
         let before = Search_state.cost state in
         let move = Move.random ~mix:sa.Simulated_annealing.mix rng ~n in
-        match Search_state.try_move state move with
+        match Neighborhood.consider nb move with
         | None -> ()
-        | Some (after, snap) ->
+        | Some after ->
           let delta = after -. before in
           Ljqo_obs.Obs.hist_record_f Ljqo_obs.Obs.Move_delta (Float.abs delta);
           if delta <= 0.0 || Rng.float rng 1.0 < exp (-.delta /. !temp) then begin
             incr accepted;
+            Neighborhood.accept nb;
             Search_state.commit state;
             if after < !best_seen then begin
               best_seen := after;
               improved := true
             end
           end
-          else Search_state.rollback state snap
+          else Neighborhood.reject nb
       done;
       let ratio = float_of_int !accepted /. float_of_int chain_length in
       if ratio < sa.Simulated_annealing.frozen_acceptance && not !improved then

@@ -113,6 +113,59 @@ let step_cost_prefix (model : Cost_model.t) query ~prefix ~r ~is_first ~outer_ca
   in
   (clamp_cost (M.join_cost input), output_card)
 
+(* Allocation-free form of [step_cost_prefix] for the fused neighbor kernel:
+   the placed prefix arrives as two raw bitset words and the result leaves
+   through a caller-owned 2-slot float array (flat, unboxed), so the hot loop
+   pays no [Bitset.t] box, no result tuple and no float boxing per step.  The
+   cost-model module is unpacked once at [make] instead of once per step.
+   Every float operation happens in the same order as [step_cost_prefix], so
+   the two are bit-identical (enforced by qcheck in test_neighborhood.ml). *)
+module Stepper = struct
+  type t = {
+    query : Query.t;
+    graph : Join_graph.t;
+    join_cost : Cost_model.join_input -> float;
+  }
+
+  let make (model : Cost_model.t) query =
+    let module M = (val model : Cost_model.S) in
+    { query; graph = Query.graph query; join_cost = M.join_cost }
+
+  let selectivity_words t ~w0 ~w1 ~outer_card r =
+    let ids = Join_graph.neighbor_ids t.graph r in
+    let sels = Join_graph.neighbor_sels t.graph r in
+    let acc = ref 1.0 in
+    for j = 0 to Array.length ids - 1 do
+      let k = Array.unsafe_get ids j in
+      let present =
+        if k < 63 then w0 land (1 lsl k) <> 0 else w1 land (1 lsl (k - 63)) <> 0
+      in
+      if present then
+        acc :=
+          !acc *. edge_selectivity t.query ~outer_card ~k ~r (Array.unsafe_get sels j)
+    done;
+    !acc
+
+  let step t ~w0 ~w1 ~r ~is_first ~outer_card ~into =
+    let inner_card = Query.cardinality t.query r in
+    let sel = selectivity_words t ~w0 ~w1 ~outer_card r in
+    let m = Join_graph.neighbor_mask t.graph r in
+    let is_cross = (m.Bitset.w0 land w0) lor (m.Bitset.w1 land w1) = 0 in
+    let output_card = clamp_card (outer_card *. inner_card *. sel) in
+    let input : Cost_model.join_input =
+      {
+        outer_card;
+        inner_card;
+        inner_distinct = Query.distinct_values t.query r;
+        output_card;
+        is_first;
+        is_cross;
+      }
+    in
+    Array.unsafe_set into 0 (clamp_cost (t.join_cost input));
+    Array.unsafe_set into 1 output_card
+end
+
 let eval model query perm =
   let n = Array.length perm in
   if n = 0 then invalid_arg "Plan_cost.eval: empty permutation";

@@ -95,6 +95,35 @@ val step_cost_prefix :
     (position 1).  Bit-identical to {!step_cost}; this is the form the
     incremental search state and {!eval} use. *)
 
+(** Allocation-free stepping for the fused neighbor kernel
+    ({!Ljqo_core.Neighborhood}): the placed prefix as two raw bitset words,
+    the result through a caller-owned scratch array, the cost-model module
+    unpacked once.  [step] is bit-identical to {!step_cost_prefix} on the
+    same inputs (same float operations in the same order). *)
+module Stepper : sig
+  type t
+
+  val make : Cost_model.t -> Ljqo_catalog.Query.t -> t
+  (** Requires [Join_graph.has_masks] on the query's graph (the neighbor
+      masks back the cross-product test). *)
+
+  val step :
+    t ->
+    w0:int ->
+    w1:int ->
+    r:int ->
+    is_first:bool ->
+    outer_card:float ->
+    into:float array ->
+    unit
+  (** Cost the join of relation [r] against the prefix [{w0, w1}]:
+      [into.(0) <- cost] and [into.(1) <- output_card] ([into] must have at
+      least 2 slots).  A cross product is {e not} rejected here — the caller
+      tests validity against the neighbor mask first; when it asks anyway,
+      the model's [is_cross] pricing applies, exactly as in
+      {!step_cost_prefix}. *)
+end
+
 val eval : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> eval
 
 val total : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> float

@@ -45,6 +45,13 @@ type outcome = {
   crashes : Guard.failure list;  (** details of the dropped queries, in order *)
 }
 
+val set_methods_override : Ljqo_core.Methods.t list option -> unit
+(** Process-wide override of {!run_experiment}'s [methods] argument (the
+    bench's [--methods] flag): when set, every experiment runs the given
+    list instead of its hard-coded one.  [None] restores the defaults.  The
+    override flows into the checkpoint fingerprint through the effective
+    method list, so checkpoints never mix method sets. *)
+
 val run_experiment :
   ?kappa:int ->
   ?config:Ljqo_core.Methods.config ->

@@ -68,6 +68,9 @@ type counter =
   | Service_drained
   | Service_failed
   | Service_timeouts
+  | Neighbors_evaluated
+  | Portfolio_rounds
+  | Portfolio_exchanges
 
 let counter_index = function
   | Cost_evals -> 0
@@ -98,6 +101,9 @@ let counter_index = function
   | Service_drained -> 25
   | Service_failed -> 26
   | Service_timeouts -> 27
+  | Neighbors_evaluated -> 28
+  | Portfolio_rounds -> 29
+  | Portfolio_exchanges -> 30
 
 let counter_names =
   [|
@@ -129,6 +135,9 @@ let counter_names =
     "service.drained";
     "service.failed";
     "service.timed_out";
+    "search.neighbors_evaluated";
+    "portfolio.rounds";
+    "portfolio.exchanges";
   |]
 
 let n_counters = Array.length counter_names

@@ -69,6 +69,11 @@ type counter =
   | Service_failed  (** server requests whose optimization crashed mid-request *)
   | Service_timeouts
       (** server requests cut by their per-request wall-clock deadline *)
+  | Neighbors_evaluated
+      (** neighbor states costed by the fused kernel ({!Ljqo_core.Neighborhood}) *)
+  | Portfolio_rounds  (** portfolio exchange rounds completed (all replicates) *)
+  | Portfolio_exchanges
+      (** replicate incumbents folded into the parent evaluator at barriers *)
 
 val bump : counter -> unit
 (** Add one.  A no-op (one boolean load) when disabled. *)

@@ -9,6 +9,7 @@ type budget =
 
 type config = {
   method_ : Methods.t;
+  methods_config : Methods.config;
   model : Ljqo_cost.Cost_model.t;
   budget : budget;
   seed : int;
@@ -17,6 +18,7 @@ type config = {
 let default_config =
   {
     method_ = Methods.IAI;
+    methods_config = Methods.default_config;
     model = (module Ljqo_cost.Memory_model : Ljqo_cost.Cost_model.S);
     budget = Time_limit { t_factor = 9.0; kappa = None };
     seed = 42;
@@ -149,7 +151,8 @@ let serve_batch ?jobs t queries =
       let start = match cls.(i) with `Work w -> w | _ -> assert false in
       Obs.span "request" ~fields:[ ("index", Obs.I i) ] (fun () ->
           Obs.time Obs.Service_latency_ns (fun () ->
-              Optimizer.optimize ?start ~method_:t.config.method_
+              Optimizer.optimize ~config:t.config.methods_config ?start
+                ~method_:t.config.method_
                 ~model:t.config.model ~ticks:(ticks_for t q)
                 ~seed:(seed_for t (Fingerprint.exact_key fp))
                 q))
@@ -222,8 +225,8 @@ let serve_batch ?jobs t queries =
                    only across automorphism-like twins): optimize this one
                    cold, still deterministically. *)
                 let r =
-                  Optimizer.optimize ~method_:t.config.method_ ~model
-                    ~ticks:(ticks_for t q) ~seed:(seed_for t exact) q
+                  Optimizer.optimize ~config:t.config.methods_config
+                    ~method_:t.config.method_ ~model ~ticks:(ticks_for t q) ~seed:(seed_for t exact) q
                 in
                 mk r.plan r.ticks_used Cold
               else mk plan 0 Deduped))
@@ -277,7 +280,8 @@ let serve_direct ?deadline t query =
   in
   let optimize_cold () =
     let r =
-      Optimizer.optimize ?deadline ~method_:t.config.method_ ~model
+      Optimizer.optimize ~config:t.config.methods_config ?deadline
+        ~method_:t.config.method_ ~model
         ~ticks:(ticks_for t query) ~seed:(seed_for t exact) query
     in
     if r.timed_out then Obs.bump Obs.Service_timeouts;

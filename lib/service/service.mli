@@ -39,13 +39,17 @@ type budget =
 
 type config = {
   method_ : Ljqo_core.Methods.t;
+  methods_config : Ljqo_core.Methods.config;
+      (** method tuning (II/SA parameters, portfolio width/rounds/legs)
+          forwarded to every optimization this service runs *)
   model : Ljqo_cost.Cost_model.t;
   budget : budget;
   seed : int;
 }
 
 val default_config : config
-(** IAI, memory model, [Time_limit 9.0], seed 42. *)
+(** IAI with default method tuning, memory model, [Time_limit 9.0],
+    seed 42. *)
 
 type source =
   | Exact_hit  (** served from the cache, no optimization *)

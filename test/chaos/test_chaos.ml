@@ -104,6 +104,7 @@ let test_server_guard_isolates_crashes () =
         Server.service =
           {
             Service.method_ = Methods.IAI;
+            methods_config = Methods.default_config;
             model = raising;
             budget = Service.Fixed_ticks ticks;
             seed = 5;

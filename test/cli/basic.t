@@ -42,6 +42,7 @@ Listing commands:
   IAL
   AGI
   KBI
+  portfolio
 
   $ ljqo benchmarks | head -2
   0  default            the paper's default distributions

@@ -112,6 +112,42 @@ way, before touching the workload:
   $ ljqo loadgen no-such-dir --sweep 10,oops 2>&1 | head -1
   ljqo: --sweep expects comma-separated positive rates, got "oops"
 
+Portfolio knobs are validated before any query is touched.  A width must be
+positive, and a portfolio of fewer than two distinct legs is not a race:
+
+  $ ljqo optimize q.qdl --method portfolio --portfolio-width 0
+  ljqo: --portfolio-width must be a positive integer, got 0
+  [2]
+
+  $ ljqo serve no-such-dir --portfolio-width=-3 2>&1 | head -1
+  ljqo: --portfolio-width must be a positive integer, got -3
+
+  $ ljqo optimize q.qdl --portfolio-legs II
+  ljqo: --portfolio-legs needs at least two distinct legs of II, SA, 2PO, got II
+  [2]
+
+  $ ljqo optimize q.qdl --portfolio-legs II,II
+  ljqo: --portfolio-legs needs at least two distinct legs of II, SA, 2PO, got II,II
+  [2]
+
+  $ ljqo optimize q.qdl --portfolio-legs ,
+  ljqo: --portfolio-legs needs at least two distinct legs of II, SA, 2PO, got none
+  [2]
+
+  $ ljqo optimize q.qdl --portfolio-legs II,DP
+  ljqo: --portfolio-legs: unknown leg DP (valid: II, SA, 2PO)
+  [2]
+
+The bench's method override rejects unknown and empty method lists:
+
+  $ ljqo-bench --methods portfolio,nope table1 2>&1 | head -1
+  --methods: unknown method: nope
+  $ ljqo-bench --methods portfolio,nope table1 >/dev/null 2>&1
+  [2]
+
+  $ ljqo-bench --methods , table1 2>&1 | head -1
+  --methods wants a comma-separated list of methods, got: ,
+
 A drain timeout is a serve-side concept; the open-loop generator always
 drains to completion so its report covers every accepted request:
 

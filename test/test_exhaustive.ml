@@ -74,8 +74,9 @@ let test_seed_plan_accelerates () =
 let test_too_large () =
   let q = Helpers.random_query ~n_joins:20 741 in
   match Exhaustive.optimize mem q with
-  | exception Exhaustive.Too_large 21 -> ()
-  | exception Exhaustive.Too_large n -> Alcotest.failf "wrong size: %d" n
+  | exception Exhaustive.Too_large { n = 21; max_relations = 16 } -> ()
+  | exception Exhaustive.Too_large { n; max_relations } ->
+    Alcotest.failf "wrong payload: n=%d cap=%d" n max_relations
   | _ -> Alcotest.fail "oversized query accepted"
 
 let test_rejects_disconnected () =

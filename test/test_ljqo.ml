@@ -18,6 +18,7 @@ let () =
       ("evaluator", Test_evaluator.suite);
       ("move", Test_move.suite);
       ("search-state", Test_search_state.suite);
+      ("neighborhood", Test_neighborhood.suite);
       ("random-plan", Test_random_plan.suite);
       ("iterative-improvement", Test_iterative_improvement.suite);
       ("simulated-annealing", Test_simulated_annealing.suite);
@@ -34,6 +35,7 @@ let () =
       ("dp", Test_dp.suite);
       ("baselines", Test_baselines.suite);
       ("two-phase", Test_two_phase.suite);
+      ("portfolio", Test_portfolio.suite);
       ("plan-render", Test_plan_render.suite);
       ("benchmark", Test_benchmark.suite);
       ("workload", Test_workload.suite);

@@ -1,0 +1,170 @@
+(* The fused neighbor kernel's bit-identity contract: for any state and any
+   move, [Neighborhood.consider] must return exactly what
+   [Search_state.try_move] returns, charge the evaluator identically, and an
+   [accept] must leave the state bit-identical to the reference's committed
+   state.  "Bit-identical" is literal: floats are compared with [=], not
+   approximately — the kernel reorders no arithmetic. *)
+
+open Ljqo_core
+
+let mem = Helpers.memory_model
+
+let make_pair ?(n_joins = 8) ~qseed ~pseed () =
+  let q = Helpers.random_query ~n_joins qseed in
+  let plan = Helpers.valid_random_plan q pseed in
+  let ev_f = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
+  let ev_r = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
+  (q, Search_state.init ev_f plan, Search_state.init ev_r plan)
+
+let same_verdict = function
+  | None, None -> true
+  | Some (a : float), Some (b, _) -> a = b
+  | _ -> false
+
+(* Drive both paths through the same random move sequence with the same
+   accept/reject coin; every observable — verdict, tick meter, permutation,
+   state cost — must stay bit-equal throughout. *)
+let prop_fused_matches_reference =
+  Helpers.qcheck_case ~count:40
+    ~name:"consider/accept/reject bit-identical to try_move protocol"
+    (fun (qseed, pseed) ->
+      let _, st_f, st_r = make_pair ~qseed ~pseed:(pseed + 17) () in
+      let nb = Neighborhood.create st_f in
+      let ev_f = Search_state.evaluator st_f in
+      let ev_r = Search_state.evaluator st_r in
+      let rng = Ljqo_stats.Rng.create (qseed + (31 * pseed)) in
+      let n = Search_state.n st_f in
+      let ok = ref true in
+      for _ = 1 to 120 do
+        let m = Move.random rng ~n in
+        let keep = Ljqo_stats.Rng.bool rng in
+        let vf = Neighborhood.consider nb m in
+        let vr = Search_state.try_move st_r m in
+        if not (same_verdict (vf, vr)) then ok := false;
+        (match (vf, vr) with
+        | Some _, Some (_, snap) ->
+          if keep then begin
+            Neighborhood.accept nb;
+            Search_state.commit st_f;
+            Search_state.commit st_r
+          end
+          else begin
+            Neighborhood.reject nb;
+            Search_state.rollback st_r snap
+          end
+        | _ -> ());
+        if Evaluator.used ev_f <> Evaluator.used ev_r then ok := false;
+        if Search_state.perm st_f <> Search_state.perm st_r then ok := false;
+        if not (Search_state.cost st_f = Search_state.cost st_r) then ok := false
+      done;
+      !ok
+      && Evaluator.best ev_f = Evaluator.best ev_r)
+    QCheck.(pair small_int small_int)
+
+(* The batched sweep must agree with one-at-a-time considers: same verdicts
+   in the same order, same total charge, and the state left untouched. *)
+let prop_adjacent_swaps_matches_loop =
+  Helpers.qcheck_case ~count:40
+    ~name:"adjacent_swaps bit-identical to a try_move loop"
+    (fun (qseed, pseed) ->
+      let _, st_f, st_r = make_pair ~qseed ~pseed:(pseed + 3) () in
+      let nb = Neighborhood.create st_f in
+      let ev_f = Search_state.evaluator st_f in
+      let ev_r = Search_state.evaluator st_r in
+      let perm0 = Search_state.perm st_f in
+      let fused = ref [] in
+      Neighborhood.adjacent_swaps nb (fun i v -> fused := (i, v) :: !fused);
+      let reference = ref [] in
+      for i = 0 to Search_state.n st_r - 2 do
+        let v =
+          match Search_state.try_move st_r (Move.Swap (i, i + 1)) with
+          | None -> None
+          | Some (total, snap) ->
+            Search_state.rollback st_r snap;
+            Some total
+        in
+        reference := (i, v) :: !reference
+      done;
+      List.rev !fused = List.rev !reference
+      && Evaluator.used ev_f = Evaluator.used ev_r
+      && Search_state.perm st_f = perm0
+      && Search_state.cost st_f = Search_state.cost st_r)
+    QCheck.(pair small_int small_int)
+
+(* A 130-relation chain exceeds the bitset width, so [has_masks] is false
+   and the kernel must fall back to the reference protocol internally while
+   keeping the same external contract. *)
+let big_chain n =
+  let relations =
+    Array.init n (fun id ->
+        Helpers.rel ~id ~card:(10 + (id mod 37)) ~distinct:0.5 ())
+  in
+  let edges =
+    List.init (n - 1) (fun i ->
+        { Ljqo_catalog.Join_graph.u = i; v = i + 1; selectivity = 0.05 })
+  in
+  Ljqo_catalog.Query.make ~relations
+    ~graph:(Ljqo_catalog.Join_graph.make ~n edges)
+
+let test_maskless_fallback () =
+  let q = big_chain 130 in
+  Alcotest.(check bool)
+    "chain of 130 has no masks" false
+    (Ljqo_catalog.Join_graph.has_masks (Ljqo_catalog.Query.graph q));
+  let plan = Array.init 130 (fun i -> i) in
+  let ev_f = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
+  let ev_r = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
+  let st_f = Search_state.init ev_f plan in
+  let st_r = Search_state.init ev_r plan in
+  let nb = Neighborhood.create st_f in
+  for i = 0 to 128 do
+    let m = Move.Swap (i, i + 1) in
+    let vf = Neighborhood.consider nb m in
+    let vr = Search_state.try_move st_r m in
+    if not (same_verdict (vf, vr)) then
+      Alcotest.failf "verdict mismatch at swap %d" i;
+    match (vf, vr) with
+    | Some _, Some (_, snap) ->
+      if i mod 3 = 0 then begin
+        Neighborhood.accept nb;
+        Search_state.commit st_f;
+        Search_state.commit st_r
+      end
+      else begin
+        Neighborhood.reject nb;
+        Search_state.rollback st_r snap
+      end
+    | _ -> ()
+  done;
+  Alcotest.(check (array int))
+    "permutations agree" (Search_state.perm st_r) (Search_state.perm st_f);
+  Alcotest.(check bool)
+    "costs bit-equal" true
+    (Search_state.cost st_f = Search_state.cost st_r);
+  Alcotest.(check int)
+    "tick meters agree" (Evaluator.used ev_r) (Evaluator.used ev_f)
+
+let test_pending_protocol_enforced () =
+  let q = Helpers.chain3 () in
+  let ev = Evaluator.create ~query:q ~model:mem ~ticks:100000 () in
+  let st = Search_state.init ev [| 0; 1; 2 |] in
+  let nb = Neighborhood.create st in
+  (match Neighborhood.consider nb (Move.Swap (0, 1)) with
+  | Some _ -> ()
+  | None -> Alcotest.fail "valid swap rejected");
+  Alcotest.check_raises "second consider while pending"
+    (Invalid_argument "Neighborhood.consider: a considered move is still pending")
+    (fun () -> ignore (Neighborhood.consider nb (Move.Swap (0, 1))));
+  Neighborhood.reject nb;
+  Alcotest.check_raises "accept with nothing pending"
+    (Invalid_argument "Neighborhood.accept: no move under consideration")
+    (fun () -> Neighborhood.accept nb)
+
+let suite =
+  [
+    prop_fused_matches_reference;
+    prop_adjacent_swaps_matches_loop;
+    Alcotest.test_case "maskless fallback (n = 130)" `Quick test_maskless_fallback;
+    Alcotest.test_case "pending protocol enforced" `Quick
+      test_pending_protocol_enforced;
+  ]

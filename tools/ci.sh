@@ -47,6 +47,19 @@ grep -q 'pass 2: 10 exact-hit, 0 warm-start, 0 cold, 0 deduped; 0 ticks' \
   "$cache_tmp/serve.out"
 rm -rf "$cache_tmp"
 
+# Portfolio smoke: serving a query with the racing method must work end to
+# end under multiple domains — deterministic output is covered by the test
+# suite; here we check the flag plumbing and that metrics stay
+# validator-clean.
+portfolio_tmp=$(mktemp -d)
+dune exec bin/ljqo.exe -- workload -o "$portfolio_tmp/wl" --per-n 1
+LJQO_JOBS=4 dune exec bin/ljqo.exe -- serve "$portfolio_tmp/wl" \
+  --method portfolio --portfolio-width 4 --workers 1 --t-factor 1 \
+  --metrics "$portfolio_tmp/metrics.json" | tee "$portfolio_tmp/serve.out"
+dune exec tools/perf_gate.exe -- --check-json "$portfolio_tmp/metrics.json"
+grep -q '"portfolio.rounds"' "$portfolio_tmp/metrics.json"
+rm -rf "$portfolio_tmp"
+
 # Trace smoke: an instrumented optimize run must emit well-formed JSONL
 # trace events and a well-formed metrics snapshot.
 trace_tmp=$(mktemp -d)
