@@ -309,6 +309,87 @@ let test_neighbors_fused =
   Test.make ~name:"search:neighbors-fused"
     (Staged.stage (fun () -> ignore (neighbors_fused_kernel ())))
 
+(* ------------------------------------------------------------------ *)
+(* Growable-width kernels (N = 200): sets that spill past the two inline
+   words.  [bitset:wide-ops] is the set algebra DP and the mask kernels
+   lean on, on tailed sets; the neighbors pair is the same fused-vs-
+   reference sweep as above but through the wide scratch-word path.      *)
+
+let wide_query = query_of_size 200
+
+let wide_n = Query.n_relations wide_query
+
+let wide_plan =
+  let rng = Ljqo_stats.Rng.create 3 in
+  Random_plan.generate rng wide_query
+
+let wide_sets =
+  Array.init 16 (fun i ->
+      let rng = Ljqo_stats.Rng.create (40 + i) in
+      let s = ref Bitset.empty in
+      for _ = 1 to 40 do
+        s := Bitset.add (Ljqo_stats.Rng.int rng wide_n) !s
+      done;
+      !s)
+
+let bitset_wide_ops_kernel () =
+  let acc = ref 0 in
+  for i = 0 to Array.length wide_sets - 2 do
+    let a = Array.unsafe_get wide_sets i in
+    let b = Array.unsafe_get wide_sets (i + 1) in
+    acc :=
+      !acc
+      + Bitset.cardinal (Bitset.union a b)
+      + Bitset.cardinal (Bitset.inter a b)
+      + Bitset.cardinal (Bitset.diff a b)
+      + (if Bitset.intersects a b then 1 else 0)
+      + (if Bitset.subset a b then 1 else 0)
+      + Bitset.hash a + Bitset.compare a b
+  done;
+  !acc
+
+let test_bitset_wide_ops =
+  Test.make ~name:"bitset:wide-ops"
+    (Staged.stage (fun () -> ignore (Sys.opaque_identity (bitset_wide_ops_kernel ()))))
+
+let wide_neighbors_reference_state =
+  Search_state.init (Evaluator.create ~query:wide_query ~model ~ticks:0 ()) wide_plan
+
+let wide_neighbors_fused_workspace =
+  Neighborhood.create
+    (Search_state.init (Evaluator.create ~query:wide_query ~model ~ticks:0 ()) wide_plan)
+
+let wide_neighbors_reference_kernel () =
+  let acc = ref 0.0 in
+  for i = 0 to wide_n - 2 do
+    match
+      Search_state.try_move wide_neighbors_reference_state (Move.Swap (i, i + 1))
+    with
+    | None -> ()
+    | Some (total, snap) ->
+      acc := !acc +. total;
+      Search_state.rollback wide_neighbors_reference_state snap
+  done;
+  !acc
+
+let wide_neighbors_fused_kernel () =
+  let acc = ref 0.0 in
+  Neighborhood.adjacent_swaps wide_neighbors_fused_workspace (fun _ verdict ->
+      match verdict with Some total -> acc := !acc +. total | None -> ());
+  !acc
+
+let () =
+  (* Bit-identity holds on the wide path too. *)
+  assert (wide_neighbors_reference_kernel () = wide_neighbors_fused_kernel ())
+
+let test_neighbors_reference_wide =
+  Test.make ~name:"search:neighbors-reference-wide"
+    (Staged.stage (fun () -> ignore (wide_neighbors_reference_kernel ())))
+
+let test_neighbors_fused_wide =
+  Test.make ~name:"search:neighbors-fused-wide"
+    (Staged.stage (fun () -> ignore (wide_neighbors_fused_kernel ())))
+
 (* Portfolio barrier overhead: fold [width] replicate results in replicate
    order into the round's incumbent and re-derive each replicate's child RNG
    stream — the per-round coordination cost the portfolio adds on top of the
@@ -442,6 +523,9 @@ let tests =
       test_connected_mask;
       test_neighbors_reference;
       test_neighbors_fused;
+      test_bitset_wide_ops;
+      test_neighbors_reference_wide;
+      test_neighbors_fused_wide;
       test_portfolio_exchange;
       test_dp;
       test_fingerprint;
@@ -475,6 +559,9 @@ let speedup_pairs =
     ( "neighbors-fused",
       "ljqo/search:neighbors-reference",
       "ljqo/search:neighbors-fused" );
+    ( "neighbors-fused-wide",
+      "ljqo/search:neighbors-reference-wide",
+      "ljqo/search:neighbors-fused-wide" );
   ]
 
 let json_escape s =

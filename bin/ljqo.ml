@@ -416,9 +416,11 @@ let dp file model =
       "System-R DP: product-estimator cost %.6g, clamped-estimator cost %.6g\n"
       r.product_cost r.clamped_cost;
     Printf.printf "connected subsets explored: %d\n" r.subsets_explored
-  | exception Dp.Too_large n ->
-    Printf.eprintf "query has %d relations; DP is capped at %d (the paper's point!)\n"
-      n Dp.default_max_relations;
+  | exception Dp.Too_large { n; max_relations } ->
+    Printf.eprintf
+      "query has %d relations; the DP table is capped at %d (the paper's \
+       point — exponential memory, not a representation limit)\n"
+      n max_relations;
     exit 1
 
 let dp_cmd =

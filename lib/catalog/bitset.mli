@@ -1,34 +1,52 @@
-(** Fixed-width bitsets over relation ids.
+(** Growable-width bitsets over relation ids.
 
-    A relation set is two 63-bit words, covering ids [0 .. 125] — enough for
-    the paper's whole regime (queries up to [N = 100] joins) with headroom.
-    Values are immutable three-word records, so set algebra is a handful of
-    machine instructions and never allocates more than one small block; the
-    optimizer's hot paths (prefix-connectivity checks, move validity,
-    neighbor enumeration, DP table keys) are built on this module.
+    A relation set is two inline 63-bit words covering ids [0 .. 125] — the
+    whole regime of the source paper ([N <= 100] joins) with headroom — plus
+    an immutable packed word array ([tail]) for ids beyond, so there is no
+    width cap: a 200-relation chain keys the same kernels as a 10-relation
+    one.  Values are immutable; sets that fit the inline words ([n <=
+    inline_size]) allocate no tail at all, keeping set algebra a handful of
+    machine instructions on the paper-scale hot paths (prefix-connectivity
+    checks, move validity, neighbor enumeration, DP table keys).
+
+    Canonical form: [tail] never carries trailing zero words (and the empty
+    tail is a single shared array), so structural equality, polymorphic
+    hashing, and {!compare} agree with set equality no matter how a value was
+    built — DP keys its hashtable on this.
 
     Element order everywhere is ascending id, matching the sorted adjacency
     the rest of the catalog exposes, so replacing a list traversal by a
     bitset iteration preserves float evaluation order bit-for-bit. *)
 
-type t = private { w0 : int; w1 : int }
-(** Bits [0 .. 62] live in [w0], bits [63 .. 125] in [w1].  The
-    representation is exposed read-only so that hot loops can test
-    membership without a function call; construct values only through this
-    interface. *)
+type t = private { w0 : int; w1 : int; tail : int array }
+(** Bits [0 .. 62] live in [w0], bits [63 .. 125] in [w1], and bit [i] of
+    [tail.(j)] is id [126 + 63*j + i].  The representation is exposed
+    read-only so that hot loops can test membership without a function call;
+    construct values only through this interface and never mutate a [tail]. *)
 
-val max_size : int
-(** [126]: the largest representable id plus one. *)
+val word_bits : int
+(** [63]: ids per word. *)
+
+val inline_size : int
+(** [126]: the smallest id that needs the tail.  Sets whose elements are all
+    below this allocate no tail, and the search kernels track such prefixes
+    as two local ints; wider graphs use a small scratch word array instead
+    (see {!words_needed} / {!intersects_words}). *)
+
+val words_needed : int -> int
+(** [words_needed n] is the number of 63-bit words covering ids
+    [0 .. n - 1] — the scratch-array length a wide hot loop preallocates.
+    [0] for [n <= 0]. *)
 
 val empty : t
 
 val full : int -> t
-(** [full n] is [{0, ..., n-1}].  Raises [Invalid_argument] unless
-    [0 <= n <= max_size]. *)
+(** [full n] is [{0, ..., n-1}] for any [n >= 0].  Raises
+    [Invalid_argument] on negative [n]. *)
 
 val singleton : int -> t
-(** Raises [Invalid_argument] unless [0 <= i < max_size] (as do [add],
-    [remove] and [mem]). *)
+(** Raises [Invalid_argument] on a negative id (as do [add], [remove] and
+    [mem]); any non-negative id is representable. *)
 
 val add : int -> t -> t
 val remove : int -> t -> t
@@ -37,20 +55,36 @@ val is_empty : t -> bool
 val cardinal : t -> int
 
 val of_words : w0:int -> w1:int -> t
-(** Reassemble a set from raw words — the inverse of reading the [w0]/[w1]
-    fields.  Any two machine words form a valid set (bit [i] of [w0] is id
-    [i], bit [i] of [w1] is id [63 + i]), so this cannot break the
-    representation.  It exists for hot loops that track a running prefix as
-    two local ints (allocation-free) and only box it up at the point a
-    [t]-taking function is called. *)
+(** Reassemble an inline (ids [< inline_size]) set from raw words — the
+    inverse of reading the [w0]/[w1] fields.  Any two machine words form a
+    valid set, so this cannot break the representation.  It exists for hot
+    loops that track a running prefix as two local ints (allocation-free)
+    and only box it up at the point a [t]-taking function is called. *)
+
+val of_word_array : int array -> t
+(** The width-aware analogue of {!of_words}: word [k] of the array is bits
+    [63k .. 63k + 62], i.e. exactly the scratch layout wide hot loops track
+    ([words_needed] words, id [i] at bit [i mod 63] of word [i / 63]).  The
+    array is copied and canonicalized; any length (including [0]) is
+    valid. *)
+
+val word : t -> int -> int
+(** [word s k] is the set's [k]-th 63-bit word ([0] beyond its width) —
+    [word s 0 = s.w0], [word s 1 = s.w1], the rest from the tail. *)
 
 val union : t -> t -> t
 val inter : t -> t -> t
 val diff : t -> t -> t
 
 val intersects : t -> t -> bool
-(** [intersects a b] iff [inter a b] is non-empty — the O(1) form of "does
-    relation [r]'s neighborhood meet the placed prefix". *)
+(** [intersects a b] iff [inter a b] is non-empty — the O(words) form of
+    "does relation [r]'s neighborhood meet the placed prefix". *)
+
+val intersects_words : t -> int array -> bool
+(** [intersects_words s arr]: does [s] meet the set whose [k]-th 63-bit word
+    is [arr.(k)]?  The wide hot loops keep their running prefix as such a
+    scratch array and test neighbor masks against it without boxing a [t];
+    words beyond either side's width count as zero. *)
 
 val subset : t -> t -> bool
 (** [subset a b] iff every element of [a] is in [b]. *)
@@ -58,10 +92,16 @@ val subset : t -> t -> bool
 val equal : t -> t -> bool
 
 val compare : t -> t -> int
-(** Deterministic total order (lexicographic on [(w1, w0)] by machine-word
-    comparison).  Used to sort DP frontiers deterministically. *)
+(** Deterministic total order: lexicographic from the highest word down
+    (equivalently: compare the largest differing element).  On inline sets
+    this is the historic [(w1, w0)] machine-word order, so DP frontier
+    sorts — and every fixed-seed output at [n <= 126] — are unchanged by
+    the growable width. *)
 
 val hash : t -> int
+(** Non-negative; every word (inline and tail) is mixed with the multiplier
+    and folded high-to-low, so subsets of high ids spread across the low
+    bits a power-of-two hashtable indexes with. *)
 
 val min_elt : t -> int
 (** Smallest element.  Raises [Invalid_argument] on the empty set. *)

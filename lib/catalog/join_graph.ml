@@ -5,7 +5,7 @@ type t = {
   adj : (int * float) list array;  (* sorted by neighbor id *)
   nbr_ids : int array array;  (* same adjacency as parallel arrays ... *)
   nbr_sels : float array array;  (* ... sorted ascending by neighbor id *)
-  masks : Bitset.t array;  (* per-vertex neighbor bitsets; [||] if n > max *)
+  masks : Bitset.t array;  (* per-vertex neighbor bitsets, any width *)
   edge_count : int;
 }
 
@@ -43,11 +43,9 @@ let make ~n edge_list =
   let nbr_ids = Array.map (fun l -> Array.of_list (List.map fst l)) adj in
   let nbr_sels = Array.map (fun l -> Array.of_list (List.map snd l)) adj in
   let masks =
-    if n > Bitset.max_size then [||]
-    else
-      Array.map
-        (Array.fold_left (fun acc other -> Bitset.add other acc) Bitset.empty)
-        nbr_ids
+    Array.map
+      (Array.fold_left (fun acc other -> Bitset.add other acc) Bitset.empty)
+      nbr_ids
   in
   { n; adj; nbr_ids; nbr_sels; masks; edge_count = Hashtbl.length table }
 
@@ -69,14 +67,10 @@ let neighbor_sels g v =
   if v < 0 || v >= g.n then invalid_arg "Join_graph.neighbor_sels: out of range";
   Array.unsafe_get g.nbr_sels v
 
-let has_masks g = Array.length g.masks > 0 || g.n = 0
+let has_masks _ = true
 
 let neighbor_mask g v =
-  if v < 0 || v >= Array.length g.masks then
-    invalid_arg
-      (if v >= 0 && v < g.n then
-         "Join_graph.neighbor_mask: graph too large for fixed-width bitsets"
-       else "Join_graph.neighbor_mask: out of range");
+  if v < 0 || v >= g.n then invalid_arg "Join_graph.neighbor_mask: out of range";
   Array.unsafe_get g.masks v
 
 let degree g v = Array.length (neighbor_ids g v)
@@ -178,8 +172,6 @@ let induced_connected g vs =
     !reached = !size
 
 let induced_connected_mask g vs =
-  if Array.length g.masks = 0 && g.n > 0 then
-    invalid_arg "Join_graph.induced_connected_mask: graph too large for bitsets";
   if Bitset.is_empty vs then false
   else begin
     let start = Bitset.min_elt vs in

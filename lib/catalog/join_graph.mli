@@ -46,13 +46,13 @@ val adjacency : t -> int array array
     accessor call in the tightest kernels. *)
 
 val has_masks : t -> bool
-(** Whether the graph is small enough ([n <= Bitset.max_size]) for the
-    fixed-width bitset kernels; true for every graph in the paper's regime
-    ([N <= 100] joins). *)
+(** Always [true].  {b Deprecated}: bitsets grew to arbitrary width, so every
+    graph has neighbor masks and the mask kernels never fall back; kept only
+    so older callers keep compiling.  Do not branch on it. *)
 
 val neighbor_mask : t -> int -> Bitset.t
-(** The set of vertices adjacent to [v], as a bitset.  O(1): precomputed at
-    [make].  Raises [Invalid_argument] when [not (has_masks g)]. *)
+(** The set of vertices adjacent to [v], as a bitset (any graph size).
+    O(1): precomputed at [make]. *)
 
 val degree : t -> int -> int
 
@@ -80,7 +80,7 @@ val induced_connected : t -> int list -> bool
 val induced_connected_mask : t -> Bitset.t -> bool
 (** Same predicate with the set given as a bitset — a few word operations
     per BFS round instead of array-marking, for the hot paths.  All members
-    must be [< n g]; raises [Invalid_argument] when [not (has_masks g)]. *)
+    must be [< n g]. *)
 
 val spanning_tree : t -> weight:(edge -> float) -> t
 (** Minimum spanning tree (forest on a disconnected graph) by Prim's

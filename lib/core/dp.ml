@@ -1,7 +1,7 @@
 open Ljqo_catalog
 open Ljqo_cost
 
-exception Too_large of int
+exception Too_large of { n : int; max_relations : int }
 
 type result = {
   plan : Plan.t;
@@ -66,7 +66,9 @@ let optimize ?(max_relations = default_max_relations) ?jobs model query =
   if n = 0 then invalid_arg "Dp.optimize: empty query";
   if not (Query.is_connected query) then
     invalid_arg "Dp.optimize: join graph is disconnected";
-  if n > max_relations || n > Bitset.max_size then raise (Too_large n);
+  (* The only cap left is table memory: bitset keys grew to arbitrary width,
+     so there is no representation limit anymore. *)
+  if n > max_relations then raise (Too_large { n; max_relations });
   Ljqo_obs.Obs.with_phase Ljqo_obs.Obs.Dp (fun () ->
   let graph = Query.graph query in
   let jobs =

@@ -5,7 +5,7 @@
     keeping for each subset the cheapest left-deep plan that produces it
     (no cross products).  Worst-case time and space are [O(2^N)] — running
     the [dp] bench shows the blowup empirically, which is the paper's
-    motivating observation — but subsets are represented as fixed-width
+    motivating observation — but subsets are represented as growable-width
     bitsets ({!Ljqo_catalog.Bitset}) and only *connected* subsets are ever
     materialized (each entry carries its valid-extension mask), so the
     near-tree graphs the benchmark generates stay far below the worst case
@@ -25,7 +25,11 @@
     (high-quality) heuristic; [optimize]'s result carries both costs so
     callers can see the difference. *)
 
-exception Too_large of int
+exception Too_large of { n : int; max_relations : int }
+(** The query has [n] relations, more than the [max_relations] the call
+    allowed.  This is purely the table-memory cap: since bitset keys grew to
+    arbitrary width there is no representation limit, so raising the cap is
+    always legal (just exponentially expensive). *)
 
 type result = {
   plan : Plan.t;
@@ -45,7 +49,7 @@ val optimize :
   result
 (** Connected queries only; [max_relations] defaults to
     {!default_max_relations} (beyond that the table may no longer fit in
-    reasonable memory for dense graphs — which is the point).  [jobs]
-    defaults to the configured {!Ljqo_stats.Parallel.default_jobs}; the
-    result does not depend on it.  Raises [Too_large] or
-    [Invalid_argument]. *)
+    reasonable memory for dense graphs — which is the point; pass a larger
+    cap explicitly to go further, e.g. for sparse chains).  [jobs] defaults
+    to the configured {!Ljqo_stats.Parallel.default_jobs}; the result does
+    not depend on it.  Raises [Too_large] or [Invalid_argument]. *)

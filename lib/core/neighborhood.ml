@@ -17,24 +17,24 @@ module Obs = Ljqo_obs.Obs
    state and move, [consider] returns exactly what [Search_state.try_move]
    would have returned, charges the same ticks at the same point, and an
    [accept] leaves the state bit-identical to the committed reference state.
-   Graphs too large for bitset masks fall back to the reference protocol
-   internally, so callers never branch on graph width. *)
+   Graphs wider than the two inline bitset words run the same fused walk
+   with the prefix in a preallocated scratch word array, so callers never
+   branch on graph width and nothing falls back to the reference protocol. *)
 
 type pending =
   | Nothing
   | Fused of { move : Move.t; lo : int }
-      (** masked path: the effect lives in the scratch arrays *)
-  | Fallback of Search_state.snapshot
-      (** maskless path: the state already holds the move *)
+      (** the move's effect lives in the scratch arrays *)
 
 type t = {
   state : Search_state.t;
-  masked : bool;
+  wide : bool;  (* graph needs more than the two inline bitset words *)
   stepper : Plan_cost.Stepper.t;
   graph : Ljqo_catalog.Join_graph.t;
   query : Ljqo_catalog.Query.t;
   scratch_cards : float array;
   scratch_steps : float array;
+  prefix_words : int array;  (* wide path's placed-prefix scratch *)
   step_out : float array;  (* 2 slots: Stepper.step's (cost, output_card) *)
   mutable scratch_total : float;
   mutable pending : pending;
@@ -47,12 +47,13 @@ let create state =
   let n = Search_state.n state in
   {
     state;
-    masked = Ljqo_catalog.Join_graph.has_masks graph;
+    wide = n > Ljqo_catalog.Bitset.inline_size;
     stepper = Plan_cost.Stepper.make model query;
     graph;
     query;
     scratch_cards = Array.make (max n 1) 0.0;
     scratch_steps = Array.make (max n 1) 0.0;
+    prefix_words = Array.make (Ljqo_catalog.Bitset.words_needed n) 0;
     step_out = Array.make 2 0.0;
     scratch_total = 0.0;
     pending = Nothing;
@@ -162,20 +163,87 @@ let eval_fused t move ~lo =
   end
   else None
 
+(* Wide twin of [eval_fused]: the placed prefix lives in the preallocated
+   [prefix_words] scratch array instead of two locals, validity is
+   [Bitset.intersects_words], and steps go through [Stepper.step_words].
+   Structure, accounting, and the reconvergence early-exit are identical. *)
+let eval_fused_wide t move ~lo =
+  let ev = Search_state.evaluator t.state in
+  let perm = Search_state.perm_view t.state in
+  let cards = Search_state.cards_view t.state in
+  let steps = Search_state.step_costs_view t.state in
+  let n = Array.length perm in
+  let first = max lo 1 in
+  let _, reconverge = Move.affected_range move in
+  Obs.add Obs.Recost_steps (n - first);
+  Evaluator.charge ev (n - first);
+  Obs.bump Obs.Neighbors_evaluated;
+  if lo = 0 then
+    t.scratch_cards.(0) <-
+      Ljqo_catalog.Query.cardinality t.query (vperm perm move 0);
+  let words = t.prefix_words in
+  Array.fill words 0 (Array.length words) 0;
+  let wb = Ljqo_catalog.Bitset.word_bits in
+  for k = 0 to first - 1 do
+    let r = vperm perm move k in
+    let kw = r / wb in
+    Array.unsafe_set words kw
+      (Array.unsafe_get words kw lor (1 lsl (r mod wb)))
+  done;
+  let sum = ref 0.0 in
+  for k = 1 to first - 1 do
+    sum := !sum +. Array.unsafe_get steps k
+  done;
+  let outer =
+    ref (if lo = 0 then t.scratch_cards.(0) else Array.unsafe_get cards (first - 1))
+  in
+  let ok = ref true in
+  let idx = ref first in
+  while !ok && !idx < n do
+    let k = !idx in
+    if k >= reconverge && Array.unsafe_get cards (k - 1) = !outer then begin
+      for m = k to n - 1 do
+        Array.unsafe_set t.scratch_cards m (Array.unsafe_get cards m);
+        let c = Array.unsafe_get steps m in
+        Array.unsafe_set t.scratch_steps m c;
+        sum := !sum +. c
+      done;
+      idx := n
+    end
+    else begin
+      let r = vperm perm move k in
+      let m = Ljqo_catalog.Join_graph.neighbor_mask t.graph r in
+      if not (Ljqo_catalog.Bitset.intersects_words m words) then ok := false
+      else begin
+        Plan_cost.Stepper.step_words t.stepper ~words ~r ~is_first:(k = 1)
+          ~outer_card:!outer ~into:t.step_out;
+        let cost = Array.unsafe_get t.step_out 0 in
+        let out = Array.unsafe_get t.step_out 1 in
+        Array.unsafe_set t.scratch_cards k out;
+        Array.unsafe_set t.scratch_steps k cost;
+        sum := !sum +. cost;
+        outer := out;
+        let kw = r / wb in
+        Array.unsafe_set words kw
+          (Array.unsafe_get words kw lor (1 lsl (r mod wb)));
+        incr idx
+      end
+    end
+  done;
+  if !ok then begin
+    t.scratch_total <- !sum;
+    t.pending <- Fused { move; lo };
+    Some !sum
+  end
+  else None
+
 let consider t move =
   (match t.pending with
   | Nothing -> ()
-  | Fused _ | Fallback _ ->
+  | Fused _ ->
     invalid_arg "Neighborhood.consider: a considered move is still pending");
-  if t.masked then
-    let lo, _ = Move.affected_range move in
-    eval_fused t move ~lo
-  else
-    match Search_state.try_move t.state move with
-    | None -> None
-    | Some (total, snap) ->
-      t.pending <- Fallback snap;
-      Some total
+  let lo, _ = Move.affected_range move in
+  if t.wide then eval_fused_wide t move ~lo else eval_fused t move ~lo
 
 let accept t =
   match t.pending with
@@ -183,28 +251,24 @@ let accept t =
     Search_state.apply_evaluated t.state move ~lo ~cards:t.scratch_cards
       ~step_costs:t.scratch_steps ~total:t.scratch_total;
     t.pending <- Nothing
-  | Fallback _ ->
-    (* try_move already applied the move; keeping it is a no-op. *)
-    t.pending <- Nothing
   | Nothing -> invalid_arg "Neighborhood.accept: no move under consideration"
 
 let reject t =
   match t.pending with
   | Fused _ -> t.pending <- Nothing
-  | Fallback snap ->
-    Search_state.rollback t.state snap;
-    t.pending <- Nothing
   | Nothing -> invalid_arg "Neighborhood.reject: no move under consideration"
 
 (* Batched sweep over the full adjacent-swap neighborhood, prefix state
    carried incrementally across candidates: candidate [i] needs the placed
    words and the cost partial sum over [0, max i 1) — exactly candidate
    [i-1]'s plus one relation and one step cost.  Candidate 0 rebuilds its
-   (one-element, virtual) prefix via the generic path. *)
+   (one-element, virtual) prefix via the generic path.  Wide graphs take the
+   generic per-candidate walk ([eval_fused_wide] via [consider]), which
+   charges the same ticks per candidate as the batched form. *)
 let adjacent_swaps t f =
   let n = Search_state.n t.state in
   if n >= 2 then
-    if not t.masked then
+    if t.wide then
       for i = 0 to n - 2 do
         let v = consider t (Move.Swap (i, i + 1)) in
         (match v with Some _ -> reject t | None -> ());

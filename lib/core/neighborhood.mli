@@ -5,16 +5,17 @@
     recost, rollback) allocates three window slices per attempt, boxes the
     prefix and a result tuple at every step, and pays rollback writes on
     every rejection.  This kernel reads the mutated permutation virtually,
-    keeps the placed prefix in two machine words, and streams step costs
-    through {!Ljqo_cost.Plan_cost.Stepper} into preallocated scratch — zero
+    keeps the placed prefix in two machine words (one preallocated scratch
+    word array on graphs wider than {!Ljqo_catalog.Bitset.inline_size} —
+    same kernel, wider words), and streams step costs through
+    {!Ljqo_cost.Plan_cost.Stepper} into preallocated scratch — zero
     allocation in the hot loop.  Only an accepted move touches the state.
 
     Bit-identity contract (qcheck-enforced in [test_neighborhood.ml]):
     [consider] returns exactly what [try_move] would, charges the same ticks
     at the same point (so [Budget.Exhausted] and convergence fire at the
     same proposal), and [accept] leaves the state bit-identical to the
-    reference's committed state.  Join graphs beyond the bitset width fall
-    back to the reference protocol internally.
+    reference's committed state — at every graph width.
 
     A workspace is bound to one {!Search_state.t} and is single-threaded,
     like the state itself. *)

@@ -15,8 +15,7 @@ let is_permutation perm =
   with Exit -> false
 
 (* Array-marking connectivity walk — the pre-bitset form, kept as the
-   oversized-graph fallback and as the reference the mask form is tested and
-   benchmarked against. *)
+   reference the mask forms are tested and benchmarked against. *)
 let connected_prefixes_scan graph perm =
   let placed = Array.make (Array.length perm) false in
   let ok = ref true in
@@ -66,12 +65,38 @@ let is_valid_masked graph perm =
   done;
   !ok
 
+(* Wide twin of [is_valid_masked]: the prefix as a scratch word array
+   instead of two locals.  Same fused duplicate + connectivity walk; one
+   short-lived array per call, no per-step allocation. *)
+let is_valid_wide graph perm =
+  let n = Array.length perm in
+  let words = Array.make (Bitset.words_needed n) 0 in
+  let ok = ref true in
+  let i = ref 0 in
+  while !ok && !i < n do
+    let r = Array.unsafe_get perm !i in
+    if r < 0 || r >= n then ok := false
+    else begin
+      let m = Join_graph.neighbor_mask graph r in
+      if !i > 0 && not (Bitset.intersects_words m words) then ok := false
+      else begin
+        let k = r / Bitset.word_bits in
+        let b = 1 lsl (r mod Bitset.word_bits) in
+        let w = Array.unsafe_get words k in
+        if w land b <> 0 then ok := false
+        else Array.unsafe_set words k (w lor b)
+      end
+    end;
+    incr i
+  done;
+  !ok
+
 let is_valid query perm =
   Array.length perm = Query.n_relations query
   &&
   let graph = Query.graph query in
-  if Join_graph.has_masks graph then is_valid_masked graph perm
-  else is_permutation perm && connected_prefixes_scan graph perm
+  if Array.length perm <= Bitset.inline_size then is_valid_masked graph perm
+  else is_valid_wide graph perm
 
 let inverse perm =
   let pos = Array.make (Array.length perm) 0 in

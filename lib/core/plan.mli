@@ -14,15 +14,15 @@ val is_permutation : t -> bool
 
 val is_valid : Ljqo_catalog.Query.t -> t -> bool
 (** [is_permutation] and every element past the first joins with at least one
-    earlier element.  When the graph fits the fixed-width bitsets
-    ([Join_graph.has_masks]) this is a single allocation-free pass: the
-    placed-prefix mask doubles as the duplicate detector. *)
+    earlier element.  A single allocation-free pass at every graph width:
+    the placed-prefix mask doubles as the duplicate detector, tracked in two
+    local ints up to {!Ljqo_catalog.Bitset.inline_size} relations and in one
+    preallocated scratch word array beyond. *)
 
 val is_valid_reference : Ljqo_catalog.Query.t -> t -> bool
-(** The pre-bitset array-marking form of {!is_valid} (also its fallback for
-    oversized graphs).  Same verdict on every input; kept as the equivalence
-    oracle for the property tests and the baseline the micro benchmark
-    measures the mask kernel against. *)
+(** The pre-bitset array-marking form of {!is_valid}.  Same verdict on every
+    input; kept as the equivalence oracle for the property tests and the
+    baseline the micro benchmark measures the mask kernel against. *)
 
 val inverse : t -> int array
 (** [pos] array with [pos.(perm.(i)) = i]. *)

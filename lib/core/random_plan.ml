@@ -1,9 +1,10 @@
 open Ljqo_catalog
 open Ljqo_stats
 
-(* Array-marking implementation, kept for graphs beyond the fixed bitset
-   width.  The mask form below replicates its candidate-array evolution
-   exactly, so both produce identical plans from identical RNG states. *)
+(* Array-marking implementation, kept as the oracle the mask forms are
+   tested against.  Both mask forms below replicate its candidate-array
+   evolution exactly, so all three produce identical plans from identical
+   RNG states. *)
 let generate_reference rng query =
   let n = Query.n_relations query in
   let graph = Query.graph query in
@@ -97,10 +98,52 @@ let generate_masked rng query =
   done;
   perm
 
+(* Wide twin of [generate_masked]: the placed-or-candidate set as a scratch
+   word array instead of two locals.  Candidate-array evolution — and hence
+   the plan drawn from any RNG state — is identical. *)
+let generate_wide rng query =
+  let n = Query.n_relations query in
+  let graph = Query.graph query in
+  let adjacency = Join_graph.adjacency graph in
+  let perm = Array.make n (-1) in
+  let candidates = Array.make n 0 in
+  let cand_count = ref 0 in
+  let seen = Array.make (Bitset.words_needed n) 0 in
+  let place i r =
+    Array.unsafe_set perm i r;
+    let k = r / Bitset.word_bits in
+    Array.unsafe_set seen k
+      (Array.unsafe_get seen k lor (1 lsl (r mod Bitset.word_bits)));
+    let ids = Array.unsafe_get adjacency r in
+    for j = 0 to Array.length ids - 1 do
+      let w = Array.unsafe_get ids j in
+      let kw = w / Bitset.word_bits in
+      let b = 1 lsl (w mod Bitset.word_bits) in
+      let sw = Array.unsafe_get seen kw in
+      if sw land b = 0 then begin
+        Array.unsafe_set candidates !cand_count w;
+        Array.unsafe_set seen kw (sw lor b);
+        incr cand_count
+      end
+    done
+  in
+  place 0 (Rng.int rng n);
+  for i = 1 to n - 1 do
+    if !cand_count = 0 then
+      invalid_arg "Random_plan.generate: join graph is disconnected";
+    let idx = Rng.int rng !cand_count in
+    let r = Array.unsafe_get candidates idx in
+    Array.unsafe_set candidates idx (Array.unsafe_get candidates (!cand_count - 1));
+    decr cand_count;
+    place i r
+  done;
+  perm
+
 let generate rng query =
-  if Query.n_relations query = 0 then invalid_arg "Random_plan.generate: empty query";
-  if Join_graph.has_masks (Query.graph query) then generate_masked rng query
-  else generate_reference rng query
+  let n = Query.n_relations query in
+  if n = 0 then invalid_arg "Random_plan.generate: empty query";
+  if n <= Bitset.inline_size then generate_masked rng query
+  else generate_wide rng query
 
 let generate_charged ev rng =
   let query = Evaluator.query ev in

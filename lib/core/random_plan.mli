@@ -11,17 +11,17 @@
 val generate : Ljqo_stats.Rng.t -> Ljqo_catalog.Query.t -> Plan.t
 (** Raises [Invalid_argument] on a disconnected query.
 
-    The prefix bookkeeping runs on a fixed-width bitset
-    ({!Ljqo_catalog.Bitset}) whenever the graph fits
-    ([Join_graph.has_masks]); graphs beyond the bitset width fall back to
-    {!generate_reference}.  Both paths consume the RNG identically and
-    return identical plans. *)
+    The prefix bookkeeping runs on the graph's neighbor masks
+    ({!Ljqo_catalog.Bitset}) at every width: two local prefix words up to
+    {!Ljqo_catalog.Bitset.inline_size} relations, one preallocated scratch
+    word array beyond.  Both forms consume the RNG identically and return
+    identical plans. *)
 
 val generate_reference : Ljqo_stats.Rng.t -> Ljqo_catalog.Query.t -> Plan.t
-(** The pre-bitset array-marking implementation.  Kept as the oversized-graph
-    fallback, as the equivalence oracle for the property tests, and as the
-    baseline the micro benchmark compares the mask kernel against.  Produces
-    exactly the plans [generate] produces for the same RNG state. *)
+(** The pre-bitset array-marking implementation.  Kept as the equivalence
+    oracle for the property tests and as the baseline the micro benchmark
+    compares the mask kernel against.  Produces exactly the plans [generate]
+    produces for the same RNG state. *)
 
 val generate_charged : Evaluator.t -> Ljqo_stats.Rng.t -> Plan.t
 (** Same, charging [n] ticks to the evaluator's budget. *)

@@ -6,6 +6,9 @@ type t = {
   pos : int array;
   cards : float array;
   step_costs : float array;
+  scratch_words : int array;
+      (* prefix scratch for the wide recost walk: [Bitset.words_needed n]
+         63-bit words, zeroed and refilled on each use *)
   mutable total : float;
 }
 
@@ -32,6 +35,8 @@ let init ev start =
     pos = Plan.inverse perm;
     cards = e.cards;
     step_costs = e.step_costs;
+    scratch_words =
+      Array.make (Ljqo_catalog.Bitset.words_needed (Array.length perm)) 0;
     total = e.total;
   }
 
@@ -72,8 +77,9 @@ let rollback t snap =
    two word-ANDs per step and no [pos] lookups, and a rejected move costs no
    allocation at all — the move-validity kernel the micro bench tracks.  The
    prefix is boxed into a [Bitset.t] only at each surviving step's costing
-   call.  Graphs beyond the bitset width take the [pos]-array path; both
-   produce bit-identical costs. *)
+   call.  Graphs beyond the two inline words carry the prefix in the
+   preallocated [scratch_words] array instead and cost steps through
+   [Plan_cost.step_cost_words]; both produce bit-identical costs. *)
 let recost t ~lo ~hi =
   let query = Evaluator.query t.ev and model = Evaluator.model t.ev in
   let first = max lo 1 in
@@ -84,7 +90,7 @@ let recost t ~lo ~hi =
   let ok = ref true in
   let i = ref first in
   let graph = Ljqo_catalog.Query.graph query in
-  if Ljqo_catalog.Join_graph.has_masks graph then begin
+  if Array.length t.perm <= Ljqo_catalog.Bitset.inline_size then begin
     let p0 = ref 0 and p1 = ref 0 in
     for k = 0 to first - 1 do
       let r = t.perm.(k) in
@@ -112,20 +118,35 @@ let recost t ~lo ~hi =
       incr i
     done
   end
-  else
+  else begin
+    let words = t.scratch_words in
+    Array.fill words 0 (Array.length words) 0;
+    let wb = Ljqo_catalog.Bitset.word_bits in
+    for k = 0 to first - 1 do
+      let r = t.perm.(k) in
+      let kw = r / wb in
+      Array.unsafe_set words kw
+        (Array.unsafe_get words kw lor (1 lsl (r mod wb)))
+    done;
     while !ok && !i < hi do
       let idx = !i in
-      if not (Plan_cost.joins_before query ~perm:t.perm ~pos:t.pos idx) then ok := false
+      let r = t.perm.(idx) in
+      let m = Ljqo_catalog.Join_graph.neighbor_mask graph r in
+      if not (Ljqo_catalog.Bitset.intersects_words m words) then ok := false
       else begin
         let cost, out =
-          Plan_cost.step_cost model query ~perm:t.perm ~pos:t.pos ~i:idx
+          Plan_cost.step_cost_words model query ~words ~r ~is_first:(idx = 1)
             ~outer_card:t.cards.(idx - 1)
         in
         t.cards.(idx) <- out;
-        t.step_costs.(idx) <- cost
+        t.step_costs.(idx) <- cost;
+        let kw = r / wb in
+        Array.unsafe_set words kw
+          (Array.unsafe_get words kw lor (1 lsl (r mod wb)))
       end;
       incr i
-    done;
+    done
+  end;
   (* Recompute the total from scratch: incremental [-. old +. new] updates
      drift catastrophically when step costs span many orders of magnitude
      (1e20-scale uphill excursions would leave garbage residue in a 1e3

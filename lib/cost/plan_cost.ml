@@ -35,7 +35,7 @@ let joins_before query ~perm ~pos i =
     (fun (other, _) -> pos.(other) < i)
     (Join_graph.neighbors (Query.graph query) r)
 
-(* Bitset kernels: the placed prefix as a fixed-width mask instead of a
+(* Bitset kernels: the placed prefix as a mask instead of a
    [pos] array.  [selectivity_prefix] visits neighbors in the same ascending
    order as [selectivity_before], so the float products are bit-identical;
    [joins_prefix] is two word-ANDs where the list version scans. *)
@@ -95,11 +95,51 @@ let step_cost (model : Cost_model.t) query ~perm ~pos ~i ~outer_card =
   in
   (clamp_cost (M.join_cost input), output_card)
 
+(* Word-array twins of [joins_prefix]/[selectivity_prefix]/[step_cost_prefix]
+   for graphs wider than the two inline bitset words: the placed prefix is a
+   caller-owned scratch array of 63-bit words (id [i] at bit [i mod 63] of
+   word [i / 63], the [Bitset.words_needed] layout), so the wide hot loops
+   never box a prefix [Bitset.t] per step.  Same ascending neighbor-visit
+   order, hence bit-identical float products. *)
+
+let joins_words query ~words r =
+  Bitset.intersects_words (Join_graph.neighbor_mask (Query.graph query) r) words
+
+let selectivity_words query ~words ~outer_card r =
+  let graph = Query.graph query in
+  let ids = Join_graph.neighbor_ids graph r in
+  let sels = Join_graph.neighbor_sels graph r in
+  let acc = ref 1.0 in
+  for j = 0 to Array.length ids - 1 do
+    let k = Array.unsafe_get ids j in
+    if Array.unsafe_get words (k / 63) land (1 lsl (k mod 63)) <> 0 then
+      acc := !acc *. edge_selectivity query ~outer_card ~k ~r (Array.unsafe_get sels j)
+  done;
+  !acc
+
 let step_cost_prefix (model : Cost_model.t) query ~prefix ~r ~is_first ~outer_card =
   let module M = (val model : Cost_model.S) in
   let inner_card = Query.cardinality query r in
   let sel = selectivity_prefix query ~prefix ~outer_card r in
   let is_cross = not (joins_prefix query ~prefix r) in
+  let output_card = clamp_card (outer_card *. inner_card *. sel) in
+  let input : Cost_model.join_input =
+    {
+      outer_card;
+      inner_card;
+      inner_distinct = Query.distinct_values query r;
+      output_card;
+      is_first;
+      is_cross;
+    }
+  in
+  (clamp_cost (M.join_cost input), output_card)
+
+let step_cost_words (model : Cost_model.t) query ~words ~r ~is_first ~outer_card =
+  let module M = (val model : Cost_model.S) in
+  let inner_card = Query.cardinality query r in
+  let sel = selectivity_words query ~words ~outer_card r in
+  let is_cross = not (joins_words query ~words r) in
   let output_card = clamp_card (outer_card *. inner_card *. sel) in
   let input : Cost_model.join_input =
     {
@@ -131,7 +171,7 @@ module Stepper = struct
     let module M = (val model : Cost_model.S) in
     { query; graph = Query.graph query; join_cost = M.join_cost }
 
-  let selectivity_words t ~w0 ~w1 ~outer_card r =
+  let selectivity_inline t ~w0 ~w1 ~outer_card r =
     let ids = Join_graph.neighbor_ids t.graph r in
     let sels = Join_graph.neighbor_sels t.graph r in
     let acc = ref 1.0 in
@@ -148,9 +188,42 @@ module Stepper = struct
 
   let step t ~w0 ~w1 ~r ~is_first ~outer_card ~into =
     let inner_card = Query.cardinality t.query r in
-    let sel = selectivity_words t ~w0 ~w1 ~outer_card r in
+    let sel = selectivity_inline t ~w0 ~w1 ~outer_card r in
     let m = Join_graph.neighbor_mask t.graph r in
     let is_cross = (m.Bitset.w0 land w0) lor (m.Bitset.w1 land w1) = 0 in
+    let output_card = clamp_card (outer_card *. inner_card *. sel) in
+    let input : Cost_model.join_input =
+      {
+        outer_card;
+        inner_card;
+        inner_distinct = Query.distinct_values t.query r;
+        output_card;
+        is_first;
+        is_cross;
+      }
+    in
+    Array.unsafe_set into 0 (clamp_cost (t.join_cost input));
+    Array.unsafe_set into 1 output_card
+
+  (* Wide twin of [step]: the prefix as a scratch word array instead of two
+     inline words.  Same float operations in the same order as
+     [step_cost_words]. *)
+  let step_words t ~words ~r ~is_first ~outer_card ~into =
+    let inner_card = Query.cardinality t.query r in
+    let sel =
+      let ids = Join_graph.neighbor_ids t.graph r in
+      let sels = Join_graph.neighbor_sels t.graph r in
+      let acc = ref 1.0 in
+      for j = 0 to Array.length ids - 1 do
+        let k = Array.unsafe_get ids j in
+        if Array.unsafe_get words (k / 63) land (1 lsl (k mod 63)) <> 0 then
+          acc :=
+            !acc *. edge_selectivity t.query ~outer_card ~k ~r (Array.unsafe_get sels j)
+      done;
+      !acc
+    in
+    let m = Join_graph.neighbor_mask t.graph r in
+    let is_cross = not (Bitset.intersects_words m words) in
     let output_card = clamp_card (outer_card *. inner_card *. sel) in
     let input : Cost_model.join_input =
       {
@@ -173,29 +246,20 @@ let eval model query perm =
   let step_costs = Array.make n 0.0 in
   cards.(0) <- Query.cardinality query perm.(0);
   let total = ref 0.0 in
-  if Join_graph.has_masks (Query.graph query) then begin
-    let prefix = ref (Bitset.singleton perm.(0)) in
-    for i = 1 to n - 1 do
-      let cost, out =
-        step_cost_prefix model query ~prefix:!prefix ~r:perm.(i) ~is_first:(i = 1)
-          ~outer_card:cards.(i - 1)
-      in
-      cards.(i) <- out;
-      step_costs.(i) <- cost;
-      total := !total +. cost;
-      prefix := Bitset.add perm.(i) !prefix
-    done
-  end
-  else begin
-    let pos = Array.make n 0 in
-    Array.iteri (fun i r -> pos.(r) <- i) perm;
-    for i = 1 to n - 1 do
-      let cost, out = step_cost model query ~perm ~pos ~i ~outer_card:cards.(i - 1) in
-      cards.(i) <- out;
-      step_costs.(i) <- cost;
-      total := !total +. cost
-    done
-  end;
+  (* One code path at every width: neighbor masks always exist, and the
+     prefix bitset grows its tail only past 126 relations (where this cold
+     entry point's per-step allocation is immaterial). *)
+  let prefix = ref (Bitset.singleton perm.(0)) in
+  for i = 1 to n - 1 do
+    let cost, out =
+      step_cost_prefix model query ~prefix:!prefix ~r:perm.(i) ~is_first:(i = 1)
+        ~outer_card:cards.(i - 1)
+    in
+    cards.(i) <- out;
+    step_costs.(i) <- cost;
+    total := !total +. cost;
+    prefix := Bitset.add perm.(i) !prefix
+  done;
   { cards; step_costs; total = !total; est_steps = n }
 
 let total model query perm = (eval model query perm).total

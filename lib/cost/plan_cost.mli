@@ -50,8 +50,13 @@ val joins_before : Ljqo_catalog.Query.t -> perm:int array -> pos:int array -> in
 val joins_prefix :
   Ljqo_catalog.Query.t -> prefix:Ljqo_catalog.Bitset.t -> int -> bool
 (** [joins_prefix q ~prefix r]: whether [r] is joined to any relation in the
-    placed-prefix mask — two word-ANDs against the precomputed neighbor
-    mask.  Requires [Join_graph.has_masks]. *)
+    placed-prefix mask — a few word-ANDs against the precomputed neighbor
+    mask, at any graph width. *)
+
+val joins_words : Ljqo_catalog.Query.t -> words:int array -> int -> bool
+(** {!joins_prefix} with the prefix as a scratch word array in the
+    {!Ljqo_catalog.Bitset.words_needed} layout — the form the wide
+    ([n > Bitset.inline_size]) hot loops use so they never box a prefix. *)
 
 val selectivity_prefix :
   Ljqo_catalog.Query.t ->
@@ -61,6 +66,11 @@ val selectivity_prefix :
   float
 (** {!selectivity_before} with the prefix as a mask; visits edges in the same
     ascending order, so results are bit-identical to the [pos]-based form. *)
+
+val selectivity_words :
+  Ljqo_catalog.Query.t -> words:int array -> outer_card:float -> int -> float
+(** {!selectivity_prefix} with the prefix as a scratch word array; same
+    ascending visit order, bit-identical results. *)
 
 val clamp_card : float -> float
 (** Sanitize an estimated cardinality: NaN becomes 1, and the result is
@@ -95,6 +105,17 @@ val step_cost_prefix :
     (position 1).  Bit-identical to {!step_cost}; this is the form the
     incremental search state and {!eval} use. *)
 
+val step_cost_words :
+  Cost_model.t ->
+  Ljqo_catalog.Query.t ->
+  words:int array ->
+  r:int ->
+  is_first:bool ->
+  outer_card:float ->
+  float * float
+(** {!step_cost_prefix} with the prefix as a scratch word array — the form
+    the wide incremental recost uses.  Bit-identical float operations. *)
+
 (** Allocation-free stepping for the fused neighbor kernel
     ({!Ljqo_core.Neighborhood}): the placed prefix as two raw bitset words,
     the result through a caller-owned scratch array, the cost-model module
@@ -104,8 +125,7 @@ module Stepper : sig
   type t
 
   val make : Cost_model.t -> Ljqo_catalog.Query.t -> t
-  (** Requires [Join_graph.has_masks] on the query's graph (the neighbor
-      masks back the cross-product test). *)
+  (** The neighbor masks (always present) back the cross-product test. *)
 
   val step :
     t ->
@@ -122,6 +142,18 @@ module Stepper : sig
       tests validity against the neighbor mask first; when it asks anyway,
       the model's [is_cross] pricing applies, exactly as in
       {!step_cost_prefix}. *)
+
+  val step_words :
+    t ->
+    words:int array ->
+    r:int ->
+    is_first:bool ->
+    outer_card:float ->
+    into:float array ->
+    unit
+  (** {!step} for graphs wider than the two inline bitset words: the prefix
+      arrives as a scratch word array ({!Ljqo_catalog.Bitset.words_needed}
+      layout).  Bit-identical to {!step_cost_words} on the same inputs. *)
 end
 
 val eval : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> eval

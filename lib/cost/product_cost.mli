@@ -40,7 +40,8 @@ val step_cost :
 val raw_extend_mask :
   Ljqo_catalog.Query.t -> raw:float -> mask:Ljqo_catalog.Bitset.t -> int -> float
 (** [raw_extend] with the member set as a bitset; bit-identical result
-    (same ascending edge-visit order).  Requires [Join_graph.has_masks]. *)
+    (same ascending edge-visit order).  The neighbor masks backing it are
+    always present. *)
 
 val step_cost_mask :
   Cost_model.t ->

@@ -120,7 +120,13 @@ let quantile h q =
   if h.count = 0 then 0
   else begin
     let q = Float.max 0.0 (Float.min 1.0 q) in
-    let rank = max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))) in
+    (* Clamp the rank into [1, count]: [q *. float count] can round up past
+       [count] once counts exceed the float mantissa, and a rank beyond every
+       recorded value would walk off the top of the table instead of landing
+       on the max bucket ([quantile h 1.0] must equal [max_value h]). *)
+    let rank =
+      min h.count (max 1 (int_of_float (Float.ceil (q *. float_of_int h.count))))
+    in
     let rec go i seen =
       if i >= n_buckets then bucket_lo (n_buckets - 1)
       else

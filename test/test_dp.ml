@@ -67,6 +67,41 @@ let test_too_large () =
   | exception Dp.Too_large _ -> ()
   | _ -> Alcotest.fail "oversized query accepted"
 
+(* Regression for the payload: at n = 26 (one past the default cap) the
+   exception must say which limit fired and what it was. *)
+let test_too_large_payload () =
+  let q = Helpers.random_query ~n_joins:25 1322 in
+  match Dp.optimize mem q with
+  | exception Dp.Too_large { n = 26; max_relations = 25 } -> ()
+  | exception Dp.Too_large { n; max_relations } ->
+    Alcotest.failf "wrong payload: n=%d cap=%d" n max_relations
+  | _ -> Alcotest.fail "26-relation query accepted under the default cap"
+
+(* The width cap is gone: only [max_relations] (table memory) limits DP.  A
+   130-relation chain blows past the old 126-id bitset ceiling but has only
+   O(n^2) connected subsets (intervals), so raising the cap must simply
+   work — and on a chain of uniform relations the optimal left-deep plan is
+   a walk from one end, which also certifies the wide-mask DP plumbing. *)
+let test_width_cap_retired () =
+  let n = 130 in
+  let relations =
+    Array.init n (fun id -> Helpers.rel ~id ~card:100 ~distinct:0.5 ())
+  in
+  let edges =
+    List.init (n - 1) (fun i ->
+        { Ljqo_catalog.Join_graph.u = i; v = i + 1; selectivity = 0.001 })
+  in
+  let q =
+    Ljqo_catalog.Query.make ~relations
+      ~graph:(Ljqo_catalog.Join_graph.make ~n edges)
+  in
+  let dp = Dp.optimize ~max_relations:n mem q in
+  Alcotest.(check bool) "plan valid" true (Plan.is_valid q dp.Dp.plan);
+  Alcotest.(check int) "plan length" n (Array.length dp.Dp.plan);
+  Helpers.check_approx "product cost matches its plan"
+    (Ljqo_cost.Product_cost.total mem q dp.Dp.plan)
+    dp.Dp.product_cost
+
 let test_rejects_disconnected () =
   match Dp.optimize mem (Helpers.disconnected ()) with
   | exception Invalid_argument _ -> ()
@@ -214,6 +249,9 @@ let suite =
     Alcotest.test_case "matches brute force" `Quick test_matches_brute_force;
     Alcotest.test_case "beats random plans" `Quick test_dp_beats_random_under_product;
     Alcotest.test_case "too large rejected" `Quick test_too_large;
+    Alcotest.test_case "too large payload" `Quick test_too_large_payload;
+    Alcotest.test_case "width cap retired (130-chain DP)" `Slow
+      test_width_cap_retired;
     Alcotest.test_case "rejects disconnected" `Quick test_rejects_disconnected;
     Alcotest.test_case "single relation" `Quick test_single_relation;
     Alcotest.test_case "subset counts grow" `Quick test_subset_counts_grow;

@@ -112,10 +112,50 @@ let test_benchmark_workload_optimizes_end_to_end () =
       Alcotest.(check bool) "valid" true (Plan.is_valid e.query r.plan))
     w.entries
 
+(* Headline for the growable-width bitsets: a 200-relation query runs the
+   search methods end to end through the masked/fused kernels — there is no
+   fallback path left to take — and returns a valid plan. *)
+let test_wide_query_end_to_end () =
+  let n = 200 in
+  let relations =
+    Array.init n (fun id ->
+        Helpers.rel ~id ~card:(10 + (id mod 91)) ~distinct:0.5 ())
+  in
+  let chain =
+    Query.make ~relations
+      ~graph:
+        (Join_graph.make ~n
+           (List.init (n - 1) (fun i ->
+                { Join_graph.u = i; v = i + 1; selectivity = 0.01 })))
+  in
+  let star =
+    Query.make ~relations
+      ~graph:
+        (Join_graph.make ~n
+           (List.init (n - 1) (fun i ->
+                { Join_graph.u = 0; v = i + 1; selectivity = 0.005 })))
+  in
+  List.iter
+    (fun (qname, q) ->
+      List.iter
+        (fun m ->
+          let r =
+            Optimizer.optimize ~method_:m ~model:mem ~ticks:300_000 ~seed:5 q
+          in
+          Alcotest.(check bool)
+            (Printf.sprintf "%s on %s-200 returns a valid plan" (Methods.name m)
+               qname)
+            true
+            (Plan.is_valid q r.plan))
+        [ Methods.II; Methods.SA; Methods.AGI; Methods.Portfolio ])
+    [ ("chain", chain); ("star", star) ]
+
 let suite =
   [
     Alcotest.test_case "optimizer beats random plans" `Slow
       test_optimizer_beats_random_plans;
+    Alcotest.test_case "wide query (N = 200) end to end" `Slow
+      test_wide_query_end_to_end;
     Alcotest.test_case "full QDL pipeline" `Quick test_full_pipeline_qdl;
     Alcotest.test_case "estimates track actuals" `Slow test_estimates_track_actuals;
     Alcotest.test_case "all methods agree on trivial query" `Quick

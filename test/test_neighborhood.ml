@@ -91,9 +91,10 @@ let prop_adjacent_swaps_matches_loop =
       && Search_state.cost st_f = Search_state.cost st_r)
     QCheck.(pair small_int small_int)
 
-(* A 130-relation chain exceeds the bitset width, so [has_masks] is false
-   and the kernel must fall back to the reference protocol internally while
-   keeping the same external contract. *)
+(* A 130-relation chain exceeds the two inline bitset words, so the kernel
+   takes the wide fused path ([eval_fused_wide], prefix in a scratch word
+   array) — which must honor the same bit-identity contract as the inline
+   path, with zero fallbacks to the reference protocol. *)
 let big_chain n =
   let relations =
     Array.init n (fun id ->
@@ -106,10 +107,10 @@ let big_chain n =
   Ljqo_catalog.Query.make ~relations
     ~graph:(Ljqo_catalog.Join_graph.make ~n edges)
 
-let test_maskless_fallback () =
+let test_wide_fused () =
   let q = big_chain 130 in
   Alcotest.(check bool)
-    "chain of 130 has no masks" false
+    "chain of 130 has masks" true
     (Ljqo_catalog.Join_graph.has_masks (Ljqo_catalog.Query.graph q));
   let plan = Array.init 130 (fun i -> i) in
   let ev_f = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
@@ -142,7 +143,26 @@ let test_maskless_fallback () =
     "costs bit-equal" true
     (Search_state.cost st_f = Search_state.cost st_r);
   Alcotest.(check int)
-    "tick meters agree" (Evaluator.used ev_r) (Evaluator.used ev_f)
+    "tick meters agree" (Evaluator.used ev_r) (Evaluator.used ev_f);
+  (* and the wide adjacent-swap sweep matches a try_move loop, ticks included *)
+  let fused = ref [] in
+  Neighborhood.adjacent_swaps nb (fun i v -> fused := (i, v) :: !fused);
+  let reference = ref [] in
+  for i = 0 to Search_state.n st_r - 2 do
+    let v =
+      match Search_state.try_move st_r (Move.Swap (i, i + 1)) with
+      | None -> None
+      | Some (total, snap) ->
+        Search_state.rollback st_r snap;
+        Some total
+    in
+    reference := (i, v) :: !reference
+  done;
+  Alcotest.(check bool)
+    "wide adjacent_swaps bit-identical" true
+    (List.rev !fused = List.rev !reference);
+  Alcotest.(check int)
+    "sweep tick meters agree" (Evaluator.used ev_r) (Evaluator.used ev_f)
 
 let test_pending_protocol_enforced () =
   let q = Helpers.chain3 () in
@@ -164,7 +184,7 @@ let suite =
   [
     prop_fused_matches_reference;
     prop_adjacent_swaps_matches_loop;
-    Alcotest.test_case "maskless fallback (n = 130)" `Quick test_maskless_fallback;
+    Alcotest.test_case "wide fused path (n = 130)" `Quick test_wide_fused;
     Alcotest.test_case "pending protocol enforced" `Quick
       test_pending_protocol_enforced;
   ]

@@ -240,6 +240,29 @@ let qcheck_hist_geometry =
       && Hist.sum (Hist.record Hist.empty v) = v)
     QCheck.(int_bound (1 lsl 55))
 
+(* Audit pins for [Hist.quantile] (the rank is clamped into [1, count]):
+   the extreme quantiles must land on the recorded extremes' buckets, and
+   the curve must be monotone in [q]. *)
+let qcheck_hist_quantile_extremes =
+  Helpers.qcheck_case ~name:"hist quantile 1.0 = max_value, 0.0 = min bucket"
+    (fun vs ->
+      let h = hist_of_list vs in
+      Hist.quantile h 1.0 = Hist.max_value h
+      && Hist.quantile h 0.0 = Hist.min_value h
+      (* out-of-range q clamps rather than walking off the table *)
+      && Hist.quantile h 2.0 = Hist.max_value h
+      && Hist.quantile h (-1.0) = Hist.min_value h)
+    QCheck.(list (int_bound 1_000_000))
+
+let qcheck_hist_quantile_monotone =
+  Helpers.qcheck_case ~name:"hist quantile monotone in q"
+    (fun (vs, (qa, qb)) ->
+      let h = hist_of_list vs in
+      let qa = float_of_int qa /. 100.0 and qb = float_of_int qb /. 100.0 in
+      let lo = Float.min qa qb and hi = Float.max qa qb in
+      Hist.quantile h lo <= Hist.quantile h hi)
+    QCheck.(pair (list (int_bound 1_000_000)) (pair (int_bound 100) (int_bound 100)))
+
 let test_service_latency_histograms () =
   with_clean_obs (fun () ->
       Obs.set_enabled true;
@@ -307,6 +330,8 @@ let suite =
     Alcotest.test_case "span nesting and self time" `Quick test_span_nesting;
     qcheck_hist_merge;
     qcheck_hist_geometry;
+    qcheck_hist_quantile_extremes;
+    qcheck_hist_quantile_monotone;
     Alcotest.test_case "service latency histograms" `Quick
       test_service_latency_histograms;
     Alcotest.test_case "metrics schema pinned" `Quick test_metrics_schema_pinned;

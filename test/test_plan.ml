@@ -55,6 +55,29 @@ let prop_is_valid_matches_reference =
       && Plan.is_valid q valid)
     QCheck.(pair small_int small_int)
 
+(* Same property past the two inline bitset words: is_valid takes the wide
+   scratch-array walk there, which must agree with the reference on valid,
+   shuffled and corrupted inputs alike. *)
+let prop_is_valid_wide_matches_reference =
+  Helpers.qcheck_case ~count:20
+    ~name:"wide is_valid equals the array-marking reference (n > 126)"
+    (fun (qseed, pseed) ->
+      let n_joins = 127 + (qseed mod 40) in
+      let q = Helpers.random_query ~n_joins (910 + qseed) in
+      let n = Ljqo_catalog.Query.n_relations q in
+      let rng = Ljqo_stats.Rng.create pseed in
+      let agrees p = Plan.is_valid q p = Plan.is_valid_reference q p in
+      let valid = Random_plan.generate (Ljqo_stats.Rng.create pseed) q in
+      let shuffled = Array.init n Fun.id in
+      Ljqo_stats.Rng.shuffle_in_place rng shuffled;
+      let dup = Array.copy valid in
+      dup.(n - 1) <- dup.(0);
+      let oob = Array.copy valid in
+      oob.(n / 2) <- n + Ljqo_stats.Rng.int rng 5;
+      List.for_all agrees [ valid; shuffled; dup; oob; Array.sub valid 0 (n - 1) ]
+      && Plan.is_valid q valid)
+    QCheck.(pair small_int small_int)
+
 let prop_inverse_roundtrip =
   Helpers.qcheck_case ~name:"inverse of inverse is the permutation"
     (fun seed ->
@@ -73,5 +96,6 @@ let suite =
     Alcotest.test_case "identity and concat" `Quick test_identity_concat;
     Alcotest.test_case "to_string/equal" `Quick test_to_string;
     prop_is_valid_matches_reference;
+    prop_is_valid_wide_matches_reference;
     prop_inverse_roundtrip;
   ]

@@ -51,6 +51,20 @@ let prop_matches_reference =
       = Random_plan.generate_reference (Ljqo_stats.Rng.create pseed) q)
     QCheck.(pair small_int small_int)
 
+(* Past the inline width the generator switches to the scratch-word form,
+   which must still replicate the reference's candidate-array evolution:
+   identical RNG states, identical plans. *)
+let prop_wide_matches_reference =
+  Helpers.qcheck_case ~count:15
+    ~name:"wide generator equals the array-marking reference (n > 126)"
+    (fun (qseed, pseed) ->
+      let n_joins = 127 + (qseed mod 30) in
+      let q = Helpers.random_query ~n_joins (520 + qseed) in
+      let p = Random_plan.generate (Ljqo_stats.Rng.create pseed) q in
+      p = Random_plan.generate_reference (Ljqo_stats.Rng.create pseed) q
+      && Plan.is_valid q p)
+    QCheck.(pair small_int small_int)
+
 let prop_deterministic =
   Helpers.qcheck_case ~count:30 ~name:"same seed, same plan"
     (fun seed ->
@@ -67,5 +81,6 @@ let suite =
     Alcotest.test_case "charged version" `Quick test_charged_version;
     prop_always_valid;
     prop_matches_reference;
+    prop_wide_matches_reference;
     prop_deterministic;
   ]

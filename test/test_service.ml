@@ -81,6 +81,28 @@ let prop_plan_maps_across_relabeling =
            (Ljqo_cost.Plan_cost.total mem q' plan'))
     QCheck.(pair small_int small_int)
 
+(* Fingerprinting never depended on the bitset width, but the cap's removal
+   makes wide graphs reachable: relabel invariance and plan mapping must
+   hold past 126 relations too. *)
+let test_wide_fingerprint () =
+  let q = Helpers.random_query ~n_joins:150 77 in
+  let n = Query.n_relations q in
+  Alcotest.(check bool) "wide query" true (n > Ljqo_catalog.Bitset.inline_size);
+  let rng = Ljqo_stats.Rng.create 78 in
+  let perm = random_perm rng n in
+  let q' = permute_query perm q in
+  let fp = Fingerprint.compute q and fp' = Fingerprint.compute q' in
+  Alcotest.(check bool) "exact keys equal" true
+    (Fingerprint.exact_key fp = Fingerprint.exact_key fp');
+  Alcotest.(check bool) "coarse keys equal" true
+    (Fingerprint.coarse_key fp = Fingerprint.coarse_key fp');
+  let plan = Helpers.valid_random_plan q 79 in
+  let plan' = Fingerprint.of_canonical fp' (Fingerprint.to_canonical fp plan) in
+  Alcotest.(check bool) "mapped plan valid" true (Plan.is_valid q' plan');
+  Helpers.check_approx "mapped plan cost preserved"
+    (Ljqo_cost.Plan_cost.total mem q plan)
+    (Ljqo_cost.Plan_cost.total mem q' plan')
+
 let test_collision_smoke () =
   (* Distinct benchmark queries must get distinct exact keys. *)
   let keys = Hashtbl.create 256 in
@@ -385,6 +407,8 @@ let suite =
     prop_relabel_invariant;
     prop_plan_maps_across_relabeling;
     Alcotest.test_case "exact-key collision smoke" `Quick test_collision_smoke;
+    Alcotest.test_case "wide-graph fingerprint (n > 126)" `Quick
+      test_wide_fingerprint;
     Alcotest.test_case "canonical roundtrip" `Quick test_canonical_roundtrip;
     Alcotest.test_case "cache LRU eviction" `Quick test_cache_lru_eviction;
     Alcotest.test_case "cache admission policy" `Quick test_cache_admission;

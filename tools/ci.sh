@@ -37,6 +37,15 @@ LJQO_PERF_TOLERANCE="${LJQO_PERF_TOLERANCE:-1.0}" dune exec tools/perf_gate.exe 
   --baseline results/BENCH_micro.json --fresh "$fresh_a" --fresh "$fresh_b"
 rm -f "$fresh_a" "$fresh_b"
 
+# Wide-graph smoke: a 200-relation query — far past the old 126-id bitset
+# cap — must optimize end to end through the portfolio racer.
+wide_tmp=$(mktemp -d)
+dune exec bin/ljqo.exe -- generate --n-joins 200 --seed 11 -o "$wide_tmp/q.qdl"
+dune exec bin/ljqo.exe -- optimize "$wide_tmp/q.qdl" --method portfolio \
+  --t-factor 1 | tee "$wide_tmp/opt.out"
+grep -q 'cost' "$wide_tmp/opt.out"
+rm -rf "$wide_tmp"
+
 # Plan-cache smoke: serving a workload twice through the service must turn
 # the whole second pass into exact hits at zero optimization ticks.
 cache_tmp=$(mktemp -d)
