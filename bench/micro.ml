@@ -501,6 +501,38 @@ let test_obs_span_off =
   Test.make ~name:"obs:span-disabled"
     (Staged.stage (fun () -> Obs.span "bench" (fun () -> Sys.opaque_identity 0)))
 
+(* ------------------------------------------------------------------ *)
+(* Learned routing: the two per-request costs an adaptive service pays
+   before any optimization starts — featurizing the query and scoring one
+   (route, budget) candidate against the trained model.                 *)
+
+module Learn = Ljqo_learn
+
+let learn_model =
+  (* A minimal real model: one spec, one size, every route at full budget —
+     enough weights that predict exercises the full dot product. *)
+  match
+    Learn.Model.train
+      (Learn.Dataset.collect ~jobs:1 ~spec_indices:[ 0 ] ~ns:[ 8 ] ~per_n:1
+         ~seed:7 ~t_factor:0.5 ~routes:Learn.Model.routes ~fractions:[ 1.0 ]
+         ~model ())
+  with
+  | Some m -> m
+  | None -> failwith "learn bench: training produced no model"
+
+let test_learn_featurize =
+  Test.make ~name:"learn:featurize"
+    (Staged.stage (fun () -> ignore (Learn.Features.of_query query)))
+
+let learn_features = Learn.Features.of_query query
+
+let test_learn_predict =
+  Test.make ~name:"learn:predict"
+    (Staged.stage (fun () ->
+         ignore
+           (Learn.Model.predict learn_model ~route:"II"
+              ~features:learn_features ~ticks:22_500)))
+
 let tests =
   Test.make_grouped ~name:"ljqo"
     [
@@ -532,6 +564,8 @@ let tests =
       test_cache_get;
       test_cache_put;
       test_queue_push_pop;
+      test_learn_featurize;
+      test_learn_predict;
     ]
 
 (* ------------------------------------------------------------------ *)

@@ -63,7 +63,7 @@ let method_arg =
     & info [ "method"; "m" ] ~docv:"METHOD"
         ~doc:
           "Optimization method (II, SA, SAA, SAK, IAI, IKI, IAL, AGI, KBI, \
-           portfolio).")
+           2PO, portfolio, adaptive).")
 
 let t_factor_arg =
   Arg.(
@@ -179,6 +179,63 @@ let methods_config_for ~portfolio_width ~portfolio_legs =
     Methods.portfolio_params = { default with Portfolio.width; legs };
   }
 
+(* --- learned routing ---------------------------------------------------- *)
+
+module Learn = Ljqo_learn
+
+let learn_model_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "learn-model" ] ~docv:"FILE"
+        ~doc:
+          "Trained routing model for --method adaptive (write one with ljqo \
+           learn train).")
+
+let learn_epoch_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "learn-epoch" ] ~docv:"N"
+        ~doc:
+          "Refresh the adaptive routing model every $(docv) served requests \
+           (--method adaptive only; default 32).")
+
+let load_learn_model path =
+  match Learn.Model.load ~path with
+  | Ok m -> m
+  | Error e -> fail_usage "cannot load model %s: %s" path e
+
+(* Learn knobs, validated fail-fast like the others: adaptive without a
+   model must die with a usage error before any work, and a learn flag on a
+   fixed method is a mistake worth flagging rather than silently ignoring. *)
+let check_learn_knobs ~method_ ~learn_model ~learn_epoch =
+  (match learn_epoch with
+  | Some e when e < 1 ->
+    fail_usage "--learn-epoch must be a positive integer, got %d" e
+  | _ -> ());
+  match method_ with
+  | Methods.Adaptive ->
+    if learn_model = None then
+      fail_usage
+        "--method adaptive requires --learn-model FILE (train one with ljqo \
+         learn train)"
+  | _ ->
+    if learn_model <> None then
+      fail_usage "--learn-model only applies to --method adaptive";
+    if learn_epoch <> None then
+      fail_usage "--learn-epoch only applies to --method adaptive"
+
+(* The serving subcommands' online-learning state: adaptive serves through
+   an [Online.t] seeded with the loaded model (every request records a
+   sample; the router refreshes at epoch boundaries); fixed methods serve
+   without one. *)
+let learn_state_for ~method_ ~learn_model ~learn_epoch =
+  check_learn_knobs ~method_ ~learn_model ~learn_epoch;
+  match method_ with
+  | Methods.Adaptive ->
+    let initial = Option.map load_learn_model learn_model in
+    Some (Learn.Online.create ?epoch:learn_epoch ?initial ())
+  | _ -> None
+
 (* Run [f] with metrics/tracing/span capture configured, flushing on the way
    out (including on exceptions, so a crashed run still leaves its trace).
    The flush is idempotent and also registered with [at_exit], because
@@ -260,9 +317,11 @@ let print_plan query plan =
   in
   Printf.printf "plan: %s\n" (String.concat " |><| " names)
 
-let optimize file method_ model t_factor kappa seed portfolio_width
-    portfolio_legs metrics trace trace_sample =
+let optimize file method_ model t_factor kappa seed learn_model
+    portfolio_width portfolio_legs metrics trace trace_sample =
   check_knobs ~t_factor ~kappa ~trace_sample;
+  check_learn_knobs ~method_ ~learn_model ~learn_epoch:None;
+  Learn.Router.install (Option.map load_learn_model learn_model);
   let config = methods_config_for ~portfolio_width ~portfolio_legs in
   with_obs ~metrics ~trace ~trace_sample @@ fun () ->
   let query = load_query file in
@@ -282,8 +341,8 @@ let optimize_cmd =
     (Cmd.info "optimize" ~doc:"Choose a join order for a query")
     Term.(
       const optimize $ query_file_arg $ method_arg $ model_arg $ t_factor_arg
-      $ kappa_arg $ seed_arg $ portfolio_width_arg $ portfolio_legs_arg
-      $ metrics_arg $ trace_arg $ trace_sample_arg)
+      $ kappa_arg $ seed_arg $ learn_model_arg $ portfolio_width_arg
+      $ portfolio_legs_arg $ metrics_arg $ trace_arg $ trace_sample_arg)
 
 (* --- explain ----------------------------------------------------------- *)
 
@@ -644,7 +703,8 @@ let load_workload_queries dir =
       (Ljqo_querygen.Workload_io.error_to_string e)
 
 let serve_file dir method_ model t_factor kappa seed cache_capacity jobs passes
-    portfolio_width portfolio_legs metrics trace trace_sample =
+    learn_model learn_epoch portfolio_width portfolio_legs metrics trace
+    trace_sample =
   check_knobs ~t_factor ~kappa ~trace_sample;
   let methods_config = methods_config_for ~portfolio_width ~portfolio_legs in
   if cache_capacity < 1 then
@@ -654,10 +714,11 @@ let serve_file dir method_ model t_factor kappa seed cache_capacity jobs passes
   | Some j when j < 1 -> fail_usage "--jobs must be a positive integer, got %d" j
   | _ -> ());
   if passes < 1 then fail_usage "--passes must be a positive integer, got %d" passes;
+  let learn = learn_state_for ~method_ ~learn_model ~learn_epoch in
   with_obs ~metrics ~trace ~trace_sample @@ fun () ->
   let queries = load_workload_queries dir in
   let service =
-    Service.create ~cache_capacity
+    Service.create ~cache_capacity ?learn
       {
         Service.method_;
         methods_config;
@@ -721,8 +782,9 @@ let serve_file_cmd =
        ~doc:"Optimize a saved workload through the caching service")
     Term.(
       const serve_file $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
-      $ seed_arg $ cache_capacity $ jobs $ passes $ portfolio_width_arg
-      $ portfolio_legs_arg $ metrics_arg $ trace_arg $ trace_sample_arg)
+      $ seed_arg $ cache_capacity $ jobs $ passes $ learn_model_arg
+      $ learn_epoch_arg $ portfolio_width_arg $ portfolio_legs_arg
+      $ metrics_arg $ trace_arg $ trace_sample_arg)
 
 (* --- serve / loadgen ---------------------------------------------------- *)
 
@@ -842,7 +904,8 @@ let print_server_stats (st : Server.stats) =
    once every accepted request has its response. *)
 let serve dir method_ model t_factor kappa seed cache_capacity workers
     queue_capacity tenant_slots request_deadline drain_timeout passes
-    portfolio_width portfolio_legs metrics trace trace_sample =
+    learn_model learn_epoch portfolio_width portfolio_legs metrics trace
+    trace_sample =
   check_knobs ~t_factor ~kappa ~trace_sample;
   let methods_config = methods_config_for ~portfolio_width ~portfolio_legs in
   check_server_knobs ~workers ~queue_capacity ~tenant_slots ~request_deadline
@@ -852,6 +915,7 @@ let serve dir method_ model t_factor kappa seed cache_capacity workers
     fail_usage "--drain-timeout must be a positive number, got %g" d
   | _ -> ());
   if passes < 1 then fail_usage "--passes must be a positive integer, got %d" passes;
+  let learn = learn_state_for ~method_ ~learn_model ~learn_epoch in
   with_obs ~metrics ~trace ~trace_sample @@ fun () ->
   let queries = load_workload_queries dir in
   let stop = Atomic.make false in
@@ -859,7 +923,7 @@ let serve dir method_ model t_factor kappa seed cache_capacity workers
   Sys.set_signal Sys.sigterm handler;
   Sys.set_signal Sys.sigint handler;
   let server =
-    Server.create ~cache_capacity
+    Server.create ~cache_capacity ?learn
       (server_config ~method_ ~methods_config ~model ~t_factor ~kappa ~seed
          ~workers ~queue_capacity ~tenant_slots ~request_deadline)
   in
@@ -912,8 +976,9 @@ let serve_cmd =
       const serve $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
       $ seed_arg $ server_cache_capacity_arg $ workers_arg
       $ queue_capacity_arg $ tenant_slots_arg $ request_deadline_arg
-      $ drain_timeout_arg $ passes $ portfolio_width_arg $ portfolio_legs_arg
-      $ metrics_arg $ trace_arg $ trace_sample_arg)
+      $ drain_timeout_arg $ passes $ learn_model_arg $ learn_epoch_arg
+      $ portfolio_width_arg $ portfolio_legs_arg $ metrics_arg $ trace_arg
+      $ trace_sample_arg)
 
 (* Open-loop load generation: the arrival schedule (exponential gaps), the
    query choices and the tenant assignment are all drawn from one seeded
@@ -921,12 +986,13 @@ let serve_cmd =
    outcomes (latency, shed counts) vary with the machine. *)
 let loadgen dir method_ model t_factor kappa seed cache_capacity workers
     queue_capacity tenant_slots tenants request_deadline rate requests sweep
-    svg drain_timeout portfolio_width portfolio_legs metrics trace
-    trace_sample =
+    svg drain_timeout learn_model learn_epoch portfolio_width portfolio_legs
+    metrics trace trace_sample =
   check_knobs ~t_factor ~kappa ~trace_sample;
   let methods_config = methods_config_for ~portfolio_width ~portfolio_legs in
   check_server_knobs ~workers ~queue_capacity ~tenant_slots ~request_deadline
     ~cache_capacity;
+  check_learn_knobs ~method_ ~learn_model ~learn_epoch;
   if not (rate > 0.0) then
     fail_usage "--rate must be a positive number, got %g" rate;
   if requests < 1 then
@@ -952,8 +1018,11 @@ let loadgen dir method_ model t_factor kappa seed cache_capacity workers
   with_obs ~metrics ~trace ~trace_sample @@ fun () ->
   let queries = load_workload_queries dir in
   let run_rate rate =
+    (* A fresh server per rate gets a fresh learn state: each sweep point
+       starts from the same loaded model. *)
+    let learn = learn_state_for ~method_ ~learn_model ~learn_epoch in
     let server =
-      Server.create ~cache_capacity
+      Server.create ~cache_capacity ?learn
         (server_config ~method_ ~methods_config ~model ~t_factor ~kappa
            ~seed ~workers ~queue_capacity ~tenant_slots ~request_deadline)
     in
@@ -1060,8 +1129,9 @@ let loadgen_cmd =
       const loadgen $ dir $ method_arg $ model_arg $ t_factor_arg $ kappa_arg
       $ seed_arg $ server_cache_capacity_arg $ workers_arg
       $ queue_capacity_arg $ tenant_slots_arg $ tenants $ request_deadline_arg
-      $ rate $ requests $ sweep $ svg $ drain_timeout_arg $ portfolio_width_arg
-      $ portfolio_legs_arg $ metrics_arg $ trace_arg $ trace_sample_arg)
+      $ rate $ requests $ sweep $ svg $ drain_timeout_arg $ learn_model_arg
+      $ learn_epoch_arg $ portfolio_width_arg $ portfolio_legs_arg
+      $ metrics_arg $ trace_arg $ trace_sample_arg)
 
 (* --- obs ---------------------------------------------------------------- *)
 
@@ -1165,6 +1235,158 @@ let obs_cmd =
     (Cmd.info "obs" ~doc:"Inspect and export observability data")
     [ obs_summary_cmd; obs_export_chrome_cmd; obs_export_flame_cmd; obs_trajectory_cmd ]
 
+(* --- learn -------------------------------------------------------------- *)
+
+let parse_ns s =
+  let parts =
+    List.filter (fun p -> p <> "") (List.map String.trim (String.split_on_char ',' s))
+  in
+  let ns =
+    List.map
+      (fun p ->
+        match int_of_string_opt p with
+        | Some n when n >= 2 -> n
+        | _ -> fail_usage "--ns expects comma-separated join counts >= 2, got %S" p)
+      parts
+  in
+  if ns = [] then fail_usage "--ns expects at least one join count";
+  ns
+
+let learn_ns_arg =
+  Arg.(
+    value & opt string "10,20"
+    & info [ "ns" ] ~docv:"N1,N2,.."
+        ~doc:"Join counts to cover, one workload ladder rung per value.")
+
+let learn_per_n_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "per-n" ] ~docv:"Q"
+        ~doc:"Queries per join count per benchmark spec.")
+
+let learn_jobs_arg =
+  Arg.(
+    value & opt (some int) None
+    & info [ "jobs"; "j" ] ~docv:"J"
+        ~doc:"Domains to parallelize over (a pure speed knob).")
+
+let check_learn_grid ~per_n ~jobs =
+  if per_n < 1 then fail_usage "--per-n must be a positive integer, got %d" per_n;
+  match jobs with
+  | Some j when j < 1 -> fail_usage "--jobs must be a positive integer, got %d" j
+  | _ -> ()
+
+(* Collect the (benchmark x size x route x budget-fraction) sample grid and
+   fit the routing model.  Everything downstream of the seeds is
+   deterministic, so the written model file is bit-identical across runs
+   and job counts. *)
+let learn_train ns per_n seed t_factor lambda jobs model dump_samples output =
+  check_knobs ~t_factor ~kappa:None ~trace_sample:1;
+  let ns = parse_ns ns in
+  check_learn_grid ~per_n ~jobs;
+  if not (lambda > 0.0) then
+    fail_usage "--lambda must be a positive number, got %g" lambda;
+  let spec_indices = List.init 10 Fun.id in
+  let samples =
+    Learn.Dataset.collect ?jobs ~spec_indices ~ns ~per_n ~seed ~t_factor
+      ~routes:Learn.Model.routes ~fractions:Learn.Router.fractions ~model ()
+  in
+  let usable = List.length (List.filter Learn.Dataset.usable samples) in
+  Option.iter
+    (fun path ->
+      Learn.Dataset.save_jsonl ~path samples;
+      Printf.printf "wrote %s (%d samples)\n" path (List.length samples))
+    dump_samples;
+  match Learn.Model.train ~lambda samples with
+  | None ->
+    fail_usage "no usable training samples (%d collected)" (List.length samples)
+  | Some m ->
+    Learn.Model.save ~path:output m;
+    Printf.printf "trained on %d samples (%d usable); wrote %s\n"
+      (List.length samples) usable output
+
+let learn_train_cmd =
+  let lambda =
+    Arg.(
+      value & opt float Learn.Model.lambda_default
+      & info [ "lambda" ] ~docv:"L" ~doc:"Ridge regularizer (positive).")
+  in
+  let dump_samples =
+    Arg.(
+      value & opt (some string) None
+      & info [ "dump-samples" ] ~docv:"FILE"
+          ~doc:"Also write the training samples to $(docv) as JSON lines.")
+  in
+  let output =
+    Arg.(
+      value & opt string "learn-model.txt"
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Model file to write.")
+  in
+  Cmd.v
+    (Cmd.info "train"
+       ~doc:"Collect optimizer samples over the benchmark grid and fit a \
+             routing model")
+    Term.(
+      const learn_train $ learn_ns_arg $ learn_per_n_arg $ seed_arg
+      $ t_factor_arg $ lambda $ learn_jobs_arg $ model_arg $ dump_samples
+      $ output)
+
+(* The ROADMAP's evaluation table: mean scaled cost at a fixed budget,
+   adaptive vs each fixed method, across the paper's nine variations. *)
+let learn_eval model_file ns per_n seed t_factor jobs cost_model =
+  check_knobs ~t_factor ~kappa:None ~trace_sample:1;
+  let ns = parse_ns ns in
+  check_learn_grid ~per_n ~jobs;
+  let m = Option.map load_learn_model model_file in
+  let report = Learn.Evaluate.run ?jobs ~ns ~per_n ~seed ~t_factor ~cost_model m in
+  let { Learn.Evaluate.methods; rows; overall; route_counts } = report in
+  let table =
+    Ljqo_report.Table.create
+      ~title:
+        (Printf.sprintf "mean scaled cost at %.3gN^2 (adaptive vs fixed)"
+           t_factor)
+      ~columns:methods
+  in
+  List.iter
+    (fun (row : Learn.Evaluate.row) ->
+      Ljqo_report.Table.add_float_row table ~label:row.variation
+        (List.map (fun name -> List.assoc name row.means) methods))
+    rows;
+  Ljqo_report.Table.add_float_row table ~label:"overall"
+    (List.map (fun name -> List.assoc name overall) methods);
+  Ljqo_report.Table.print table;
+  Printf.printf "adaptive routes: %s\n"
+    (String.concat ", "
+       (List.map (fun (r, c) -> Printf.sprintf "%s %d" r c) route_counts))
+
+let learn_eval_cmd =
+  let model_file =
+    Arg.(
+      value & opt (some string) None
+      & info [ "learn-model" ] ~docv:"FILE"
+          ~doc:
+            "Routing model to evaluate; without it adaptive is the \
+             portfolio-fallback baseline.")
+  in
+  let seed =
+    Arg.(
+      value & opt int 43
+      & info [ "seed" ] ~docv:"SEED"
+          ~doc:"Random seed (default 43: disjoint from train's 42).")
+  in
+  Cmd.v
+    (Cmd.info "eval"
+       ~doc:"Compare adaptive routing against each fixed method across the \
+             nine workload variations")
+    Term.(
+      const learn_eval $ model_file $ learn_ns_arg $ learn_per_n_arg $ seed
+      $ t_factor_arg $ learn_jobs_arg $ model_arg)
+
+let learn_cmd =
+  Cmd.group
+    (Cmd.info "learn" ~doc:"Train and evaluate the learned method router")
+    [ learn_train_cmd; learn_eval_cmd ]
+
 (* --- listings ---------------------------------------------------------- *)
 
 let methods_cmd =
@@ -1212,6 +1434,7 @@ let () =
             serve_file_cmd;
             serve_cmd;
             loadgen_cmd;
+            learn_cmd;
             obs_cmd;
             methods_cmd;
             benchmarks_cmd;

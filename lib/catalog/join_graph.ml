@@ -67,8 +67,6 @@ let neighbor_sels g v =
   if v < 0 || v >= g.n then invalid_arg "Join_graph.neighbor_sels: out of range";
   Array.unsafe_get g.nbr_sels v
 
-let has_masks _ = true
-
 let neighbor_mask g v =
   if v < 0 || v >= g.n then invalid_arg "Join_graph.neighbor_mask: out of range";
   Array.unsafe_get g.masks v

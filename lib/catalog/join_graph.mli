@@ -45,11 +45,6 @@ val adjacency : t -> int array array
     not mutate it.  Fetching it once outside a loop saves the per-vertex
     accessor call in the tightest kernels. *)
 
-val has_masks : t -> bool
-(** Always [true].  {b Deprecated}: bitsets grew to arbitrary width, so every
-    graph has neighbor masks and the mask kernels never fall back; kept only
-    so older callers keep compiling.  Do not branch on it. *)
-
 val neighbor_mask : t -> int -> Bitset.t
 (** The set of vertices adjacent to [v], as a bitset (any graph size).
     O(1): precomputed at [make]. *)

@@ -1,10 +1,22 @@
-type t = II | SA | SAA | SAK | IAI | IKI | IAL | AGI | KBI | Portfolio
+type t =
+  | II
+  | SA
+  | SAA
+  | SAK
+  | IAI
+  | IKI
+  | IAL
+  | AGI
+  | KBI
+  | Two_phase
+  | Portfolio
+  | Adaptive
 
 let all = [ II; SA; SAA; SAK; IAI; IKI; IAL; AGI; KBI ]
 
 let top_five = [ IAI; IAL; AGI; KBI; II ]
 
-let selectable = all @ [ Portfolio ]
+let selectable = all @ [ Two_phase; Portfolio; Adaptive ]
 
 let name = function
   | II -> "II"
@@ -16,7 +28,9 @@ let name = function
   | IAL -> "IAL"
   | AGI -> "AGI"
   | KBI -> "KBI"
+  | Two_phase -> "2PO"
   | Portfolio -> "portfolio"
+  | Adaptive -> "adaptive"
 
 let of_name s =
   match String.uppercase_ascii s with
@@ -29,7 +43,9 @@ let of_name s =
   | "IAL" -> Some IAL
   | "AGI" -> Some AGI
   | "KBI" -> Some KBI
+  | "2PO" -> Some Two_phase
   | "PORTFOLIO" -> Some Portfolio
+  | "ADAPTIVE" -> Some Adaptive
   | _ -> None
 
 type config = {
@@ -138,7 +154,20 @@ let run_inner config ?start:warm method_ ev rng =
     seed_incumbent ();
     drain_and_eval ev (kbz_source ());
     ii (random_starts ev rng)
-  | Portfolio ->
+  | Two_phase ->
+    let params =
+      {
+        Two_phase.default_params with
+        Two_phase.ii_params = config.ii_params;
+        sa_params = config.sa_params;
+      }
+    in
+    Two_phase.run ~params ?start:warm ev rng
+  | Portfolio | Adaptive ->
+    (* [Adaptive] is resolved to a concrete method upstream (by
+       [Optimizer.optimize] via the installed router, or by the service with
+       its pinned model); reaching here means no resolution happened, and the
+       documented fallback is the portfolio. *)
     Portfolio.run ~params:config.portfolio_params ~ii_params:config.ii_params
       ~sa_params:config.sa_params ?start:warm ev rng
 

@@ -12,16 +12,36 @@
     - [AGI] / [KBI]: first generate (and cost) every augmentation / KBZ
       state, then run random-start II; best of everything wins.
 
-    Beyond the paper's nine, [Portfolio] races II / SA / two-phase
-    replicates across domains with incumbent exchange at round barriers
-    (see {!Portfolio}); it is selectable by name but kept out of {!all} so
-    the paper-reproduction sweeps are unchanged.
+    Beyond the paper's nine, three extension methods are selectable by name
+    but kept out of {!all} so the paper-reproduction sweeps are unchanged:
+
+    - [Two_phase] (["2PO"]): II descents then low-temperature SA from the
+      best local minimum (see {!Two_phase}).
+    - [Portfolio]: races II / SA / two-phase replicates across domains with
+      incumbent exchange at round barriers (see {!Portfolio}).
+    - [Adaptive]: routes each query to a learned (method, tick-budget)
+      choice.  The routing itself lives upstream — {!Optimizer.optimize}
+      consults the installed router, and the plan-cache service resolves it
+      against its pinned model — so if an unresolved [Adaptive] ever reaches
+      [run] it behaves exactly like [Portfolio] (the documented fallback).
 
     [run] drives a method against an evaluator until its budget is exhausted,
     it converges, or the method has no way to spend more time; the result is
     the evaluator's incumbent. *)
 
-type t = II | SA | SAA | SAK | IAI | IKI | IAL | AGI | KBI | Portfolio
+type t =
+  | II
+  | SA
+  | SAA
+  | SAK
+  | IAI
+  | IKI
+  | IAL
+  | AGI
+  | KBI
+  | Two_phase
+  | Portfolio
+  | Adaptive
 
 val all : t list
 (** The paper's nine, in presentation order (no [Portfolio]). *)
@@ -30,8 +50,8 @@ val top_five : t list
 (** [IAI; IAL; AGI; KBI; II] — the methods kept after Figure 4. *)
 
 val selectable : t list
-(** Everything a user can name on a command line: {!all} plus
-    [Portfolio]. *)
+(** Everything a user can name on a command line: {!all} plus [Two_phase],
+    [Portfolio] and [Adaptive]. *)
 
 val name : t -> string
 val of_name : string -> t option

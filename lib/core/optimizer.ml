@@ -1,6 +1,7 @@
 open Ljqo_catalog
 open Ljqo_cost
 open Ljqo_stats
+module Obs = Ljqo_obs.Obs
 
 type result = {
   plan : Plan.t;
@@ -15,6 +16,40 @@ type result = {
 let time_limit_ticks ?ticks_per_unit ~t_factor ~query () =
   let n_joins = max 1 (Query.n_relations query - 1) in
   Budget.ticks_for_limit ?ticks_per_unit ~t_factor ~n_joins ()
+
+(* The learned router, installed by the CLI / harness when a model is loaded
+   (lib/learn cannot be a dependency here — it sits above lib/core).  The
+   hook is consulted once per [optimize] call, before component
+   decomposition, so one routing decision covers the whole query. *)
+let adaptive_router :
+    (Query.t -> ticks:int -> (Methods.t * int) option) option ref =
+  ref None
+
+let set_adaptive_router r = adaptive_router := r
+
+let route_counter = function
+  | Methods.II -> Obs.Learn_route_ii
+  | Methods.SA -> Obs.Learn_route_sa
+  | Methods.Two_phase -> Obs.Learn_route_2po
+  | _ -> Obs.Learn_route_portfolio
+
+let resolve_adaptive ~method_ ~ticks query =
+  match method_ with
+  | Methods.Adaptive -> begin
+    let routed =
+      match !adaptive_router with
+      | None -> None
+      | Some router -> router query ~ticks
+    in
+    match routed with
+    | Some (m, t) ->
+      Obs.bump (route_counter m);
+      (m, max 1 (min ticks t))
+    | None ->
+      Obs.bump Obs.Learn_route_fallback;
+      (Methods.Portfolio, ticks)
+  end
+  | m -> (m, ticks)
 
 let optimize_connected ?config ?(checkpoints = []) ?epsilon ?deadline ?clock
     ?start ~method_ ~model ~ticks ~seed query =
@@ -57,6 +92,7 @@ let optimize ?config ?checkpoints ?epsilon ?deadline ?clock ?start ~method_
   | Some plan when not (Plan.is_valid query plan) ->
     invalid_arg "Optimizer.optimize: ?start is not a valid plan for this query"
   | _ -> ());
+  let method_, ticks = resolve_adaptive ~method_ ~ticks query in
   if n = 1 then
     {
       plan = [| 0 |];

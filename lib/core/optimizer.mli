@@ -59,3 +59,18 @@ val time_limit_ticks :
   ?ticks_per_unit:int -> t_factor:float -> query:Ljqo_catalog.Query.t -> unit -> int
 (** Ticks for the paper's [t_factor * N^2] limit, with [N] the query's join
     count ([n_relations - 1]). *)
+
+val set_adaptive_router :
+  (Ljqo_catalog.Query.t -> ticks:int -> (Methods.t * int) option) option ->
+  unit
+(** Install (or clear) the learned router consulted when [optimize] is
+    called with [~method_:Methods.Adaptive].  The router sees the query and
+    the caller's tick budget and answers [(method, ticks)] — the replacement
+    is clamped to [\[1; ticks\]] — or [None] to decline (features outside
+    the model's training range).  [Adaptive] with no installed router, or a
+    declined query, falls back to [Portfolio] at the full budget and bumps
+    the [learn.route.fallback] counter; routed queries bump their
+    [learn.route.*] counter.  Process-global, read once per [optimize] call:
+    install before a run starts, from the main domain.  The routing happens
+    before component decomposition, so one decision covers the whole
+    query. *)

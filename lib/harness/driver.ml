@@ -24,6 +24,12 @@ type outcome = {
   crashes : Guard.failure list;
 }
 
+(* The label keying one (query, method, replicate) run's trajectory in the
+   Obs trajectory table; exposed so trajectory consumers (lib/learn's
+   dataset extraction) can parse it back instead of guessing the format. *)
+let trajectory_label ~index ~method_ ~replicate =
+  Printf.sprintf "q%d.%s.r%d" index (Methods.name method_) replicate
+
 let checkpoints_for ?kappa ~tfactors ~n_joins () =
   List.map
     (fun t -> Budget.ticks_for_limit ?ticks_per_unit:kappa ~t_factor:t ~n_joins ())
@@ -91,7 +97,7 @@ let run_experiment ?kappa ?config ?(seed = 1) ?deadline ?checkpoint
               (* The run label keys this (query, method, replicate) run's
                  trajectory; it is also the natural span name. *)
               let label =
-                Printf.sprintf "q%d.%s.r%d" entry.index (Methods.name m) rep
+                trajectory_label ~index:entry.index ~method_:m ~replicate:rep
               in
               let r =
                 Obs.with_run label @@ fun () ->

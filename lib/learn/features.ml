@@ -1,0 +1,103 @@
+module Query = Ljqo_catalog.Query
+module Join_graph = Ljqo_catalog.Join_graph
+module Graph_metrics = Ljqo_catalog.Graph_metrics
+
+let coarse_bits = 4
+
+let names =
+  Array.append
+    [|
+      "n_relations";
+      "log2_n";
+      "n_edges";
+      "edge_density";
+      "min_degree";
+      "max_degree";
+      "mean_degree";
+      "n_components";
+      "diameter";
+      "cyclomatic";
+      "star_score";
+      "chain_score";
+      "card_log_min";
+      "card_log_max";
+      "card_log_mean";
+      "card_log_std";
+      "distinct_log_mean";
+      "sel_log_min";
+      "sel_log_mean";
+      "total_tuples_log";
+    |]
+    (Array.init coarse_bits (Printf.sprintf "coarse_bit%d"))
+
+let dim = Array.length names
+
+(* log10 clamped away from zero so the vector stays finite whatever the
+   catalog holds. *)
+let log10p v = log10 (Float.max v 1e-300)
+
+let coarse_hash q =
+  let g = Query.graph q in
+  let n = Query.n_relations q in
+  let m = Graph_metrics.compute g in
+  let card_buckets =
+    List.sort compare
+      (List.init n (fun i ->
+           int_of_float (Float.round (log10p (Query.cardinality q i)))))
+  in
+  Hashtbl.hash (n, Join_graph.n_edges g, m.Graph_metrics.degree_histogram, card_buckets)
+  land max_int
+
+let of_query q =
+  let n = Query.n_relations q in
+  if n = 0 then invalid_arg "Features.of_query: empty query";
+  let g = Query.graph q in
+  let m = Graph_metrics.compute g in
+  let fn = float_of_int n in
+  let card_logs = Array.init n (fun i -> log10p (Query.cardinality q i)) in
+  let dist_logs = Array.init n (fun i -> log10p (Query.distinct_values q i)) in
+  let mean a = Array.fold_left ( +. ) 0.0 a /. float_of_int (Array.length a) in
+  let amin a = Array.fold_left Float.min a.(0) a in
+  let amax a = Array.fold_left Float.max a.(0) a in
+  let std a =
+    let mu = mean a in
+    sqrt (mean (Array.map (fun v -> (v -. mu) ** 2.0) a))
+  in
+  let sel_logs =
+    match Join_graph.edges g with
+    | [] -> [| 0.0 |]
+    | es ->
+      Array.of_list
+        (List.map (fun e -> log10p e.Join_graph.selectivity) es)
+  in
+  let h = coarse_hash q in
+  let base =
+    [|
+      fn;
+      log fn /. log 2.0;
+      float_of_int (Join_graph.n_edges g);
+      (if n < 2 then 0.0
+       else 2.0 *. float_of_int (Join_graph.n_edges g) /. (fn *. (fn -. 1.0)));
+      float_of_int m.Graph_metrics.min_degree;
+      float_of_int m.Graph_metrics.max_degree;
+      m.Graph_metrics.mean_degree;
+      float_of_int m.Graph_metrics.n_components;
+      (* diameter is -1 on a disconnected graph; n is one past any real
+         diameter, so the sentinel stays ordered and finite. *)
+      (if m.Graph_metrics.diameter < 0 then fn
+       else float_of_int m.Graph_metrics.diameter);
+      float_of_int m.Graph_metrics.cyclomatic;
+      m.Graph_metrics.star_score;
+      m.Graph_metrics.chain_score;
+      amin card_logs;
+      amax card_logs;
+      mean card_logs;
+      std card_logs;
+      mean dist_logs;
+      amin sel_logs;
+      mean sel_logs;
+      log10p (Query.total_base_tuples q);
+    |]
+  in
+  Array.append base
+    (Array.init coarse_bits (fun b -> float_of_int ((h lsr b) land 1)))

@@ -1,0 +1,66 @@
+module Methods = Ljqo_core.Methods
+module Optimizer = Ljqo_core.Optimizer
+
+let fractions = [ 0.25; 0.5; 1.0 ]
+
+let margin = 0.05
+
+(* Tie-break priority among routes predicted equally good: the portfolio is
+   the robust choice, then the standalone methods. *)
+let priority = function
+  | Methods.Portfolio -> 0
+  | Methods.II -> 1
+  | Methods.SA -> 2
+  | Methods.Two_phase -> 3
+  | _ -> 4
+
+let decide model query ~ticks =
+  let features = Features.of_query query in
+  if not (Model.in_range model features) then None
+  else begin
+    let candidates =
+      List.concat_map
+        (fun route ->
+          let name = Methods.name route in
+          List.filter_map
+            (fun f ->
+              let t = max 1 (int_of_float (f *. float_of_int ticks)) in
+              match Model.predict model ~route:name ~features ~ticks:t with
+              | Some pred when Float.is_finite pred -> Some (pred, f, route, t)
+              | _ -> None)
+            fractions)
+        Model.routes
+    in
+    match candidates with
+    | [] -> None
+    | _ ->
+      let best =
+        List.fold_left
+          (fun acc (p, _, _, _) -> Float.min acc p)
+          infinity candidates
+      in
+      let survivors =
+        List.filter (fun (p, _, _, _) -> p <= best +. margin) candidates
+      in
+      let better (p1, f1, r1, _) (p2, f2, r2, _) =
+        (* larger budget first, then route priority, then prediction *)
+        if f1 <> f2 then f1 > f2
+        else if priority r1 <> priority r2 then priority r1 < priority r2
+        else p1 < p2
+      in
+      let pick =
+        List.fold_left
+          (fun acc c ->
+            match acc with
+            | None -> Some c
+            | Some a -> if better c a then Some c else acc)
+          None survivors
+      in
+      Option.map (fun (_, _, route, t) -> (route, t)) pick
+  end
+
+let install = function
+  | None -> Optimizer.set_adaptive_router None
+  | Some model ->
+    Optimizer.set_adaptive_router
+      (Some (fun query ~ticks -> decide model query ~ticks))

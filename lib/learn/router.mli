@@ -1,0 +1,33 @@
+(** Routing: turn a model's predictions into a (method, tick-budget)
+    decision for one query.
+
+    The router evaluates every weighted route at a few budget fractions of
+    the caller's tick limit and picks the cheapest predicted log-scaled
+    cost.  Ties (within a small margin) resolve conservatively: prefer the
+    larger budget, then the portfolio — so when the model cannot separate
+    the candidates, adaptive degrades to roughly the portfolio at full
+    budget rather than gambling on a thin prediction. *)
+
+val fractions : float list
+(** The candidate budget fractions, [\[0.25; 0.5; 1.0\]]. *)
+
+val margin : float
+(** Predictions within [margin] (log10 units, 0.05) of the best are
+    considered tied. *)
+
+val decide :
+  Model.t ->
+  Ljqo_catalog.Query.t ->
+  ticks:int ->
+  (Ljqo_core.Methods.t * int) option
+(** The routing decision, or [None] when the query's features fall outside
+    the model's training range ({!Model.in_range}) or the model has no
+    weighted route — the caller then falls back to the portfolio at full
+    budget.  Pure: no counters, no state; equal inputs give equal
+    outputs. *)
+
+val install : Model.t option -> unit
+(** Install [decide model] as the process-global
+    {!Ljqo_core.Optimizer.set_adaptive_router} hook (or clear it with
+    [None]).  For the one-shot CLI paths; the service routes through its
+    own pinned snapshot instead. *)

@@ -71,6 +71,13 @@ type counter =
   | Neighbors_evaluated
   | Portfolio_rounds
   | Portfolio_exchanges
+  | Learn_samples_recorded
+  | Learn_model_refreshes
+  | Learn_route_ii
+  | Learn_route_sa
+  | Learn_route_2po
+  | Learn_route_portfolio
+  | Learn_route_fallback
 
 let counter_index = function
   | Cost_evals -> 0
@@ -104,6 +111,13 @@ let counter_index = function
   | Neighbors_evaluated -> 28
   | Portfolio_rounds -> 29
   | Portfolio_exchanges -> 30
+  | Learn_samples_recorded -> 31
+  | Learn_model_refreshes -> 32
+  | Learn_route_ii -> 33
+  | Learn_route_sa -> 34
+  | Learn_route_2po -> 35
+  | Learn_route_portfolio -> 36
+  | Learn_route_fallback -> 37
 
 let counter_names =
   [|
@@ -138,6 +152,13 @@ let counter_names =
     "search.neighbors_evaluated";
     "portfolio.rounds";
     "portfolio.exchanges";
+    "learn.samples_recorded";
+    "learn.model_refreshes";
+    "learn.route.ii";
+    "learn.route.sa";
+    "learn.route.2po";
+    "learn.route.portfolio";
+    "learn.route.fallback";
   |]
 
 let n_counters = Array.length counter_names

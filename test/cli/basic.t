@@ -42,7 +42,9 @@ Listing commands:
   IAL
   AGI
   KBI
+  2PO
   portfolio
+  adaptive
 
   $ ljqo benchmarks | head -2
   0  default            the paper's default distributions

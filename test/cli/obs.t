@@ -82,6 +82,33 @@ the first pass and 5 exact hits on the second, whatever the machine.
   $ grep -o '"service.dedups": [0-9]*' cache-metrics.json
   "service.dedups": 0
 
+The learned-routing counters land in the same snapshot.  An adaptive
+serve-file records one sample per request, refreshes the model at the
+epoch boundary, and tallies every route decision; the N=10-only training
+grid leaves the four larger queries out of range, so they fall back to the
+portfolio and only the in-range query is routed — all of it deterministic,
+whatever the machine or job count.
+
+  $ ljqo learn train --ns 10 --per-n 1 --t-factor 0.5 -o model.txt | tail -1
+  trained on 120 samples (120 usable); wrote model.txt
+  $ ljqo serve-file wl --method adaptive --learn-model model.txt --learn-epoch 4 \
+  >   --t-factor 1 --metrics learn-metrics.json >/dev/null
+  $ grep -o '"learn.samples_recorded": [0-9]*' learn-metrics.json
+  "learn.samples_recorded": 5
+  $ grep -o '"learn.model_refreshes": [0-9]*' learn-metrics.json
+  "learn.model_refreshes": 1
+  $ grep -o '"learn.route.sa": [0-9]*' learn-metrics.json
+  "learn.route.sa": 1
+  $ grep -o '"learn.route.fallback": [0-9]*' learn-metrics.json
+  "learn.route.fallback": 4
+
+A fixed-method serve records nothing:
+
+  $ grep -o '"learn.samples_recorded": [0-9]*' cache-metrics.json
+  "learn.samples_recorded": 0
+  $ grep -o '"learn.route.fallback": [0-9]*' cache-metrics.json
+  "learn.route.fallback": 0
+
 The obs subcommands post-process a trace: a span-bearing serve run exports
 to validator-clean Chrome trace JSON and to folded flamegraph stacks, and
 `obs trajectory` replays II, SA and two-phase on a query and renders the

@@ -155,3 +155,58 @@ drains to completion so its report covers every accepted request:
   ljqo: --drain-timeout only applies to serve
   $ ljqo loadgen no-such-dir --drain-timeout 5 >/dev/null 2>&1
   [2]
+
+The adaptive method needs a model to consult — all four optimizing
+subcommands refuse it without --learn-model, before touching any query:
+
+  $ ljqo optimize q.qdl --method adaptive
+  ljqo: --method adaptive requires --learn-model FILE (train one with ljqo learn train)
+  [2]
+
+  $ ljqo serve-file no-such-dir --method adaptive 2>&1 | head -1
+  ljqo: --method adaptive requires --learn-model FILE (train one with ljqo learn train)
+  $ ljqo serve-file no-such-dir --method adaptive >/dev/null 2>&1
+  [2]
+
+  $ ljqo serve no-such-dir --method adaptive 2>&1 | head -1
+  ljqo: --method adaptive requires --learn-model FILE (train one with ljqo learn train)
+
+  $ ljqo loadgen no-such-dir --method adaptive 2>&1 | head -1
+  ljqo: --method adaptive requires --learn-model FILE (train one with ljqo learn train)
+
+The learn flags only mean something under adaptive, and a broken or missing
+model file is rejected loudly instead of half-loading:
+
+  $ ljqo optimize q.qdl --learn-model some-model.txt
+  ljqo: --learn-model only applies to --method adaptive
+  [2]
+
+  $ ljqo serve-file no-such-dir --learn-epoch 8 2>&1 | head -1
+  ljqo: --learn-epoch only applies to --method adaptive
+
+  $ ljqo serve no-such-dir --method adaptive --learn-model m.txt --learn-epoch 0 2>&1 | head -1
+  ljqo: --learn-epoch must be a positive integer, got 0
+
+  $ ljqo optimize q.qdl --method adaptive --learn-model no-such-model.txt 2>&1 | head -1
+  ljqo: cannot load model no-such-model.txt: no-such-model.txt: No such file or directory
+
+  $ echo garbage > corrupt-model.txt
+  $ ljqo optimize q.qdl --method adaptive --learn-model corrupt-model.txt
+  ljqo: cannot load model corrupt-model.txt: corrupt-model.txt: line 1: bad magic or truncated file
+  [2]
+
+The trainer validates its grid the same way:
+
+  $ ljqo learn train --ns 10,oops 2>&1 | head -1
+  ljqo: --ns expects comma-separated join counts >= 2, got "oops"
+  $ ljqo learn train --ns 10,oops >/dev/null 2>&1
+  [2]
+
+  $ ljqo learn train --per-n 0 2>&1 | head -1
+  ljqo: --per-n must be a positive integer, got 0
+
+  $ ljqo learn train --lambda 0 2>&1 | head -1
+  ljqo: --lambda must be a positive number, got 0
+
+  $ ljqo learn eval --jobs 0 2>&1 | head -1
+  ljqo: --jobs must be a positive integer, got 0

@@ -1,0 +1,413 @@
+(* The learned router: feature extraction, sample persistence, the model
+   file's checkpoint-style strictness, deterministic (jobs-independent)
+   training, routing, online epoch pinning, and end-to-end adaptive
+   determinism through the optimizer, the batch service and the server. *)
+
+open Ljqo_core
+module Features = Ljqo_learn.Features
+module Dataset = Ljqo_learn.Dataset
+module Model = Ljqo_learn.Model
+module Router = Ljqo_learn.Router
+module Online = Ljqo_learn.Online
+module Evaluate = Ljqo_learn.Evaluate
+module Service = Ljqo_service.Service
+module Server = Ljqo_service.Server
+
+let sample_of ?(route = "II") ?(ticks = 100) ?(cost = 50.0) ?(lb = 2.0) q =
+  { Dataset.features = Features.of_query q; route; ticks; cost; lower_bound = lb }
+
+(* A 16-run training grid: 1 spec x 2 sizes x 1 query x 4 routes x 2
+   budget fractions — enough to fit every route, fast enough for `Quick. *)
+let tiny_samples ?(jobs = 1) () =
+  Dataset.collect ~jobs ~spec_indices:[ 0 ] ~ns:[ 6; 8 ] ~per_n:1 ~seed:11
+    ~t_factor:0.5 ~routes:Model.routes ~fractions:[ 0.5; 1.0 ]
+    ~model:Helpers.memory_model ()
+
+let tiny_model () =
+  match Model.train (tiny_samples ()) with
+  | Some m -> m
+  | None -> Alcotest.fail "tiny grid trained nothing"
+
+let float_bits_list l = List.map Int64.bits_of_float l
+
+(* --- features ----------------------------------------------------------- *)
+
+let test_features_shape_and_determinism () =
+  let q = Helpers.chain3 () in
+  let f = Features.of_query q in
+  Alcotest.(check int) "width" Features.dim (Array.length f);
+  Alcotest.(check int) "names cover the width" Features.dim
+    (Array.length Features.names);
+  Array.iteri
+    (fun i v ->
+      if not (Float.is_finite v) then
+        Alcotest.failf "feature %s is not finite" Features.names.(i))
+    f;
+  let f' = Features.of_query q in
+  Alcotest.(check bool) "bit-identical on re-extraction" true (f = f');
+  let g = Features.of_query (Helpers.triangle ()) in
+  Alcotest.(check bool) "different queries differ" true (f <> g)
+
+(* --- dataset ------------------------------------------------------------ *)
+
+let test_jsonl_roundtrip () =
+  let samples =
+    [
+      sample_of (Helpers.chain3 ());
+      sample_of ~route:"2PO" ~ticks:7 ~cost:1e9 ~lb:0.125 (Helpers.triangle ());
+    ]
+  in
+  List.iter
+    (fun s ->
+      match Dataset.of_json_line (Dataset.to_json_line s) with
+      | Error e -> Alcotest.failf "roundtrip rejected: %s" e
+      | Ok s' ->
+        Alcotest.(check string) "route" s.Dataset.route s'.Dataset.route;
+        Alcotest.(check int) "ticks" s.Dataset.ticks s'.Dataset.ticks;
+        Alcotest.(check bool) "float bits survive" true
+          (float_bits_list
+             (s.Dataset.cost :: s.Dataset.lower_bound
+             :: Array.to_list s.Dataset.features)
+          = float_bits_list
+              (s'.Dataset.cost :: s'.Dataset.lower_bound
+              :: Array.to_list s'.Dataset.features)))
+    samples;
+  let path = Filename.temp_file "ljqo_samples" ".jsonl" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Dataset.save_jsonl ~path samples;
+      match Dataset.load_jsonl ~path with
+      | Error e -> Alcotest.failf "file roundtrip rejected: %s" e
+      | Ok back ->
+        Alcotest.(check int) "count" (List.length samples) (List.length back);
+        (* a corrupted line fails the whole file, naming the line *)
+        let oc = open_out_gen [ Open_append ] 0o644 path in
+        output_string oc "not json\n";
+        close_out oc;
+        (match Dataset.load_jsonl ~path with
+        | Ok _ -> Alcotest.fail "corrupt line accepted"
+        | Error e ->
+          Alcotest.(check bool) "error names the line" true
+            (let needle = ":3:" in
+             let rec has i =
+               i + String.length needle <= String.length e
+               && (String.sub e i (String.length needle) = needle || has (i + 1))
+             in
+             has 0)))
+
+let test_parse_run_label_inverse () =
+  List.iter
+    (fun (index, m, replicate) ->
+      let label = Ljqo_harness.Driver.trajectory_label ~index ~method_:m ~replicate in
+      match Dataset.parse_run_label label with
+      | Some (i, name, r) ->
+        Alcotest.(check int) "index" index i;
+        Alcotest.(check string) "method" (Methods.name m) name;
+        Alcotest.(check int) "replicate" replicate r
+      | None -> Alcotest.failf "label %s did not parse" label)
+    [ (0, Methods.II, 0); (17, Methods.Two_phase, 3); (5, Methods.KBI, 1) ];
+  List.iter
+    (fun bad ->
+      if Dataset.parse_run_label bad <> None then
+        Alcotest.failf "garbage label %S parsed" bad)
+    [ ""; "q1.II"; "qx.II.r2"; "q1.NOPE.r2"; "q1.II.r"; "q1.II.r2.x" ]
+
+(* --- training determinism ----------------------------------------------- *)
+
+let test_collect_and_training_jobs_independent () =
+  let s1 = tiny_samples ~jobs:1 () in
+  let s2 = tiny_samples ~jobs:2 () in
+  Alcotest.(check (list string))
+    "sample lists bit-identical across jobs"
+    (List.map Dataset.to_json_line s1)
+    (List.map Dataset.to_json_line s2);
+  match (Model.train s1, Model.train s2, Model.train s1) with
+  | Some m1, Some m2, Some m1' ->
+    Alcotest.(check bool) "models bit-identical across jobs" true
+      (Model.equal m1 m2);
+    Alcotest.(check bool) "training is repeatable" true (Model.equal m1 m1')
+  | _ -> Alcotest.fail "training produced no model"
+
+(* --- model persistence -------------------------------------------------- *)
+
+let test_model_roundtrip () =
+  let m = tiny_model () in
+  let path = Filename.temp_file "ljqo_model" ".txt" in
+  Fun.protect
+    ~finally:(fun () -> Sys.remove path)
+    (fun () ->
+      Model.save ~path m;
+      match Model.load ~path with
+      | Error e -> Alcotest.failf "load rejected its own save: %s" e
+      | Ok m' -> Alcotest.(check bool) "bit-identical" true (Model.equal m m'))
+
+(* Torn writes: no proper prefix of a model file may load — including the
+   prefix missing only the final newline. *)
+let test_model_truncation_rejected () =
+  let s = Model.to_string (tiny_model ()) in
+  for k = 0 to String.length s - 1 do
+    match Model.of_string (String.sub s 0 k) with
+    | Error _ -> ()
+    | Ok _ -> Alcotest.failf "truncating at offset %d still loaded" k
+  done
+
+(* Bit rot: flipping any byte to any plausible replacement must be refused
+   or leave the model bit-identical — the per-line checksums are what
+   stand between corruption and a silently poisoned router. *)
+let test_model_mutation_rejected_or_identical () =
+  let m = tiny_model () in
+  let s = Model.to_string m in
+  String.iteri
+    (fun k c ->
+      List.iter
+        (fun c' ->
+          if c' <> c then begin
+            let b = Bytes.of_string s in
+            Bytes.set b k c';
+            match Model.of_string (Bytes.to_string b) with
+            | Error _ -> ()
+            | Ok m' ->
+              if not (Model.equal m m') then
+                Alcotest.failf "mutating offset %d (%C -> %C) changed the model"
+                  k c c'
+          end)
+        [ '0'; '1'; '9'; 'a'; 'f'; 'W'; ' '; '\n' ])
+    s
+
+(* --- routing ------------------------------------------------------------ *)
+
+let test_router_decide_deterministic () =
+  let m = tiny_model () in
+  let qs = [ Helpers.chain3 (); Helpers.triangle () ] in
+  List.iter
+    (fun q ->
+      let d1 = Router.decide m q ~ticks:500 in
+      let d2 = Router.decide m q ~ticks:500 in
+      Alcotest.(check bool) "same decision twice" true (d1 = d2);
+      match d1 with
+      | None -> ()
+      | Some (route, t) ->
+        Alcotest.(check bool) "routed method is a candidate" true
+          (List.mem route Model.routes);
+        Alcotest.(check bool) "budget within bounds" true (t >= 1 && t <= 500))
+    qs
+
+let with_router m f =
+  Router.install (Some m);
+  Fun.protect ~finally:(fun () -> Router.install None) f
+
+let test_adaptive_optimize_deterministic () =
+  let q =
+    (List.nth
+       (Array.to_list
+          (Ljqo_querygen.Workload.make ~ns:[ 8 ] ~per_n:1 ~seed:3
+             Ljqo_querygen.Benchmark.default).Ljqo_querygen.Workload.entries)
+       0)
+      .Ljqo_querygen.Workload.query
+  in
+  let run () =
+    Optimizer.optimize ~method_:Methods.Adaptive ~model:Helpers.memory_model
+      ~ticks:400 ~seed:21 q
+  in
+  (* without a router installed, adaptive is the portfolio at full budget *)
+  let fallback = run () in
+  let portfolio =
+    Optimizer.optimize ~method_:Methods.Portfolio ~model:Helpers.memory_model
+      ~ticks:400 ~seed:21 q
+  in
+  Alcotest.(check bool) "fallback equals portfolio" true
+    (fallback.Optimizer.plan = portfolio.Optimizer.plan
+    && Int64.bits_of_float fallback.Optimizer.cost
+       = Int64.bits_of_float portfolio.Optimizer.cost);
+  let m = tiny_model () in
+  with_router m (fun () ->
+      let a = run () in
+      let b = run () in
+      Alcotest.(check bool) "routed runs bit-identical" true
+        (a.Optimizer.plan = b.Optimizer.plan
+        && Int64.bits_of_float a.Optimizer.cost
+           = Int64.bits_of_float b.Optimizer.cost
+        && a.Optimizer.ticks_used = b.Optimizer.ticks_used))
+
+(* --- online epochs ------------------------------------------------------ *)
+
+let test_online_epoch_pinning () =
+  let m = tiny_model () in
+  let st = Online.create ~epoch:2 ~initial:m () in
+  Alcotest.(check int) "epoch size" 2 (Online.epoch_size st);
+  (* before any boundary the initial model routes *)
+  (match Online.await st ~id:0 with
+  | Some m0 -> Alcotest.(check bool) "id 0 pins the initial model" true (Model.equal m m0)
+  | None -> Alcotest.fail "id 0 lost the initial model");
+  let s q = Some (sample_of q) in
+  ignore (Online.record st (s (Helpers.chain3 ())));
+  ignore (Online.record st (s (Helpers.triangle ())));
+  Alcotest.(check int) "two slots recorded" 2 (Online.recorded st);
+  (* boundary 2 trains on slots 0-1 and differs from the initial model *)
+  (match Online.await st ~id:2 with
+  | Some m2 ->
+    Alcotest.(check bool) "boundary 2 retrained" true (not (Model.equal m m2))
+  | None -> Alcotest.fail "boundary 2 has no model");
+  (* ids below the boundary still pin the older model *)
+  (match Online.await st ~id:1 with
+  | Some m1 -> Alcotest.(check bool) "id 1 still initial" true (Model.equal m m1)
+  | None -> Alcotest.fail "id 1 lost its model");
+  (* first write wins: re-recording slot 0 is ignored *)
+  Online.record_at st ~id:0 None;
+  Alcotest.(check int) "double record ignored" 2 (Online.recorded st);
+  (* a boundary whose samples train nothing inherits the previous model *)
+  Online.record_at st ~id:2 None;
+  Online.record_at st ~id:3 None;
+  match (Online.await st ~id:4, Online.await st ~id:2) with
+  | Some m4, Some m2 ->
+    Alcotest.(check bool) "empty epoch inherits" true (Model.equal m4 m2)
+  | _ -> Alcotest.fail "boundary 4 has no model"
+
+(* --- service / server --------------------------------------------------- *)
+
+let adaptive_config =
+  {
+    Service.method_ = Methods.Adaptive;
+    methods_config = Methods.default_config;
+    model = Helpers.memory_model;
+    budget = Service.Time_limit { t_factor = 0.5; kappa = None };
+    seed = 42;
+  }
+
+let test_adaptive_service_needs_learn () =
+  Alcotest.check_raises "refused"
+    (Invalid_argument
+       "Service.create: the adaptive method needs a learn state (a loaded or \
+        online-trained model)")
+    (fun () -> ignore (Service.create adaptive_config))
+
+let service_queries () =
+  let w =
+    Ljqo_querygen.Workload.make ~ns:[ 6; 8 ] ~per_n:3 ~seed:77
+      Ljqo_querygen.Benchmark.default
+  in
+  Array.map (fun (e : Ljqo_querygen.Workload.entry) -> e.query) w.entries
+
+let served_signature served =
+  Array.to_list served
+  |> List.map (fun (s : Service.served) ->
+         (s.index, Int64.bits_of_float s.cost, s.ticks_used, s.plan))
+
+let test_adaptive_serve_batch_jobs_independent () =
+  let m = tiny_model () in
+  let queries = service_queries () in
+  let run jobs =
+    let learn = Online.create ~epoch:2 ~initial:m () in
+    let service = Service.create ~learn adaptive_config in
+    let served = Service.serve_batch ~jobs service queries in
+    (served_signature served, Online.model learn, Online.recorded learn)
+  in
+  let sig1, m1, n1 = run 1 in
+  let sig2, m2, n2 = run 4 in
+  Alcotest.(check bool) "served results bit-identical" true (sig1 = sig2);
+  Alcotest.(check int) "every request recorded" (Array.length queries) n1;
+  Alcotest.(check int) "recorded count matches" n1 n2;
+  match (m1, m2) with
+  | Some m1, Some m2 ->
+    Alcotest.(check bool) "refreshed models bit-identical" true (Model.equal m1 m2)
+  | _ -> Alcotest.fail "online refresh never happened"
+
+let test_adaptive_server_worker_count_invariant () =
+  let m = tiny_model () in
+  let queries = service_queries () in
+  let run workers =
+    let learn = Online.create ~epoch:2 ~initial:m () in
+    let server =
+      Server.create ~start:false ~learn
+        {
+          Server.service = adaptive_config;
+          workers;
+          queue_capacity = Array.length queries + 1;
+          tenant_slots = None;
+          request_deadline = None;
+        }
+    in
+    Array.iter (fun q -> ignore (Server.submit server q)) queries;
+    Server.start server;
+    let responses =
+      match Server.drain server with
+      | Server.Drained rs -> rs
+      | Server.Drain_timeout _ -> Alcotest.fail "drain timed out"
+    in
+    let outcomes =
+      List.map
+        (fun (r : Server.response) ->
+          match r.outcome with
+          | Server.Served d ->
+            (r.id, Int64.bits_of_float d.Service.d_cost, d.Service.d_plan)
+          | Server.Failed e -> Alcotest.failf "request %d failed: %s" r.id e
+          | Server.Deadlined -> Alcotest.failf "request %d deadlined" r.id)
+        responses
+    in
+    (outcomes, Online.model learn, Online.recorded learn)
+  in
+  let o1, m1, n1 = run 1 in
+  let o2, _, n2 = run 2 in
+  let o4, m4, n4 = run 4 in
+  Alcotest.(check bool) "1 vs 2 workers identical" true (o1 = o2);
+  Alcotest.(check bool) "1 vs 4 workers identical" true (o1 = o4);
+  Alcotest.(check int) "all recorded (1 worker)" (Array.length queries) n1;
+  Alcotest.(check int) "all recorded (2 workers)" n1 n2;
+  Alcotest.(check int) "all recorded (4 workers)" n1 n4;
+  match (m1, m4) with
+  | Some m1, Some m4 ->
+    Alcotest.(check bool) "final models bit-identical" true (Model.equal m1 m4)
+  | _ -> Alcotest.fail "online refresh never happened"
+
+(* --- evaluation --------------------------------------------------------- *)
+
+let test_evaluate_no_model_is_portfolio () =
+  let report =
+    Evaluate.run ~jobs:2 ~ns:[ 6 ] ~per_n:1 ~seed:5 ~t_factor:0.5
+      ~cost_model:Helpers.memory_model None
+  in
+  Alcotest.(check int) "nine variations" 9 (List.length report.Evaluate.rows);
+  Alcotest.(check (list string))
+    "column order" [ "II"; "SA"; "2PO"; "portfolio"; "adaptive" ]
+    report.Evaluate.methods;
+  List.iter
+    (fun (row : Evaluate.row) ->
+      let v name = Int64.bits_of_float (List.assoc name row.means) in
+      Alcotest.(check bool)
+        ("adaptive = portfolio on " ^ row.variation)
+        true
+        (v "adaptive" = v "portfolio"))
+    report.Evaluate.rows;
+  Alcotest.(check int) "every query fell back" 9
+    (List.assoc "fallback" report.Evaluate.route_counts)
+
+let suite =
+  [
+    Alcotest.test_case "features: shape and determinism" `Quick
+      test_features_shape_and_determinism;
+    Alcotest.test_case "dataset: jsonl roundtrip and strictness" `Quick
+      test_jsonl_roundtrip;
+    Alcotest.test_case "dataset: run-label inverse" `Quick
+      test_parse_run_label_inverse;
+    Alcotest.test_case "training: jobs-independent and repeatable" `Quick
+      test_collect_and_training_jobs_independent;
+    Alcotest.test_case "model: save/load roundtrip" `Quick test_model_roundtrip;
+    Alcotest.test_case "model: truncation rejected" `Quick
+      test_model_truncation_rejected;
+    Alcotest.test_case "model: mutation rejected or identical" `Quick
+      test_model_mutation_rejected_or_identical;
+    Alcotest.test_case "router: decide is deterministic" `Quick
+      test_router_decide_deterministic;
+    Alcotest.test_case "optimizer: adaptive runs bit-identical" `Quick
+      test_adaptive_optimize_deterministic;
+    Alcotest.test_case "online: epoch pinning" `Quick test_online_epoch_pinning;
+    Alcotest.test_case "service: adaptive without learn refused" `Quick
+      test_adaptive_service_needs_learn;
+    Alcotest.test_case "service: adaptive batch jobs-independent" `Quick
+      test_adaptive_serve_batch_jobs_independent;
+    Alcotest.test_case "server: adaptive worker-count invariant" `Quick
+      test_adaptive_server_worker_count_invariant;
+    Alcotest.test_case "evaluate: no model degrades to portfolio" `Quick
+      test_evaluate_no_model_is_portfolio;
+  ]

@@ -54,4 +54,5 @@ let () =
       ("jsonv", Test_jsonv.suite);
       ("service", Test_service.suite);
       ("server", Test_server.suite);
+      ("learn", Test_learn.suite);
     ]

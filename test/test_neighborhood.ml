@@ -109,9 +109,6 @@ let big_chain n =
 
 let test_wide_fused () =
   let q = big_chain 130 in
-  Alcotest.(check bool)
-    "chain of 130 has masks" true
-    (Ljqo_catalog.Join_graph.has_masks (Ljqo_catalog.Query.graph q));
   let plan = Array.init 130 (fun i -> i) in
   let ev_f = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in
   let ev_r = Evaluator.create ~query:q ~model:mem ~ticks:10_000_000 () in

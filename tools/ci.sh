@@ -128,3 +128,27 @@ grep -q 'rate 20/s:' "$server_tmp/loadgen.out"
 grep -q 'rate 200/s:' "$server_tmp/loadgen.out"
 grep -q '<svg' "$server_tmp/goodput.svg"
 rm -rf "$server_tmp"
+
+# Learned-routing smoke: train a tiny model over the benchmark grid, render
+# the adaptive-vs-fixed evaluation table, and serve a workload adaptively —
+# the learn.* counters must land in a validator-clean metrics snapshot.
+learn_tmp=$(mktemp -d)
+dune exec bin/ljqo.exe -- learn train --ns 10 --per-n 1 --t-factor 0.5 \
+  -o "$learn_tmp/model.txt" --dump-samples "$learn_tmp/samples.jsonl" \
+  | tee "$learn_tmp/train.out"
+grep -q 'wrote' "$learn_tmp/train.out"
+test -s "$learn_tmp/model.txt"
+test -s "$learn_tmp/samples.jsonl"
+dune exec bin/ljqo.exe -- learn eval --learn-model "$learn_tmp/model.txt" \
+  --ns 10 --per-n 1 --t-factor 0.5 | tee "$learn_tmp/eval.out"
+grep -q 'adaptive' "$learn_tmp/eval.out"
+grep -q 'overall' "$learn_tmp/eval.out"
+dune exec bin/ljqo.exe -- workload -o "$learn_tmp/wl" --per-n 1
+dune exec bin/ljqo.exe -- serve-file "$learn_tmp/wl" --method adaptive \
+  --learn-model "$learn_tmp/model.txt" --learn-epoch 4 --t-factor 1 \
+  --metrics "$learn_tmp/metrics.json"
+dune exec tools/perf_gate.exe -- --check-json "$learn_tmp/metrics.json"
+grep -q '"learn.samples_recorded": 5' "$learn_tmp/metrics.json"
+grep -q '"learn.model_refreshes": 1' "$learn_tmp/metrics.json"
+grep -q '"learn.route' "$learn_tmp/metrics.json"
+rm -rf "$learn_tmp"
