@@ -21,7 +21,7 @@ let usage () =
     \                [--methods M1,M2,...] [--deadline SECS]\n\
     \                [--checkpoint-dir DIR] [--resume]\n\
     \                [--metrics] [--metrics-out FILE] [--trace FILE]\n\
-    \                [--trace-sample N]\n\
+    \                [--trace-sample N] [--trajectories DIR]\n\
      paper experiments:     table1 table2 table3 fig4 fig5 fig6 fig7 (or: all)\n\
      extension experiments: optgap space bushy ablation sg88 dp cache (or:\n\
     \                        extensions)\n\
@@ -36,7 +36,9 @@ let usage () =
      --metrics-out FILE     where --metrics writes (default\n\
     \                        results/METRICS_bench.json)\n\
      --trace FILE           stream sampled trace events to FILE as JSONL\n\
-     --trace-sample N       keep every Nth event per event type (default 1)";
+     --trace-sample N       keep every Nth event per event type (default 1)\n\
+     --trajectories DIR     write every run's incumbent trajectory to\n\
+    \                        DIR/trajectories.jsonl (learn's Dataset format)";
   exit 2
 
 type options = {
@@ -54,6 +56,7 @@ type options = {
   mutable metrics_out : string;
   mutable trace : string option;
   mutable trace_sample : int;
+  mutable trajectories : string option;
 }
 
 (* Option arguments are validated here, not at first use deep inside an
@@ -87,6 +90,7 @@ let parse_args () =
       metrics_out = Filename.concat "results" "METRICS_bench.json";
       trace = None;
       trace_sample = 1;
+      trajectories = None;
     }
   in
   let rec go = function
@@ -144,6 +148,27 @@ let parse_args () =
       go rest
     | "--trace-sample" :: v :: rest ->
       o.trace_sample <- int_arg ~flag:"--trace-sample" ~min:1 v;
+      go rest
+    | "--trajectories" :: v :: rest ->
+      (* Fail fast: create the directory if missing and prove it writable
+         before any experiment runs, not after hours of work. *)
+      (try if not (Sys.file_exists v) then Sys.mkdir v 0o755
+       with Sys_error e ->
+         prerr_endline ("--trajectories: cannot create " ^ v ^ ": " ^ e);
+         usage ());
+      if not (Sys.is_directory v) then begin
+        prerr_endline ("--trajectories wants a directory, got: " ^ v);
+        usage ()
+      end;
+      let probe = Filename.concat v ".ljqo-write-probe" in
+      (match open_out probe with
+      | oc ->
+        close_out oc;
+        Sys.remove probe
+      | exception Sys_error e ->
+        prerr_endline ("--trajectories: directory is not writable: " ^ e);
+        usage ());
+      o.trajectories <- Some v;
       go rest
     | ("-j" | "--jobs") :: v :: rest ->
       Ljqo_harness.Parallel.set_jobs (int_arg ~flag:"--jobs" ~min:1 v);
@@ -208,7 +233,7 @@ let () =
       o.checkpoint_dir
   in
   let module Obs = Ljqo_obs.Obs in
-  if o.metrics then Obs.set_enabled true;
+  if o.metrics || o.trajectories <> None then Obs.set_enabled true;
   if o.metrics || o.trace <> None then Obs.set_spans true;
   Option.iter (fun path -> Obs.trace_to ~sample:o.trace_sample ~path ()) o.trace;
   (* Idempotent flush, hooked both into [Fun.protect] (normal return and
@@ -219,6 +244,14 @@ let () =
     if not !flushed then begin
       flushed := true;
       if o.metrics then Obs.write_metrics ~path:o.metrics_out;
+      Option.iter
+        (fun dir ->
+          let path = Filename.concat dir "trajectories.jsonl" in
+          let trajs = Obs.trajectories () in
+          Ljqo_learn.Dataset.save_trajectories ~path trajs;
+          Printf.printf "[trajectories: wrote %s (%d runs)]\n%!" path
+            (List.length trajs))
+        o.trajectories;
       Obs.trace_close ()
     end
   in

@@ -502,6 +502,46 @@ let test_obs_span_off =
     (Staged.stage (fun () -> Obs.span "bench" (fun () -> Sys.opaque_identity 0)))
 
 (* ------------------------------------------------------------------ *)
+(* Execution feedback: the per-sample cost of [Feedback.measure]'s inner
+   loop — one q-error computation plus one enabled histogram record into
+   the per-depth bucket.  Collection is flipped on around the loop (and
+   back off, so the obs:*-disabled kernels above keep their contract);
+   the toggle cost amortizes over the eight samples. *)
+
+module Feedback = Ljqo_feedback.Feedback
+
+let qerror_samples =
+  (* Depths 1-5 with estimates off by factors spanning the magnitudes the
+     report buckets distinguish, both over- and under-estimates. *)
+  [|
+    (1, 120.0, 100.0);
+    (1, 40.0, 400.0);
+    (2, 1.0e3, 2.5e4);
+    (2, 9.0e4, 3.0e3);
+    (3, 5.0e5, 5.0e5);
+    (3, 2.0e2, 0.0);
+    (4, 1.0e7, 4.0e4);
+    (5, 8.0e2, 6.0e6);
+  |]
+
+let qerror_record_kernel () =
+  Obs.set_enabled true;
+  let acc = ref 0.0 in
+  for i = 0 to Array.length qerror_samples - 1 do
+    let d, est, act = Array.unsafe_get qerror_samples i in
+    let q = Ljqo_cost.Plan_cost.qerror ~est ~act in
+    Obs.hist_record (Feedback.depth_hist d) (Feedback.milli q);
+    acc := !acc +. q
+  done;
+  Obs.set_enabled false;
+  !acc
+
+let test_feedback_qerror_record =
+  Test.make ~name:"feedback:qerror-record"
+    (Staged.stage (fun () ->
+         ignore (Sys.opaque_identity (qerror_record_kernel ()))))
+
+(* ------------------------------------------------------------------ *)
 (* Learned routing: the two per-request costs an adaptive service pays
    before any optimization starts — featurizing the query and scoring one
    (route, budget) candidate against the trained model.                 *)
@@ -564,6 +604,7 @@ let tests =
       test_cache_get;
       test_cache_put;
       test_queue_push_pop;
+      test_feedback_qerror_record;
       test_learn_featurize;
       test_learn_predict;
     ]

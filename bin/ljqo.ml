@@ -1387,6 +1387,239 @@ let learn_cmd =
     (Cmd.info "learn" ~doc:"Train and evaluate the learned method router")
     [ learn_train_cmd; learn_eval_cmd ]
 
+(* --- feedback ----------------------------------------------------------- *)
+
+module Feedback = Ljqo_feedback.Feedback
+module Calibration = Ljqo_feedback.Calibration
+
+let feedback_specs = Qgen.default :: Qgen.variations
+
+(* Smaller default grid than learn's: these plans actually execute, so the
+   ladder stays in join counts whose intermediates fit the row cap. *)
+let feedback_ns_arg =
+  Arg.(
+    value & opt string "6,8"
+    & info [ "ns" ] ~docv:"N1,N2,.."
+        ~doc:"Join counts to execute, one workload rung per value.")
+
+let feedback_per_n_arg =
+  Arg.(
+    value & opt int 2
+    & info [ "per-n" ] ~docv:"Q" ~doc:"Queries per join count per variation.")
+
+let max_rows_arg =
+  Arg.(
+    value & opt int 1_000_000
+    & info [ "max-rows" ] ~docv:"R"
+        ~doc:
+          "Executor row cap per intermediate; overflowing plans are counted \
+           and truncated, never fatal.")
+
+let check_feedback_grid ~per_n ~jobs ~max_rows =
+  if per_n < 1 then fail_usage "--per-n must be a positive integer, got %d" per_n;
+  if max_rows < 1 then
+    fail_usage "--max-rows must be a positive integer, got %d" max_rows;
+  match jobs with
+  | Some j when j < 1 -> fail_usage "--jobs must be a positive integer, got %d" j
+  | _ -> ()
+
+let load_calibration path =
+  match Calibration.load ~path with
+  | Ok c -> c
+  | Error e -> fail_usage "cannot load calibration %s: %s" path e
+
+(* Every variation through the feedback pipeline.  A calibration entry (if
+   any) keys on the variation name and applies during the sequential
+   measurement phase only — optimization is always uncalibrated, so before
+   and after score the same plans. *)
+let feedback_run_all ?calibration ~jobs ~max_rows ~model ~method_ ~t_factor ~ns
+    ~per_n ~seed () =
+  List.map
+    (fun (spec : Qgen.spec) ->
+      let sel_factor =
+        Option.bind calibration (fun c -> Calibration.factor c spec.name)
+      in
+      ( spec,
+        Feedback.run_spec ?jobs ?sel_factor ~max_rows ~model ~method_ ~t_factor
+          ~ns ~per_n ~seed spec ))
+    feedback_specs
+
+let band_x label =
+  match label with
+  | "depth 1" -> 1.0
+  | "depth 2" -> 2.0
+  | "depth 3" -> 3.0
+  | _ -> 4.0
+
+let print_feedback_summary name (s : Feedback.Summary.t) =
+  Printf.printf "%-18s %d plans (%d truncated), %d samples, mean q-error %.3f\n"
+    name s.plans s.truncated s.n_samples s.mean;
+  List.iter
+    (fun (d : Feedback.Summary.depth_stat) ->
+      Printf.printf "  %-8s n=%-4d p50 %9.3f  p95 %9.3f  max %9.3f\n" d.label
+        d.count d.p50 d.p95 d.worst)
+    s.depths
+
+let feedback_report calibration_file svg ns per_n jobs seed t_factor method_
+    model max_rows metrics trace trace_sample =
+  check_knobs ~t_factor ~kappa:None ~trace_sample;
+  let ns = parse_ns ns in
+  check_feedback_grid ~per_n ~jobs ~max_rows;
+  let calibration = Option.map load_calibration calibration_file in
+  with_obs ~metrics ~trace ~trace_sample (fun () ->
+      let results =
+        feedback_run_all ?calibration ~jobs ~max_rows ~model ~method_ ~t_factor
+          ~ns ~per_n ~seed ()
+      in
+      let summaries =
+        List.map (fun (spec, runs) -> (spec, Feedback.Summary.of_runs runs)) results
+      in
+      Option.iter (Printf.printf "calibration: %s\n") calibration_file;
+      List.iter
+        (fun ((spec : Qgen.spec), s) -> print_feedback_summary spec.name s)
+        summaries;
+      let total_n =
+        List.fold_left
+          (fun a (_, (s : Feedback.Summary.t)) -> a + s.n_samples)
+          0 summaries
+      in
+      let total_sum =
+        List.fold_left
+          (fun a (_, (s : Feedback.Summary.t)) ->
+            a +. (s.mean *. float_of_int s.n_samples))
+          0.0 summaries
+      in
+      let plans =
+        List.fold_left
+          (fun a (_, (s : Feedback.Summary.t)) -> a + s.plans)
+          0 summaries
+      in
+      Printf.printf "overall: mean q-error %.3f over %d samples (%d plans)\n"
+        (if total_n = 0 then 1.0 else total_sum /. float_of_int total_n)
+        total_n plans;
+      Option.iter
+        (fun path ->
+          let series =
+            List.filter_map
+              (fun ((spec : Qgen.spec), (s : Feedback.Summary.t)) ->
+                match s.depths with
+                | [] -> None
+                | depths ->
+                  Some
+                    {
+                      Ljqo_report.Chart.name = spec.name;
+                      points =
+                        List.map
+                          (fun (d : Feedback.Summary.depth_stat) ->
+                            (band_x d.label, d.p95))
+                          depths;
+                    })
+              summaries
+          in
+          write_output (Some path)
+            (Ljqo_report.Chart.render_svg
+               ~title:"feedback: p95 q-error by join depth"
+               ~x_label:"join depth (4 = depth 4+)" ~y_label:"p95 q-error"
+               series))
+        svg)
+
+let feedback_calibration_arg =
+  Arg.(
+    value & opt (some file) None
+    & info [ "calibration" ] ~docv:"FILE"
+        ~doc:
+          "Apply a calibration file during measurement (write one with ljqo \
+           feedback calibrate).")
+
+let feedback_svg_arg =
+  Arg.(
+    value & opt (some string) None
+    & info [ "svg" ] ~docv:"FILE"
+        ~doc:"Also render per-depth p95 q-error per variation as SVG to $(docv).")
+
+let feedback_report_cmd =
+  Cmd.v
+    (Cmd.info "report"
+       ~doc:
+         "Execute optimized plans across the workload variations and report \
+          per-depth q-error quantiles")
+    Term.(
+      const feedback_report $ feedback_calibration_arg $ feedback_svg_arg
+      $ feedback_ns_arg $ feedback_per_n_arg $ learn_jobs_arg $ seed_arg
+      $ t_factor_arg $ method_arg $ model_arg $ max_rows_arg $ metrics_arg
+      $ trace_arg $ trace_sample_arg)
+
+let feedback_calibrate ns per_n jobs seed t_factor method_ model max_rows output
+    metrics trace trace_sample =
+  check_knobs ~t_factor ~kappa:None ~trace_sample;
+  let ns = parse_ns ns in
+  check_feedback_grid ~per_n ~jobs ~max_rows;
+  with_obs ~metrics ~trace ~trace_sample (fun () ->
+      let before =
+        feedback_run_all ~jobs ~max_rows ~model ~method_ ~t_factor ~ns ~per_n
+          ~seed ()
+      in
+      let entries =
+        List.filter_map
+          (fun ((spec : Qgen.spec), runs) ->
+            Option.map (fun f -> (spec.name, f)) (Calibration.fit_runs runs))
+          before
+      in
+      if entries = [] then
+        fail_usage "no calibration entries could be fitted (all runs truncated?)";
+      let cal = { Calibration.entries } in
+      Calibration.save ~path:output cal;
+      (* Same grid, same seeds: the "after" column re-measures the identical
+         plans under the fitted factors. *)
+      let after =
+        feedback_run_all ~calibration:cal ~jobs ~max_rows ~model ~method_
+          ~t_factor ~ns ~per_n ~seed ()
+      in
+      let table =
+        Ljqo_report.Table.create
+          ~title:"mean q-error, uncalibrated vs calibrated"
+          ~columns:[ "factor"; "before"; "after" ]
+      in
+      List.iter2
+        (fun ((spec : Qgen.spec), runs_b) (_, runs_a) ->
+          let sb = Feedback.Summary.of_runs runs_b in
+          let sa = Feedback.Summary.of_runs runs_a in
+          match Calibration.factor cal spec.name with
+          | None ->
+            Ljqo_report.Table.add_row table ~label:spec.name
+              ~cells:[ "-"; Printf.sprintf "%.3f" sb.mean; "-" ]
+          | Some f ->
+            Ljqo_report.Table.add_float_row table ~label:spec.name
+              ~fmt:(Printf.sprintf "%.3f")
+              [ f; sb.mean; sa.mean ])
+        before after;
+      Ljqo_report.Table.print table;
+      Printf.printf "wrote %s (%d catalog entries)\n" output (List.length entries))
+
+let feedback_calibrate_cmd =
+  let output =
+    Arg.(
+      value & opt string "feedback-calibration.txt"
+      & info [ "output"; "o" ] ~docv:"FILE" ~doc:"Calibration file to write.")
+  in
+  Cmd.v
+    (Cmd.info "calibrate"
+       ~doc:
+         "Fit per-variation selectivity corrections from executed plans and \
+          write a calibration file")
+    Term.(
+      const feedback_calibrate $ feedback_ns_arg $ feedback_per_n_arg
+      $ learn_jobs_arg $ seed_arg $ t_factor_arg $ method_arg $ model_arg
+      $ max_rows_arg $ output $ metrics_arg $ trace_arg $ trace_sample_arg)
+
+let feedback_cmd =
+  Cmd.group
+    (Cmd.info "feedback"
+       ~doc:
+         "Execution-grounded estimation feedback: q-error reports and \
+          cost-model calibration")
+    [ feedback_report_cmd; feedback_calibrate_cmd ]
+
 (* --- listings ---------------------------------------------------------- *)
 
 let methods_cmd =
@@ -1435,6 +1668,7 @@ let () =
             serve_cmd;
             loadgen_cmd;
             learn_cmd;
+            feedback_cmd;
             obs_cmd;
             methods_cmd;
             benchmarks_cmd;

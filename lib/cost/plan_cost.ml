@@ -7,6 +7,20 @@ type eval = {
   est_steps : int;
 }
 
+(* Execution-feedback calibration.  When installed, every effective edge
+   selectivity is multiplied by the per-edge correction factor fitted from
+   observed cardinalities (see Ljqo_feedback.Calibration).  [None] is the
+   default and performs no float operation at all, so uncalibrated costing
+   stays bit-identical to the pre-hook code.  Install only between runs,
+   from the main domain — same discipline as [Optimizer.set_adaptive_router]. *)
+type calibration = { sel_factor : float }
+
+let calibration_ref : calibration option ref = ref None
+
+let set_calibration c = calibration_ref := c
+
+let calibration () = !calibration_ref
+
 (* Effective selectivity of the edge (k, r) when the intermediate result
    holding k currently has [outer_card] tuples: the stored selectivity
    [1 / max (D_k, D_r)] is rescaled by clamping [D_k] to the tuples actually
@@ -18,6 +32,7 @@ let edge_selectivity query ~outer_card ~k ~r s_base =
   let dr = Query.distinct_values query r in
   let clamped = Float.max (Float.min dk outer_card) 1.0 in
   let s = s_base *. Float.max dk dr /. Float.max clamped dr in
+  let s = match !calibration_ref with None -> s | Some c -> s *. c.sel_factor in
   Float.min 1.0 s
 
 let selectivity_before query ~perm ~pos ~outer_card i =
@@ -263,6 +278,14 @@ let eval model query perm =
   { cards; step_costs; total = !total; est_steps = n }
 
 let total model query perm = (eval model query perm).total
+
+(* The standard estimation-error factor (Moerkotte et al.): symmetric in
+   est/act and always >= 1.  Both sides are floored at one tuple so an empty
+   actual result (act = 0) yields a finite factor instead of infinity. *)
+let qerror ~est ~act =
+  let e = Float.max est 1.0 in
+  let a = Float.max act 1.0 in
+  Float.max (e /. a) (a /. e)
 
 let reference_final_cardinality query =
   let n = Query.n_relations query in

@@ -31,7 +31,26 @@ val edge_selectivity :
   Ljqo_catalog.Query.t -> outer_card:float -> k:int -> r:int -> float -> float
 (** [edge_selectivity q ~outer_card ~k ~r s] rescales the catalog selectivity
     [s] of edge [(k, r)] for an intermediate of [outer_card] tuples holding
-    [k]; capped at 1. *)
+    [k]; capped at 1.  When a {!calibration} is installed the result is
+    additionally multiplied by its per-edge correction factor (before the
+    cap). *)
+
+type calibration = { sel_factor : float }
+(** A multiplicative per-edge selectivity correction fitted from executed
+    plans (least squares of log(actual/estimated) cardinality against join
+    depth; see [Ljqo_feedback.Calibration]).  [sel_factor = 1.0] is the
+    identity. *)
+
+val set_calibration : calibration option -> unit
+(** Install (or clear, with [None]) the global calibration applied by
+    {!edge_selectivity} — and hence by every costing path: [eval], the
+    incremental prefix/word recosts, and the fused {!Stepper}.  [None] (the
+    default) performs no extra float operation, so uncalibrated costs are
+    bit-identical to a build without the hook.  Flip only between runs, from
+    the main domain. *)
+
+val calibration : unit -> calibration option
+(** The currently installed calibration, if any. *)
 
 val selectivity_before :
   Ljqo_catalog.Query.t ->
@@ -159,6 +178,11 @@ end
 val eval : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> eval
 
 val total : Cost_model.t -> Ljqo_catalog.Query.t -> int array -> float
+
+val qerror : est:float -> act:float -> float
+(** The estimation-error factor [max (est/act, act/est)] with both sides
+    floored at 1 tuple (so [act = 0] stays finite).  Always [>= 1];
+    symmetric under swapping [est] and [act]. *)
 
 val reference_final_cardinality : Ljqo_catalog.Query.t -> float
 (** The unclamped full-join size (product of all cardinalities and all edge

@@ -40,7 +40,7 @@ let check_inputs query ~data plan =
         invalid_arg "Executor: data must be indexed by relation id")
     data
 
-let run ?(max_rows = 1_000_000) query ~data plan =
+let run ?(max_rows = 1_000_000) ?on_step query ~data plan =
   check_inputs query ~data plan;
   let n = Query.n_relations query in
   let placed = Array.make n false in
@@ -102,14 +102,26 @@ let run ?(max_rows = 1_000_000) query ~data plan =
         !rows);
     placed.(r) <- true;
     rows := Array.of_list (List.rev !out);
-    steps :=
+    Ljqo_obs.Obs.add Ljqo_obs.Obs.Exec_probe_comparisons !comparisons;
+    let stat =
       {
         inner_relation = r;
         output_rows = Array.length !rows;
         probe_comparisons = !comparisons;
       }
-      :: !steps
+    in
+    (match on_step with None -> () | Some f -> f stat);
+    steps := stat :: !steps
   done;
+  let total_probes =
+    List.fold_left (fun a s -> a + s.probe_comparisons) 0 !steps
+  in
+  Ljqo_obs.Obs.trace "exec.plan"
+    [
+      ("relations", Ljqo_obs.Obs.I n);
+      ("rows", Ljqo_obs.Obs.I (Array.length !rows));
+      ("probe_comparisons", Ljqo_obs.Obs.I total_probes);
+    ];
   {
     rows = !rows;
     steps = List.rev !steps;

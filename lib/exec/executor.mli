@@ -30,12 +30,19 @@ type result = {
 
 val run :
   ?max_rows:int ->
+  ?on_step:(step_stat -> unit) ->
   Ljqo_catalog.Query.t ->
   data:Relation_data.t array ->
   Ljqo_core.Plan.t ->
   result
 (** [max_rows] defaults to 1_000_000.  The plan must be a valid permutation
-    of the query's relations and [data] must be indexed by relation id. *)
+    of the query's relations and [data] must be indexed by relation id.
+    [on_step] is called with each step's statistics as the step completes —
+    the only way to recover the completed prefix when a later step raises
+    {!Result_too_large} (the feedback layer uses it to keep partial
+    per-depth cardinalities).  Each completed step's [probe_comparisons]
+    also feeds the [exec.probe_comparisons] obs counter (a no-op when
+    observability is off). *)
 
 val cardinalities : result -> int list
 (** Intermediate result sizes after each step (starting with the first

@@ -1,0 +1,49 @@
+(** Per-catalog least-squares calibration of the selectivity model.
+
+    The estimator's error compounds once per applied join predicate, so a
+    single multiplicative per-edge correction factor [c] models the bias:
+    at a depth whose estimate folded in [x] edge selectivities,
+    [log est' = log est + x log c].  {!fit_runs} solves the through-origin
+    least squares of [log (act/est)] against [x] — [log c = Σxy / Σx²] —
+    which by construction minimizes the squared log-q-error on its
+    training samples.  The fitted factor plugs into
+    {!Ljqo_cost.Plan_cost.set_calibration}.
+
+    Files are checkpoint-strict and versioned, in the style of
+    [lib/learn/model.ml] (see DESIGN.md for the format spec): magic line,
+    MD5-sealed payload lines, floats as IEEE-754 bit patterns, all-or-
+    nothing loading with line-precise errors. *)
+
+type t = { entries : (string * float) list }
+(** Catalog (benchmark-variation) name -> per-edge selectivity correction
+    factor, in file order. *)
+
+val factor_floor : float
+(** [1e-3] — fitted factors are clamped into [[factor_floor,
+    factor_ceiling]]; anything outside means a degenerate fit. *)
+
+val factor_ceiling : float
+(** [1e3]. *)
+
+val fit_samples : Feedback.sample list -> float option
+(** The through-origin least-squares factor over samples with at least one
+    applied edge and positive cardinalities; [None] when no sample
+    qualifies. *)
+
+val fit_runs : Feedback.run list -> float option
+(** {!fit_samples} over every sample of every run. *)
+
+val factor : t -> string -> float option
+
+val to_string : t -> string
+(** Raises [Invalid_argument] on a catalog name that is not a single
+    [[A-Za-z0-9._-]] token. *)
+
+val of_string : string -> (t, string) result
+(** All-or-nothing parse with line-precise errors: bad magic, bad seal,
+    wrong entry count, duplicate catalog, out-of-range factor and missing
+    trailing newline are all refused. *)
+
+val save : path:string -> t -> unit
+
+val load : path:string -> (t, string) result

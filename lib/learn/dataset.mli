@@ -42,6 +42,18 @@ val load_jsonl : path:string -> (sample list, string) result
 (** Loads every line; the first bad line fails the whole file (with its
     line number), matching the strict checkpoint discipline. *)
 
+val save_trajectories :
+  path:string -> (string * (int * float) list) list -> unit
+(** Write [Obs.trajectories ()] output as JSONL, one
+    [{"label":..,"points":[[ticks,cost],..]}] object per labelled run — the
+    format [ljqo-bench --trajectories] emits, and the on-disk producer for
+    {!of_trajectories}. *)
+
+val load_trajectories :
+  path:string -> ((string * (int * float) list) list, string) result
+(** Strict line-by-line inverse of {!save_trajectories}; the first bad line
+    fails the whole file with its line number. *)
+
 (** {1 Extraction} *)
 
 val parse_run_label : string -> (int * string * int) option

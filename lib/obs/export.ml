@@ -179,6 +179,11 @@ let summary events =
   let latency = ref Hist.empty in
   let shed_by_reason : (string, int ref) Hashtbl.t = Hashtbl.create 4 in
   let drained = ref 0 in
+  (* Executor feedback: "exec.plan" events carry the hash-probe comparison
+     count for one executed plan (the trace-side view of the
+     exec.probe_comparisons counter). *)
+  let probe_total = ref 0 in
+  let probe_plans = ref 0 in
   List.iter
     (fun e ->
       (match Hashtbl.find_opt counts e.ev with
@@ -186,6 +191,11 @@ let summary events =
       | None -> Hashtbl.add counts e.ev (ref 1));
       (match num e.fields "latency_ns" with
       | Some ns -> latency := Hist.record_f !latency ns
+      | None -> ());
+      (match num e.fields "probe_comparisons" with
+      | Some p ->
+        probe_total := !probe_total + int_of_float p;
+        incr probe_plans
       | None -> ());
       if e.ev = "service.shed" then begin
         let reason = Option.value ~default:"?" (str e.fields "reason") in
@@ -253,4 +263,8 @@ let summary events =
     if !drained > 0 then
       Buffer.add_string b (Printf.sprintf "  drained %d\n" !drained)
   end;
+  if !probe_plans > 0 then
+    Buffer.add_string b
+      (Printf.sprintf "executor:\n  probe_comparisons %d over %d plan(s)\n"
+         !probe_total !probe_plans);
   Buffer.contents b

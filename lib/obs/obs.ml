@@ -78,6 +78,11 @@ type counter =
   | Learn_route_2po
   | Learn_route_portfolio
   | Learn_route_fallback
+  | Exec_probe_comparisons
+  | Feedback_plans_executed
+  | Feedback_result_too_large
+  | Service_drift_invalidations
+  | Service_reoptimized
 
 let counter_index = function
   | Cost_evals -> 0
@@ -118,6 +123,11 @@ let counter_index = function
   | Learn_route_2po -> 35
   | Learn_route_portfolio -> 36
   | Learn_route_fallback -> 37
+  | Exec_probe_comparisons -> 38
+  | Feedback_plans_executed -> 39
+  | Feedback_result_too_large -> 40
+  | Service_drift_invalidations -> 41
+  | Service_reoptimized -> 42
 
 let counter_names =
   [|
@@ -159,6 +169,11 @@ let counter_names =
     "learn.route.2po";
     "learn.route.portfolio";
     "learn.route.fallback";
+    "exec.probe_comparisons";
+    "feedback.plans_executed";
+    "feedback.result_too_large";
+    "service.drift_invalidations";
+    "service.reoptimized";
   |]
 
 let n_counters = Array.length counter_names
@@ -228,6 +243,11 @@ type hist =
   | Service_latency_ns
   | Cache_lookup_ns
   | Queue_wait_ns
+  | Feedback_qerror_d1
+  | Feedback_qerror_d2
+  | Feedback_qerror_d3
+  | Feedback_qerror_d4plus
+  | Feedback_cost_ratio
 
 let hist_index = function
   | Move_delta -> 0
@@ -236,6 +256,11 @@ let hist_index = function
   | Service_latency_ns -> 3
   | Cache_lookup_ns -> 4
   | Queue_wait_ns -> 5
+  | Feedback_qerror_d1 -> 6
+  | Feedback_qerror_d2 -> 7
+  | Feedback_qerror_d3 -> 8
+  | Feedback_qerror_d4plus -> 9
+  | Feedback_cost_ratio -> 10
 
 let hist_names =
   [|
@@ -245,11 +270,20 @@ let hist_names =
     "service.latency_ns";
     "cache.lookup_ns";
     "service.queue_wait_ns";
+    "feedback.qerror.d1";
+    "feedback.qerror.d2";
+    "feedback.qerror.d3";
+    "feedback.qerror.d4plus";
+    "feedback.cost_ratio";
   |]
 
 (* Tick-domain histograms are deterministic per seeded run and belong in
-   [deterministic_view]; wall-clock ones never do. *)
-let hist_deterministic = [| true; true; false; false; false; false |]
+   [deterministic_view]; wall-clock ones never do.  The feedback family is
+   deterministic too: execution over seeded relation data is a pure function
+   of (query, plan), so milli-q-error samples are identical across job
+   counts. *)
+let hist_deterministic =
+  [| true; true; false; false; false; false; true; true; true; true; true |]
 
 let n_hists = Array.length hist_names
 

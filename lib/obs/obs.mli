@@ -85,6 +85,17 @@ type counter =
   | Learn_route_fallback
       (** adaptive requests that fell back to the portfolio (no model, or
           features out of the model's training range) *)
+  | Exec_probe_comparisons
+      (** hash-probe candidate comparisons performed by {!Ljqo_exec.Executor} *)
+  | Feedback_plans_executed  (** plans executed by the feedback pipeline *)
+  | Feedback_result_too_large
+      (** feedback executions truncated by the executor's row cap *)
+  | Service_drift_invalidations
+      (** cached plans invalidated because observed cardinalities drifted
+          past the q-error threshold *)
+  | Service_reoptimized
+      (** drift-invalidated queries re-optimized (warm-started from the
+          stale plan) *)
 
 val bump : counter -> unit
 (** Add one.  A no-op (one boolean load) when disabled. *)
@@ -98,9 +109,11 @@ val charged : int -> unit
 (** {1 Histograms}
 
     Log-bucketed (see {!Hist}) distributions over a fixed registry.  The
-    tick-domain histograms ([Move_delta], [Request_ticks]) are deterministic
-    per seeded run and are part of {!deterministic_view}; the wall-clock
-    ones ([Span_ns], [Service_latency_ns], [Cache_lookup_ns],
+    tick-domain histograms ([Move_delta], [Request_ticks]) and the
+    execution-feedback family ([Feedback_qerror_*], [Feedback_cost_ratio] —
+    pure functions of seeded data, recorded in milli-units) are
+    deterministic per seeded run and are part of {!deterministic_view}; the
+    wall-clock ones ([Span_ns], [Service_latency_ns], [Cache_lookup_ns],
     [Queue_wait_ns]) are reported in snapshots only. *)
 
 type hist =
@@ -112,6 +125,13 @@ type hist =
           queue wait included) *)
   | Cache_lookup_ns  (** plan-cache lookup wall time *)
   | Queue_wait_ns  (** server queue wait, submission to worker pickup *)
+  | Feedback_qerror_d1
+      (** q-error at join depth 1, in milli-q-error (1000 = exact) *)
+  | Feedback_qerror_d2  (** q-error at join depth 2 (milli) *)
+  | Feedback_qerror_d3  (** q-error at join depth 3 (milli) *)
+  | Feedback_qerror_d4plus  (** q-error at join depths >= 4 (milli) *)
+  | Feedback_cost_ratio
+      (** estimated-vs-actual-cost q-ratio per executed plan (milli) *)
 
 val hist_record : hist -> int -> unit
 (** Record one value (negatives clamp to 0).  A no-op when disabled. *)

@@ -1,0 +1,65 @@
+Execution-grounded estimation feedback: execute optimized plans, report
+per-depth q-error, fit a calibration, and apply it — with validator-clean
+metrics, trace and SVG artifacts throughout.
+
+  $ ljqo feedback report --ns 4 --per-n 1 --t-factor 1 --seed 3 \
+  >   --svg qerror.svg --metrics m.json --trace t.jsonl > report.out
+  $ grep -c 'mean q-error' report.out
+  11
+  $ tail -2 report.out | head -1 | sed 's/q-error [0-9.]* over [0-9]* samples/q-error Q over N samples/'
+  overall: mean q-error Q over N samples (10 plans)
+  $ grep -q 'depth 1' report.out
+  $ grep -q '<svg' qerror.svg
+
+The metrics snapshot carries the feedback counter and histogram family and
+both artifacts are validator-clean:
+
+  $ ljqo-perf-gate --check-json m.json
+  m.json: valid JSON
+  $ ljqo-perf-gate --check-jsonl t.jsonl | sed 's/([0-9]* events)/(N events)/'
+  t.jsonl: valid JSONL (N events)
+  $ grep -o '"feedback.plans_executed": [0-9]*' m.json
+  "feedback.plans_executed": 10
+  $ grep -c '"feedback.qerror.d1"' m.json
+  1
+  $ grep -c '"feedback.cost_ratio"' m.json
+  1
+  $ grep -o '"exec.probe_comparisons": [0-9]*' m.json | sed 's/: [0-9]*/: N/'
+  "exec.probe_comparisons": N
+
+The trace carries per-plan executor events, and the summary surfaces their
+probe-comparison total:
+
+  $ ljqo obs summary t.jsonl | grep -A1 'executor:' | sed 's/[0-9]\{1,\}/N/g'
+  executor:
+    probe_comparisons N over N plan(s)
+
+Calibrate writes a checkpoint-strict file and prints the before/after table;
+the calibrated report loads it back:
+
+  $ ljqo feedback calibrate --ns 4 --per-n 1 --t-factor 1 --seed 3 \
+  >   -o cal.txt > cal.out
+  $ head -2 cal.out
+  mean q-error, uncalibrated vs calibrated
+                     factor  before   after
+  $ tail -1 cal.out
+  wrote cal.txt (10 catalog entries)
+  $ head -1 cal.txt
+  # ljqo-feedback-calibration v1
+  $ ljqo feedback report --ns 4 --per-n 1 --t-factor 1 --seed 3 \
+  >   --calibration cal.txt | head -1
+  calibration: cal.txt
+
+Feedback is pure observation: the report's numbers are identical whatever
+the job count.
+
+  $ ljqo feedback report --ns 4 --per-n 1 --t-factor 1 --seed 3 --jobs 1 > j1.out
+  $ ljqo feedback report --ns 4 --per-n 1 --t-factor 1 --seed 3 --jobs 4 > j4.out
+  $ cmp j1.out j4.out
+
+The bench harness leaves a loadable trajectory table behind --trajectories:
+
+  $ ljqo-bench fig4 --per-n 1 --replicates 1 --trajectories traj >/dev/null 2>&1
+  $ test -s traj/trajectories.jsonl
+  $ head -1 traj/trajectories.jsonl | grep -c '"label":"q0\.'
+  1

@@ -210,3 +210,40 @@ The trainer validates its grid the same way:
 
   $ ljqo learn eval --jobs 0 2>&1 | head -1
   ljqo: --jobs must be a positive integer, got 0
+
+The feedback subcommands validate their grid and row cap the same way:
+
+  $ ljqo feedback report --per-n 0 2>&1 | head -1
+  ljqo: --per-n must be a positive integer, got 0
+  $ ljqo feedback report --per-n 0 >/dev/null 2>&1
+  [2]
+
+  $ ljqo feedback report --max-rows 0 2>&1 | head -1
+  ljqo: --max-rows must be a positive integer, got 0
+
+  $ ljqo feedback calibrate --ns abc 2>&1 | head -1
+  ljqo: --ns expects comma-separated join counts >= 2, got "abc"
+
+  $ ljqo feedback report --jobs 0 2>&1 | head -1
+  ljqo: --jobs must be a positive integer, got 0
+
+A broken calibration file is refused loudly, never half-applied:
+
+  $ echo garbage > corrupt-cal.txt
+  $ ljqo feedback report --calibration corrupt-cal.txt
+  ljqo: cannot load calibration corrupt-cal.txt: corrupt-cal.txt: line 1: bad magic or truncated file
+  [2]
+
+The bench harness probes the trajectory directory before doing any work:
+a file in the way or an uncreatable path must die with exit 2 up front.
+
+  $ touch not-a-dir
+  $ ljqo-bench --trajectories not-a-dir table1 2>&1 | head -1
+  --trajectories wants a directory, got: not-a-dir
+  $ ljqo-bench --trajectories not-a-dir table1 >/dev/null 2>&1
+  [2]
+
+  $ ljqo-bench --trajectories missing/parent/dir table1 2>&1 | head -1
+  --trajectories: cannot create missing/parent/dir: missing/parent/dir: No such file or directory
+  $ ljqo-bench --trajectories missing/parent/dir table1 >/dev/null 2>&1
+  [2]
